@@ -1,0 +1,44 @@
+// Ablation (sections 4.4 + 5.4.3): cache allocation strategies.
+//
+// Compares the final hybrid allocation (section 5.4.3) against the original
+// per-phase allocation (section 4.4), phase-oracle variants, and fixed
+// splits — quantifying the value of (a) phase awareness and (b) the tuned
+// AB-head allocation.
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Ablation — allocation strategies & phase source",
+                     "Battle et al., Sections 4.4 and 5.4.3");
+  const auto& study = bench::GetStudy();
+
+  std::vector<eval::PredictorConfig> configs;
+
+  eval::PredictorConfig hybrid;
+  hybrid.kind = eval::PredictorConfig::Kind::kHybridEngine;
+  configs.push_back(hybrid);
+
+  eval::PredictorConfig phase_engine = hybrid;
+  phase_engine.kind = eval::PredictorConfig::Kind::kPhaseEngine;
+  configs.push_back(phase_engine);
+
+  // Oracle phases: upper bound on what a better classifier could buy.
+  eval::PredictorConfig oracle = hybrid;
+  oracle.phase_source = eval::PredictorConfig::PhaseSource::kOracle;
+  configs.push_back(oracle);
+
+  // No classifier at all: a fixed phase assumption.
+  eval::PredictorConfig fixed_nav = hybrid;
+  fixed_nav.phase_source = eval::PredictorConfig::PhaseSource::kFixed;
+  fixed_nav.fixed_phase = core::AnalysisPhase::kNavigation;
+  configs.push_back(fixed_nav);
+
+  eval::PredictorConfig fixed_sense = hybrid;
+  fixed_sense.phase_source = eval::PredictorConfig::PhaseSource::kFixed;
+  fixed_sense.fixed_phase = core::AnalysisPhase::kSensemaking;
+  configs.push_back(fixed_sense);
+
+  return bench::PrintAccuracySweep(study, configs, {2, 5, 8});
+}

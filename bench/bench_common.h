@@ -1,0 +1,41 @@
+// Shared setup for the experiment harnesses: builds (once per process) the
+// synthetic MODIS dataset and the 18x3 study traces every figure/table
+// reproduction replays.
+
+#ifndef FORECACHE_BENCH_BENCH_COMMON_H_
+#define FORECACHE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "eval/loocv.h"
+#include "eval/predictor.h"
+#include "eval/replay.h"
+#include "eval/table_printer.h"
+#include "eval/trace_stats.h"
+#include "sim/study.h"
+
+namespace fc::bench {
+
+/// The study every harness replays. Built on first use; deterministic.
+/// Set FORECACHE_FAST_BENCH=1 to shrink the dataset (CI smoke runs).
+const sim::Study& GetStudy();
+
+/// Convenience: "12.3%" formatting.
+std::string Pct(double fraction, int precision = 1);
+
+/// Phase names in report order (Foraging, Navigation, Sensemaking).
+const std::vector<core::AnalysisPhase>& ReportPhases();
+
+/// Prints a standard harness banner.
+void PrintBanner(const std::string& experiment, const std::string& paper_ref);
+
+/// Runs the LOOCV accuracy protocol for each configuration at each fetch
+/// budget k and prints one table: model x k -> per-phase + overall accuracy.
+/// Engine configurations have their prefetch budget set to each k in turn.
+int PrintAccuracySweep(const sim::Study& study,
+                       std::vector<eval::PredictorConfig> configs,
+                       const std::vector<std::size_t>& ks);
+
+}  // namespace fc::bench
+
+#endif  // FORECACHE_BENCH_BENCH_COMMON_H_

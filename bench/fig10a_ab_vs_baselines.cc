@@ -1,0 +1,28 @@
+// Figure 10a: the AB model (Markov3) vs the Momentum and Hotspot baselines,
+// per analysis phase, for k = 1..8.
+//
+// Paper shape: AB matches the baselines on Foraging and Sensemaking and is
+// clearly more accurate on Navigation at every k.
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Figure 10a — AB (Markov3) vs Momentum / Hotspot",
+                     "Battle et al., Figure 10a");
+  const auto& study = bench::GetStudy();
+
+  eval::PredictorConfig ab;
+  ab.kind = eval::PredictorConfig::Kind::kAb;
+  ab.ab_history_length = 3;
+
+  eval::PredictorConfig momentum;
+  momentum.kind = eval::PredictorConfig::Kind::kMomentum;
+
+  eval::PredictorConfig hotspot;
+  hotspot.kind = eval::PredictorConfig::Kind::kHotspot;
+
+  return bench::PrintAccuracySweep(study, {ab, momentum, hotspot},
+                                   {1, 2, 3, 4, 5, 6, 7, 8});
+}

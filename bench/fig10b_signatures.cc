@@ -1,0 +1,26 @@
+// Figure 10b: the SB recommender instantiated with each of the four
+// signatures, per analysis phase, for k = 1..8.
+//
+// Paper shape: SIFT gives the best overall accuracy; denseSIFT is worse than
+// SIFT (it matches whole images, not landmarks).
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Figure 10b — SB recommender per signature",
+                     "Battle et al., Figure 10b");
+  const auto& study = bench::GetStudy();
+
+  std::vector<eval::PredictorConfig> configs;
+  for (auto kind :
+       {vision::SignatureKind::kNormalDist, vision::SignatureKind::kHistogram,
+        vision::SignatureKind::kSift, vision::SignatureKind::kDenseSift}) {
+    eval::PredictorConfig config;
+    config.kind = eval::PredictorConfig::Kind::kSb;
+    config.sb_weights = {{kind, 1.0}};
+    configs.push_back(config);
+  }
+  return bench::PrintAccuracySweep(study, configs, {1, 2, 3, 4, 5, 6, 7, 8});
+}

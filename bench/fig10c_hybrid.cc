@@ -1,0 +1,28 @@
+// Figure 10c: the final two-level prediction engine ("hybrid") vs its two
+// best individual components (Markov3 AB and SIFT SB).
+//
+// Paper shape: the hybrid matches the best individual model in every phase,
+// hence beats both overall.
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Figure 10c — hybrid engine vs best individual models",
+                     "Battle et al., Figure 10c");
+  const auto& study = bench::GetStudy();
+
+  eval::PredictorConfig hybrid;
+  hybrid.kind = eval::PredictorConfig::Kind::kHybridEngine;
+
+  eval::PredictorConfig ab;
+  ab.kind = eval::PredictorConfig::Kind::kAb;
+  ab.ab_history_length = 3;
+
+  eval::PredictorConfig sb;
+  sb.kind = eval::PredictorConfig::Kind::kSb;
+
+  return bench::PrintAccuracySweep(study, {hybrid, ab, sb},
+                                   {1, 2, 3, 4, 5, 6, 7, 8});
+}

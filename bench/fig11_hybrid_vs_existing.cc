@@ -1,0 +1,41 @@
+// Figure 11: the full prediction engine vs the existing techniques
+// (Momentum, Hotspot), per phase, k = 1..8.
+//
+// Paper shape: hybrid >= baselines on Foraging, up to +25 points on
+// Navigation, +10-18 points on Sensemaking.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Figure 11 — hybrid engine vs existing techniques",
+                     "Battle et al., Figure 11");
+  const auto& study = bench::GetStudy();
+
+  eval::PredictorConfig hybrid;
+  hybrid.kind = eval::PredictorConfig::Kind::kHybridEngine;
+
+  eval::PredictorConfig momentum;
+  momentum.kind = eval::PredictorConfig::Kind::kMomentum;
+
+  eval::PredictorConfig hotspot;
+  hotspot.kind = eval::PredictorConfig::Kind::kHotspot;
+
+  int rc = bench::PrintAccuracySweep(study, {hybrid, momentum, hotspot},
+                                     {1, 2, 3, 4, 5, 6, 7, 8});
+  if (rc != 0) return rc;
+
+  // Headline number: overall accuracy at the paper's k = 5 operating point.
+  eval::PredictorConfig h5 = hybrid;
+  h5.k = 5;
+  auto result = eval::RunLoocvAccuracy(study, h5, 5);
+  if (result.ok()) {
+    std::cout << "\nHybrid overall accuracy at k=5: "
+              << bench::Pct(result->merged.overall.Rate())
+              << " (paper: 82%)\n";
+  }
+  return 0;
+}

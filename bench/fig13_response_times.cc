@@ -1,0 +1,86 @@
+// Figure 13 + section 5.5 headline numbers: average prefetching response
+// times for the hybrid engine vs Momentum and Hotspot across k, plus the
+// no-prefetching "traditional system" baseline.
+//
+// Paper: at k = 5 the hybrid averages ~185 ms vs ~349 ms (Momentum),
+// ~360 ms (Hotspot), and 984 ms with no prefetching — a 430% improvement
+// over traditional systems and 88% over existing prefetchers.
+
+#include <iostream>
+
+#include "eval/latency.h"
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Figure 13 / Section 5.5 — average response times",
+                     "Battle et al., Figure 13");
+  const auto& study = bench::GetStudy();
+
+  // Traditional system: no prefetching, no cache benefit.
+  eval::LatencyReplayOptions traditional;
+  traditional.prefetching_enabled = false;
+  auto base = eval::ReplayLatencyLoocv(study, traditional);
+  if (!base.ok()) {
+    std::cerr << "ERROR: " << base.status() << "\n";
+    return 1;
+  }
+  std::cout << "No-prefetching baseline: "
+            << eval::TablePrinter::Num(base->average_ms, 1)
+            << " ms per request (paper: 984 ms)\n\n";
+
+  std::vector<eval::PredictorConfig::Kind> kinds = {
+      eval::PredictorConfig::Kind::kHybridEngine,
+      eval::PredictorConfig::Kind::kMomentum,
+      eval::PredictorConfig::Kind::kHotspot};
+
+  eval::TablePrinter table({"Model", "k", "Avg latency ms", "Hit rate"});
+  double hybrid_at_5 = 0.0;
+  double momentum_at_5 = 0.0;
+  double hotspot_at_5 = 0.0;
+  for (auto kind : kinds) {
+    for (std::size_t k : {1, 2, 3, 4, 5, 6, 7, 8}) {
+      eval::LatencyReplayOptions options;
+      options.predictor.kind = kind;
+      options.predictor.k = k;
+      auto report = eval::ReplayLatencyLoocv(study, options);
+      if (!report.ok()) {
+        std::cerr << "ERROR: " << report.status() << "\n";
+        return 1;
+      }
+      table.AddRow({options.predictor.DisplayName(), std::to_string(k),
+                    eval::TablePrinter::Num(report->average_ms, 1),
+                    bench::Pct(report->hit_rate)});
+      if (k == 5) {
+        if (kind == eval::PredictorConfig::Kind::kHybridEngine) {
+          hybrid_at_5 = report->average_ms;
+        } else if (kind == eval::PredictorConfig::Kind::kMomentum) {
+          momentum_at_5 = report->average_ms;
+        } else {
+          hotspot_at_5 = report->average_ms;
+        }
+      }
+    }
+  }
+  table.Print();
+
+  auto pct_improvement = [](double slow, double fast) {
+    return fast > 0.0 ? (slow - fast) / fast * 100.0 : 0.0;
+  };
+  std::cout << "\nHeadline comparison at k = 5:\n"
+            << "  hybrid " << eval::TablePrinter::Num(hybrid_at_5, 1)
+            << " ms | momentum " << eval::TablePrinter::Num(momentum_at_5, 1)
+            << " ms | hotspot " << eval::TablePrinter::Num(hotspot_at_5, 1)
+            << " ms | traditional " << eval::TablePrinter::Num(base->average_ms, 1)
+            << " ms\n"
+            << "  improvement vs traditional: "
+            << eval::TablePrinter::Num(pct_improvement(base->average_ms, hybrid_at_5), 0)
+            << "% (paper: 430%)\n"
+            << "  improvement vs best existing prefetcher: "
+            << eval::TablePrinter::Num(
+                   pct_improvement(std::min(momentum_at_5, hotspot_at_5), hybrid_at_5), 0)
+            << "% (paper: 88%)\n";
+  return 0;
+}

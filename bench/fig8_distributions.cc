@@ -1,0 +1,57 @@
+// Figure 8: distribution of moves (a) and phases (b) per task, plus
+// per-user move distributions (c-e). Also prints the section 5.3.4
+// average-requests-per-task observations (35 / 25 / 17 in the paper).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Figure 8 — move and phase distributions",
+                     "Battle et al., Figure 8, Section 5.3.4");
+  const auto& study = bench::GetStudy();
+
+  eval::TablePrinter moves(
+      {"Task", "pan", "zoom-in", "zoom-out", "avg requests/trace"});
+  for (const auto& task : study.tasks) {
+    auto traces = study.TracesForTask(task.id);
+    auto dist = eval::ComputeMoveDistribution(traces);
+    moves.AddRow({"Task " + std::to_string(task.id), bench::Pct(dist.pan),
+                  bench::Pct(dist.zoom_in), bench::Pct(dist.zoom_out),
+                  eval::TablePrinter::Num(eval::AverageRequestsPerTrace(traces), 1)});
+  }
+  std::cout << "(8a) Move distribution per task "
+               "(paper: zoom-in dominates every task; task 3 favors panning "
+               "over zooming out; avg requests 35/25/17):\n";
+  moves.Print();
+
+  eval::TablePrinter phases({"Task", "Foraging", "Navigation", "Sensemaking"});
+  for (const auto& task : study.tasks) {
+    auto dist = eval::ComputePhaseDistribution(study.TracesForTask(task.id));
+    phases.AddRow(
+        {"Task " + std::to_string(task.id),
+         bench::Pct(dist[static_cast<std::size_t>(core::AnalysisPhase::kForaging)]),
+         bench::Pct(dist[static_cast<std::size_t>(core::AnalysisPhase::kNavigation)]),
+         bench::Pct(
+             dist[static_cast<std::size_t>(core::AnalysisPhase::kSensemaking)])});
+  }
+  std::cout << "\n(8b) Phase distribution per task "
+               "(paper: noticeably less Foraging in tasks 2 and 3):\n";
+  phases.Print();
+
+  for (const auto& task : study.tasks) {
+    std::cout << "\n(8" << static_cast<char>('b' + task.id)
+              << ") Per-user move distribution, task " << task.id
+              << " (pan/in/out):\n";
+    eval::TablePrinter per_user({"User", "pan", "zoom-in", "zoom-out"});
+    auto users = eval::ComputePerUserMoveDistributions(study.TracesForTask(task.id));
+    for (const auto& [user, dist] : users) {
+      per_user.AddRow({user, bench::Pct(dist.pan), bench::Pct(dist.zoom_in),
+                       bench::Pct(dist.zoom_out)});
+    }
+    per_user.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 1 + section 5.4.1: phase-classifier accuracy.
+//
+// Reproduces (a) the per-feature SVM accuracies of Table 1 (each feature
+// trained alone, LOOCV across users) and (b) the full six-feature
+// classifier's overall accuracy (~82% in the paper, best users >= 90%).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Table 1 / Section 5.4.1 — analysis-phase classifier",
+                     "Battle et al., Table 1; text of 5.4.1");
+  const auto& study = bench::GetStudy();
+
+  core::PhaseClassifierOptions base;
+  base.max_training_rows = 700;  // bounds LOOCV SVM cost; accuracy-neutral
+
+  eval::TablePrinter table({"Feature", "Info recorded", "LOOCV accuracy"});
+  const std::vector<std::pair<core::PhaseFeature, std::string>> kFeatures = {
+      {core::PhaseFeature::kX, "X position (in tiles)"},
+      {core::PhaseFeature::kY, "Y position (in tiles)"},
+      {core::PhaseFeature::kZoomLevel, "zoom level ID"},
+      {core::PhaseFeature::kPanFlag, "1 (if user panned), or 0"},
+      {core::PhaseFeature::kZoomInFlag, "1 (if zoom in), or 0"},
+      {core::PhaseFeature::kZoomOutFlag, "1 (if zoom out), or 0"},
+  };
+  for (const auto& [feature, description] : kFeatures) {
+    auto options = base;
+    options.feature_subset = {feature};
+    auto result = eval::RunLoocvClassifier(study, options);
+    if (!result.ok()) {
+      std::cerr << "ERROR: " << result.status() << "\n";
+      return 1;
+    }
+    table.AddRow({std::string(core::PhaseFeatureToString(feature)), description,
+                  eval::TablePrinter::Num(result->overall_accuracy)});
+  }
+  table.Print();
+
+  auto full = eval::RunLoocvClassifier(study, base);
+  if (!full.ok()) {
+    std::cerr << "ERROR: " << full.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nFull 6-feature classifier (LOOCV): overall accuracy = "
+            << bench::Pct(full->overall_accuracy)
+            << " (paper: 82%)\n"
+            << "Best held-out user accuracy = "
+            << bench::Pct(full->best_user_accuracy)
+            << " (paper: some users >= 90%)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table 2: the signature catalog — what each signature measures, its
+// dimensionality on this build, and its per-tile computation cost.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace fc;
+
+int main() {
+  bench::PrintBanner("Table 2 — tile signatures for visual similarity",
+                     "Battle et al., Table 2");
+  const auto& study = bench::GetStudy();
+  const auto& pyramid = *study.dataset.pyramid;
+  const auto& toolbox = *study.dataset.toolbox;
+
+  // A representative detailed tile (inside the task-1 region).
+  auto tasks = study.tasks;
+  tiles::TileKey sample{tasks[0].target_level, 0, 0};
+  double best = -2.0;
+  for (const auto& key : pyramid.spec().KeysAtLevel(tasks[0].target_level)) {
+    auto md = pyramid.metadata().Get(key);
+    if (md.ok() && (*md)->max > best) {
+      best = (*md)->max;
+      sample = key;
+    }
+  }
+  auto tile = pyramid.GetTile(sample);
+  if (!tile.ok()) {
+    std::cerr << "ERROR: " << tile.status() << "\n";
+    return 1;
+  }
+  auto raster = (*tile)->ToRaster(pyramid.signature_attr());
+  if (!raster.ok()) {
+    std::cerr << "ERROR: " << raster.status() << "\n";
+    return 1;
+  }
+
+  const std::map<vision::SignatureKind, std::string> kCaptures = {
+      {vision::SignatureKind::kNormalDist,
+       "average position/color/size of rendered datapoints"},
+      {vision::SignatureKind::kHistogram,
+       "position/color/size distribution of rendered datapoints"},
+      {vision::SignatureKind::kSift,
+       "distinct landmarks in the visualization (snow clusters)"},
+      {vision::SignatureKind::kDenseSift,
+       "landmarks AND their positions in the visualization"},
+      {vision::SignatureKind::kOutlier,
+       "(extension) outlier mass profile, for time series"},
+      {vision::SignatureKind::kQuantile,
+       "(extension) value quantile sketch"},
+  };
+
+  eval::TablePrinter table(
+      {"Signature", "Dims", "Compute us/tile", "Visual characteristics captured"});
+  for (auto kind : toolbox.Kinds()) {
+    auto extractor = toolbox.Get(kind);
+    if (!extractor.ok()) continue;
+    // Warm once, then time a few repetitions.
+    (void)(*extractor)->Compute(*raster);
+    constexpr int kReps = 10;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      auto sig = (*extractor)->Compute(*raster);
+      if (!sig.ok()) {
+        std::cerr << "ERROR: " << sig.status() << "\n";
+        return 1;
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+    auto it = kCaptures.find(kind);
+    table.AddRow({std::string((*extractor)->name()),
+                  std::to_string((*extractor)->dims()),
+                  eval::TablePrinter::Num(us, 1),
+                  it == kCaptures.end() ? "" : it->second});
+  }
+  table.Print();
+  std::cout << "\nSample tile: " << sample.ToString()
+            << " (max NDSI = " << eval::TablePrinter::Num(best, 2) << ")\n"
+            << "All signatures are vectors of doubles compared with the "
+               "chi-squared distance (paper section 4.3.3).\n";
+  return 0;
+}

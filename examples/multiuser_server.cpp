@@ -1,0 +1,101 @@
+// Multi-user middleware: several concurrent sessions over one shared
+// backing store (the setting paper section 6.2 raises as future work).
+//
+// Each session gets its own prediction-engine state and cache region; the
+// DBMS and trained model components are shared. The example replays three
+// different users' study traces interleaved round-robin — the access
+// pattern a real multi-user deployment would see.
+
+#include <iostream>
+
+#include "core/ab_recommender.h"
+#include "core/allocation.h"
+#include "core/phase_classifier.h"
+#include "core/sb_recommender.h"
+#include "server/session.h"
+#include "sim/study.h"
+#include "storage/tile_store.h"
+
+using namespace fc;
+
+int main() {
+  std::cout << "=== ForeCache example: multi-user middleware ===\n";
+  sim::ModisDatasetOptions options = sim::DefaultStudyDataset();
+  options.terrain.width = 512;
+  options.terrain.height = 512;
+  options.num_levels = 5;
+  sim::StudyOptions study_options;
+  study_options.num_users = 6;
+  auto study = sim::RunStudy(options, study_options);
+  if (!study.ok()) {
+    std::cerr << "study: " << study.status() << "\n";
+    return 1;
+  }
+
+  // Shared, immutable components trained once.
+  auto classifier = core::PhaseClassifier::Train(study->traces);
+  auto ab = core::AbRecommender::Make();
+  if (!classifier.ok() || !ab.ok()) return 1;
+  if (!ab->Train(study->traces).ok()) return 1;
+  core::SbRecommender sb(&study->dataset.pyramid->metadata(),
+                         study->dataset.toolbox.get());
+  core::HybridAllocationStrategy strategy;
+
+  SimClock clock;
+  array::QueryCostModel costs(array::CalibratedPaperCosts(), 5);
+  storage::SimulatedDbmsStore store(study->dataset.pyramid, costs, &clock);
+
+  server::SharedPredictionComponents shared;
+  shared.classifier = &*classifier;
+  shared.ab = &*ab;
+  shared.sb = &sb;
+  shared.strategy = &strategy;
+  shared.engine_options.prefetch_k = 5;
+
+  server::SessionManager manager(&store, &clock, shared);
+
+  // Three interleaved user sessions replaying task-2 traces.
+  std::vector<const core::Trace*> live;
+  for (const auto& trace : study->traces) {
+    if (trace.task_id == 2 && live.size() < 3) live.push_back(&trace);
+  }
+  std::vector<server::BrowserSession*> sessions;
+  std::vector<std::size_t> cursor(live.size(), 1);  // 0 = the Open() request
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    auto* session = manager.GetOrCreate(live[i]->user_id);
+    if (!session->Open().ok()) return 1;
+    sessions.push_back(session);
+  }
+
+  // Round-robin replay: one move per session per round.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      if (cursor[i] >= live[i]->records.size()) continue;
+      const auto& rec = live[i]->records[cursor[i]++];
+      if (!rec.request.move.has_value()) continue;
+      auto served = sessions[i]->ApplyMove(*rec.request.move);
+      (void)served;  // border rejections are fine during replay
+      progressed = true;
+    }
+  }
+
+  std::cout << "Replayed " << live.size()
+            << " interleaved sessions over one shared store.\n\n";
+  for (const auto* trace : live) {
+    auto server = manager.ServerFor(trace->user_id);
+    if (!server.ok()) continue;
+    std::cout << "  session " << trace->user_id << ": "
+              << (*server)->latency_log().size() << " requests, avg "
+              << (*server)->AverageLatencyMs() << " ms, hit rate "
+              << (*server)->cache_manager().HitRate() * 100.0 << "%\n";
+  }
+  std::cout << "\nActive sessions: " << manager.active_sessions()
+            << "; total DBMS fetches: " << store.fetch_count()
+            << "; simulated DBMS time: " << store.total_query_millis() / 1000.0
+            << " s\n"
+            << "Each session prefetches within its own cache allocation, so\n"
+            << "per-user hit rates hold even with interleaved access.\n";
+  return 0;
+}

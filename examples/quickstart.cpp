@@ -1,0 +1,107 @@
+// Quickstart: build a dataset, stand up the ForeCache middleware, browse.
+//
+// Walks the complete public API surface in ~100 lines:
+//   1. synthesize a dataset and build its tile pyramid (with signatures);
+//   2. train the prediction engine's components on recorded traces;
+//   3. serve a browsing session through the middleware and watch prefetching
+//      cut response times.
+
+#include <iostream>
+
+#include "core/ab_recommender.h"
+#include "core/allocation.h"
+#include "core/phase_classifier.h"
+#include "core/prediction_engine.h"
+#include "core/sb_recommender.h"
+#include "server/forecache_server.h"
+#include "server/session.h"
+#include "sim/modis_dataset.h"
+#include "sim/study.h"
+#include "storage/tile_store.h"
+
+using namespace fc;
+
+int main() {
+  // --- 1. Dataset: synthetic MODIS snow cover, tiled with signatures. ----
+  sim::ModisDatasetOptions dataset_options = sim::DefaultStudyDataset();
+  dataset_options.terrain.width = 512;   // keep the quickstart snappy
+  dataset_options.terrain.height = 512;
+  dataset_options.num_levels = 5;
+
+  std::cout << "Building dataset (terrain -> NDSI -> tile pyramid)...\n";
+  sim::ModisDatasetBuilder builder(dataset_options);
+  auto dataset = builder.Build();
+  if (!dataset.ok()) {
+    std::cerr << "dataset build failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  std::cout << "  " << dataset->pyramid->tile_count() << " tiles across "
+            << dataset->pyramid->spec().num_levels << " zoom levels\n";
+
+  // --- 2. Training traces (normally: recorded user sessions). ------------
+  sim::StudyOptions study_options;
+  study_options.num_users = 6;
+  auto study = sim::RunStudyOnDataset(*dataset, study_options);
+  if (!study.ok()) {
+    std::cerr << "study failed: " << study.status() << "\n";
+    return 1;
+  }
+  std::cout << "  " << study->traces.size() << " training traces recorded\n";
+
+  // --- 3. Prediction engine: SVM phase classifier + AB + SB models. ------
+  auto classifier = core::PhaseClassifier::Train(study->traces);
+  if (!classifier.ok()) {
+    std::cerr << "classifier: " << classifier.status() << "\n";
+    return 1;
+  }
+  auto ab = core::AbRecommender::Make();
+  if (!ab.ok()) {
+    std::cerr << "ab: " << ab.status() << "\n";
+    return 1;
+  }
+  if (auto s = ab->Train(study->traces); !s.ok()) {
+    std::cerr << "ab train: " << s << "\n";
+    return 1;
+  }
+  core::SbRecommender sb(&dataset->pyramid->metadata(), dataset->toolbox.get());
+  core::HybridAllocationStrategy strategy;
+
+  core::PredictionEngineOptions engine_options;
+  engine_options.prefetch_k = 5;
+  core::PredictionEngine engine(&dataset->pyramid->spec(), &*classifier, &*ab,
+                                &sb, &strategy, engine_options);
+
+  // --- 4. Middleware over a simulated DBMS; browse a session. ------------
+  SimClock clock;
+  array::QueryCostModel costs(array::CalibratedPaperCosts(), /*seed=*/7);
+  storage::SimulatedDbmsStore store(dataset->pyramid, costs, &clock);
+  server::ForeCacheServer server(&store, &engine, &clock);
+  server::BrowserSession browser(&server);
+
+  auto open = browser.Open();
+  if (!open.ok()) {
+    std::cerr << "open: " << open.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nBrowsing (move -> latency):\n";
+  const std::vector<core::Move> script = {
+      core::Move::kZoomInNW, core::Move::kZoomInSE, core::Move::kPanRight,
+      core::Move::kPanRight, core::Move::kPanDown,  core::Move::kZoomOut,
+      core::Move::kZoomInNE, core::Move::kPanLeft,  core::Move::kPanLeft,
+      core::Move::kZoomOut,  core::Move::kZoomOut,
+  };
+  for (core::Move move : script) {
+    auto served = browser.ApplyMove(move);
+    if (!served.ok()) continue;  // move hit the dataset border; skip
+    std::cout << "  " << core::MoveToString(move) << " -> "
+              << browser.current_tile().ToString() << "  "
+              << (served->cache_hit ? "[cache hit] " : "[DBMS query]") << " "
+              << served->latency_ms << " ms  (phase: "
+              << core::AnalysisPhaseToString(served->prediction.phase) << ")\n";
+  }
+  std::cout << "\nAverage latency: " << server.AverageLatencyMs() << " ms over "
+            << server.latency_log().size() << " requests\n"
+            << "Cache hit rate: " << server.cache_manager().HitRate() * 100.0
+            << "%\n";
+  return 0;
+}

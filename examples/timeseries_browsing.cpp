@@ -1,0 +1,144 @@
+// Time-series browsing: ForeCache on a non-geospatial dataset (paper
+// Figure 2c's heart-rate monitoring scenario).
+//
+// A year of minute-resolution heart-rate data is laid out as a 2D array
+// (day x minute-of-day), tiled, and browsed through the middleware. The
+// signature toolbox's extension signatures (outlier profile, quantile
+// sketch) drive the SB recommender — the configuration section 6.2
+// anticipates for time-series data.
+
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "core/ab_recommender.h"
+#include "core/allocation.h"
+#include "core/prediction_engine.h"
+#include "core/sb_recommender.h"
+#include "server/forecache_server.h"
+#include "server/session.h"
+#include "storage/tile_store.h"
+#include "tiles/pyramid.h"
+
+using namespace fc;
+
+namespace {
+
+// Synthetic heart-rate: circadian rhythm + exercise spikes + arrhythmia
+// episodes (the "interesting" regions a clinician would hunt for).
+double HeartRate(std::int64_t day, std::int64_t minute, Rng* rng) {
+  double t = static_cast<double>(minute) / 1440.0;
+  double circadian =
+      62.0 + 18.0 * std::sin((t - 0.25) * 2.0 * std::numbers::pi);
+  // Morning exercise on weekdays.
+  bool weekday = (day % 7) < 5;
+  double exercise = 0.0;
+  if (weekday && minute >= 7 * 60 && minute < 8 * 60) {
+    exercise = 55.0 * std::exp(-std::pow((minute - 450.0) / 20.0, 2.0));
+  }
+  // A few multi-day arrhythmia episodes with elevated, erratic rate.
+  double episode = 0.0;
+  if ((day >= 80 && day < 84) || (day >= 200 && day < 203) ||
+      (day >= 310 && day < 312)) {
+    episode = 25.0 + 15.0 * rng->UniformDouble();
+  }
+  return circadian + exercise + episode + rng->Gaussian(0.0, 2.5);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ForeCache example: heart-rate time-series browsing ===\n";
+
+  // 1. Build the array: 512 days x 1024 minute-buckets (~1.4 min/bucket).
+  constexpr std::int64_t kDays = 512;
+  constexpr std::int64_t kMinuteBuckets = 1024;
+  auto schema = array::ArraySchema::Make(
+      "heart_rate",
+      {array::Dimension{"day", 0, kDays, 32},
+       array::Dimension{"minute", 0, kMinuteBuckets, 32}},
+      {array::Attribute{"bpm"}});
+  if (!schema.ok()) return 1;
+  array::DenseArray base(std::move(*schema));
+  Rng rng(2024);
+  for (std::int64_t d = 0; d < kDays; ++d) {
+    for (std::int64_t m = 0; m < kMinuteBuckets; ++m) {
+      std::int64_t minute = m * 1440 / kMinuteBuckets;
+      base.SetLinear(base.LinearIndex({d, m}), 0, HeartRate(d, minute, &rng));
+    }
+  }
+
+  // 2. Tile it with the extension signatures (outlier + quantile), which
+  //    suit 1-attribute time-series far better than SIFT.
+  vision::SignatureToolboxOptions toolbox_options;
+  toolbox_options.value_lo = 40.0;
+  toolbox_options.value_hi = 160.0;
+  toolbox_options.include_extensions = true;
+  auto toolbox = vision::SignatureToolbox::MakeDefault(toolbox_options);
+
+  tiles::PyramidBuildOptions build;
+  build.tile_width = 32;
+  build.tile_height = 32;
+  build.num_levels = tiles::FitNumLevels(kMinuteBuckets, kDays, 32, 32);
+  build.signature_attr = "bpm";
+  build.toolbox = &toolbox;
+  tiles::TilePyramidBuilder builder(build);
+  auto pyramid = builder.Build(base);
+  if (!pyramid.ok()) {
+    std::cerr << "pyramid: " << pyramid.status() << "\n";
+    return 1;
+  }
+  std::cout << "Tiled " << kDays << "x" << kMinuteBuckets << " samples into "
+            << (*pyramid)->tile_count() << " tiles, "
+            << (*pyramid)->spec().num_levels << " levels\n";
+
+  // 3. Engine: AB untrained-but-smoothed + SB over the outlier signature
+  //    (no recorded traces exist for a fresh deployment; Kneser-Ney backs
+  //    off to sensible uniform-ish behavior).
+  auto ab = core::AbRecommender::Make();
+  if (!ab.ok()) return 1;
+  if (!ab->Train({}).ok()) return 1;
+  core::SbRecommenderOptions sb_options;
+  sb_options.signature_weights = {{vision::SignatureKind::kOutlier, 1.0},
+                                  {vision::SignatureKind::kQuantile, 0.5}};
+  core::SbRecommender sb(&(*pyramid)->metadata(), &toolbox, sb_options);
+  core::HybridAllocationStrategy strategy;
+  core::PredictionEngine engine(&(*pyramid)->spec(), nullptr, &*ab, &sb,
+                                &strategy);
+  engine.fallback_phase = core::AnalysisPhase::kSensemaking;  // SB-led
+
+  // 4. Browse: drill into the first arrhythmia episode, pan along it.
+  SimClock clock;
+  array::QueryCostModel costs(array::CalibratedPaperCosts(), 11);
+  storage::SimulatedDbmsStore store(*pyramid, costs, &clock);
+  server::ForeCacheServer server(&store, &engine, &clock);
+  server::BrowserSession browser(&server);
+  if (!browser.Open().ok()) return 1;
+
+  std::cout << "\nClinician session (drill into episodes, pan along time):\n";
+  const std::vector<core::Move> script = {
+      core::Move::kZoomInSW, core::Move::kZoomInNW, core::Move::kPanRight,
+      core::Move::kPanRight, core::Move::kPanRight, core::Move::kZoomOut,
+      core::Move::kZoomInNE, core::Move::kPanRight, core::Move::kPanDown,
+      core::Move::kPanRight,
+  };
+  for (core::Move move : script) {
+    auto served = browser.ApplyMove(move);
+    if (!served.ok()) continue;
+    auto md = (*pyramid)->metadata().Get(browser.current_tile());
+    std::cout << "  " << core::MoveToString(move) << " -> "
+              << browser.current_tile().ToString() << "  "
+              << (served->cache_hit ? "[hit] " : "[miss]") << " "
+              << served->latency_ms << " ms";
+    if (md.ok()) {
+      std::cout << "  bpm mean=" << (*md)->mean << " max=" << (*md)->max;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nAverage latency: " << server.AverageLatencyMs() << " ms; "
+            << "hit rate " << server.cache_manager().HitRate() * 100.0 << "%\n"
+            << "(Signature-based prefetching generalizes beyond maps: the\n"
+            << " outlier-profile signature surfaces tiles that 'look like'\n"
+            << " the arrhythmia episode the clinician is inspecting.)\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "array/array_store.h"
+
+namespace fc::array {
+
+Status ArrayStore::Store(DenseArray arr) {
+  std::string name = arr.schema().name();
+  return StoreAs(std::move(name), std::move(arr));
+}
+
+Status ArrayStore::StoreAs(std::string name, DenseArray arr) {
+  if (arrays_.count(name) > 0) {
+    return Status::AlreadyExists("array already stored: " + name);
+  }
+  arrays_.emplace(std::move(name),
+                  std::make_shared<const DenseArray>(std::move(arr)));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DenseArray>> ArrayStore::Get(
+    const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) return Status::NotFound("no array named: " + name);
+  return it->second;
+}
+
+Status ArrayStore::Remove(const std::string& name) {
+  if (arrays_.erase(name) == 0) return Status::NotFound("no array named: " + name);
+  return Status::OK();
+}
+
+std::vector<std::string> ArrayStore::List() const {
+  std::vector<std::string> names;
+  names.reserve(arrays_.size());
+  for (const auto& [name, _] : arrays_) names.push_back(name);
+  return names;
+}
+
+std::size_t ArrayStore::MemoryUsageBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [_, arr] : arrays_) bytes += arr->MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace fc::array

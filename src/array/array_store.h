@@ -1,0 +1,52 @@
+// ArrayStore: the engine's catalog of named arrays (SciDB `store`/`scan`).
+
+#ifndef FORECACHE_ARRAY_ARRAY_STORE_H_
+#define FORECACHE_ARRAY_ARRAY_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "common/result.h"
+
+namespace fc::array {
+
+/// Owns named arrays. Arrays are immutable once stored (ForeCache is a
+/// read-only browsing system, paper section 2.2 rule (b)); replacing an array
+/// requires Remove + Store.
+class ArrayStore {
+ public:
+  ArrayStore() = default;
+
+  ArrayStore(const ArrayStore&) = delete;
+  ArrayStore& operator=(const ArrayStore&) = delete;
+
+  /// Stores `arr` under its schema name. AlreadyExists if the name is taken.
+  Status Store(DenseArray arr);
+
+  /// Stores under an explicit name (overrides the schema name for lookup).
+  Status StoreAs(std::string name, DenseArray arr);
+
+  /// Shared read-only handle to the named array, or NotFound.
+  Result<std::shared_ptr<const DenseArray>> Get(const std::string& name) const;
+
+  /// Removes the named array. NotFound if absent.
+  Status Remove(const std::string& name);
+
+  bool Contains(const std::string& name) const { return arrays_.count(name) > 0; }
+
+  /// Names of all stored arrays, sorted.
+  std::vector<std::string> List() const;
+
+  /// Total resident bytes across stored arrays.
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const DenseArray>> arrays_;
+};
+
+}  // namespace fc::array
+
+#endif  // FORECACHE_ARRAY_ARRAY_STORE_H_

@@ -1,0 +1,117 @@
+#include "array/dense_array.h"
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace fc::array {
+
+DenseArray::DenseArray(ArraySchema schema) : schema_(std::move(schema)) {
+  auto n = static_cast<std::size_t>(schema_.cell_count());
+  data_.resize(schema_.num_attrs());
+  for (auto& buf : data_) buf.assign(n, 0.0);
+  present_.assign(n, false);
+  strides_.resize(schema_.num_dims());
+  std::int64_t stride = 1;
+  for (std::size_t i = schema_.num_dims(); i-- > 0;) {
+    strides_[i] = stride;
+    stride *= schema_.dims()[i].length;
+  }
+}
+
+Status DenseArray::CheckCoords(const Coords& coords, std::size_t attr) const {
+  if (attr >= schema_.num_attrs()) {
+    return Status::NotFound(StrFormat("attribute index %zu out of range (%zu attrs)",
+                                      attr, schema_.num_attrs()));
+  }
+  if (coords.size() != schema_.num_dims()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu coordinates, got %zu", schema_.num_dims(),
+                  coords.size()));
+  }
+  if (!schema_.Contains(coords)) {
+    return Status::OutOfRange("coordinates outside array box of " + schema_.name());
+  }
+  return Status::OK();
+}
+
+Result<double> DenseArray::Get(const Coords& coords, std::size_t attr) const {
+  FC_RETURN_IF_ERROR(CheckCoords(coords, attr));
+  std::int64_t idx = LinearIndex(coords);
+  if (!present_[static_cast<std::size_t>(idx)]) {
+    return Status::FailedPrecondition("cell is empty");
+  }
+  return data_[attr][static_cast<std::size_t>(idx)];
+}
+
+Status DenseArray::Set(const Coords& coords, std::size_t attr, double value) {
+  FC_RETURN_IF_ERROR(CheckCoords(coords, attr));
+  SetLinear(LinearIndex(coords), attr, value);
+  return Status::OK();
+}
+
+Status DenseArray::SetCell(const Coords& coords, const std::vector<double>& values) {
+  FC_RETURN_IF_ERROR(CheckCoords(coords, 0));
+  if (values.size() != schema_.num_attrs()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu attribute values, got %zu", schema_.num_attrs(),
+                  values.size()));
+  }
+  std::int64_t idx = LinearIndex(coords);
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    data_[a][static_cast<std::size_t>(idx)] = values[a];
+  }
+  present_[static_cast<std::size_t>(idx)] = true;
+  return Status::OK();
+}
+
+Status DenseArray::Erase(const Coords& coords) {
+  FC_RETURN_IF_ERROR(CheckCoords(coords, 0));
+  present_[static_cast<std::size_t>(LinearIndex(coords))] = false;
+  return Status::OK();
+}
+
+bool DenseArray::IsPresent(const Coords& coords) const {
+  if (coords.size() != schema_.num_dims() || !schema_.Contains(coords)) return false;
+  return present_[static_cast<std::size_t>(LinearIndex(coords))];
+}
+
+std::int64_t DenseArray::LinearIndex(const Coords& coords) const {
+  std::int64_t idx = 0;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    idx += (coords[i] - schema_.dims()[i].start) * strides_[i];
+  }
+  return idx;
+}
+
+Coords DenseArray::CoordsOf(std::int64_t linear_index) const {
+  Coords coords(schema_.num_dims());
+  for (std::size_t i = 0; i < schema_.num_dims(); ++i) {
+    coords[i] = schema_.dims()[i].start + (linear_index / strides_[i]);
+    linear_index %= strides_[i];
+  }
+  return coords;
+}
+
+std::int64_t DenseArray::PresentCount() const {
+  std::int64_t n = 0;
+  for (bool p : present_) {
+    if (p) ++n;
+  }
+  return n;
+}
+
+void DenseArray::ForEachPresent(
+    const std::function<void(std::int64_t, const Coords&)>& fn) const {
+  std::int64_t total = schema_.cell_count();
+  for (std::int64_t i = 0; i < total; ++i) {
+    if (present_[static_cast<std::size_t>(i)]) fn(i, CoordsOf(i));
+  }
+}
+
+std::size_t DenseArray::MemoryUsageBytes() const {
+  std::size_t bytes = present_.size() / 8;
+  for (const auto& buf : data_) bytes += buf.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace fc::array

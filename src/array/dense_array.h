@@ -1,0 +1,94 @@
+// DenseArray: in-memory dense storage for one array.
+//
+// Cells are stored row-major over the dimension order. Each cell is either
+// empty (SciDB-style) or carries one double per attribute. A shared validity
+// bitmap marks emptiness per cell (all attributes of a cell are present or
+// absent together, as in SciDB's cell model).
+
+#ifndef FORECACHE_ARRAY_DENSE_ARRAY_H_
+#define FORECACHE_ARRAY_DENSE_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "array/schema.h"
+#include "common/result.h"
+
+namespace fc::array {
+
+using Coords = std::vector<std::int64_t>;
+
+/// Dense multi-attribute array. Move-only-cheap, copyable when needed.
+class DenseArray {
+ public:
+  /// Creates an array with all cells empty and attribute values zeroed.
+  explicit DenseArray(ArraySchema schema);
+
+  const ArraySchema& schema() const { return schema_; }
+
+  // -- Checked accessors (public API) ---------------------------------------
+
+  /// Value of attribute `attr` at `coords`. OutOfRange/NotFound on bad input;
+  /// FailedPrecondition if the cell is empty.
+  Result<double> Get(const Coords& coords, std::size_t attr) const;
+
+  /// Sets attribute `attr` at `coords` and marks the cell non-empty.
+  Status Set(const Coords& coords, std::size_t attr, double value);
+
+  /// Sets all attributes of the cell at once and marks it non-empty.
+  Status SetCell(const Coords& coords, const std::vector<double>& values);
+
+  /// Marks the cell at `coords` empty.
+  Status Erase(const Coords& coords);
+
+  /// True if the cell at `coords` holds values. False for out-of-box coords.
+  bool IsPresent(const Coords& coords) const;
+
+  // -- Unchecked fast paths (internal hot loops) -----------------------------
+
+  /// Linear row-major index of `coords`. Precondition: coords in box.
+  std::int64_t LinearIndex(const Coords& coords) const;
+
+  /// Inverse of LinearIndex.
+  Coords CoordsOf(std::int64_t linear_index) const;
+
+  double GetLinear(std::int64_t idx, std::size_t attr) const {
+    return data_[attr][static_cast<std::size_t>(idx)];
+  }
+  void SetLinear(std::int64_t idx, std::size_t attr, double value) {
+    data_[attr][static_cast<std::size_t>(idx)] = value;
+    present_[static_cast<std::size_t>(idx)] = true;
+  }
+  bool PresentLinear(std::int64_t idx) const {
+    return present_[static_cast<std::size_t>(idx)];
+  }
+  void ErasePresentLinear(std::int64_t idx) {
+    present_[static_cast<std::size_t>(idx)] = false;
+  }
+
+  /// Number of non-empty cells.
+  std::int64_t PresentCount() const;
+
+  /// Calls fn(linear_index, coords) for every non-empty cell, row-major.
+  void ForEachPresent(
+      const std::function<void(std::int64_t, const Coords&)>& fn) const;
+
+  /// Raw attribute buffer (size = cell_count), for bulk readers.
+  const std::vector<double>& AttrData(std::size_t attr) const { return data_[attr]; }
+
+  /// Approximate resident bytes (attribute buffers + validity bitmap).
+  std::size_t MemoryUsageBytes() const;
+
+ private:
+  Status CheckCoords(const Coords& coords, std::size_t attr) const;
+
+  ArraySchema schema_;
+  std::vector<std::vector<double>> data_;  // [attr][linear cell index]
+  std::vector<bool> present_;              // [linear cell index]
+  std::vector<std::int64_t> strides_;      // row-major strides per dimension
+};
+
+}  // namespace fc::array
+
+#endif  // FORECACHE_ARRAY_DENSE_ARRAY_H_

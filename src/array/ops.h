@@ -1,0 +1,73 @@
+// Query operators over DenseArray — the engine's logical algebra.
+//
+// These mirror the SciDB operators ForeCache relies on (paper sections 2.3,
+// 5.1.2): subarray, regrid (window aggregation for zoom levels), apply (UDF,
+// e.g. NDSI), join (positional equi-join on dimensions), and filter.
+// Operators are pure: they return new arrays and never mutate inputs.
+
+#ifndef FORECACHE_ARRAY_OPS_H_
+#define FORECACHE_ARRAY_OPS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "common/result.h"
+
+namespace fc::array {
+
+/// Aggregate applied per regrid window.
+enum class AggKind { kAvg, kSum, kMin, kMax, kCount };
+
+std::string_view AggKindToString(AggKind kind);
+
+/// Extracts the box [low, high] (inclusive, per dimension) as a new array
+/// whose dimensions start at the same coordinates. Attributes are copied.
+Result<DenseArray> Subarray(const DenseArray& in, const Coords& low,
+                            const Coords& high);
+
+/// Window aggregation: partitions the array into windows of size
+/// `intervals[dim]` along each dimension, producing one output cell per
+/// window. Empty input cells are excluded from aggregates; a window with no
+/// present cells yields an empty output cell. Output dimension `i` has
+/// length ceil(in_len / intervals[i]) and starts at 0.
+///
+/// All attributes are aggregated with the same `kind` (use RegridMulti for
+/// per-attribute kinds).
+Result<DenseArray> Regrid(const DenseArray& in, const std::vector<std::int64_t>& intervals,
+                          AggKind kind, std::string out_name);
+
+/// Regrid with one aggregate per attribute (kinds.size() == num_attrs).
+Result<DenseArray> RegridMulti(const DenseArray& in,
+                               const std::vector<std::int64_t>& intervals,
+                               const std::vector<AggKind>& kinds,
+                               std::string out_name);
+
+/// Scalar UDF applied per present cell; receives the cell's attribute values
+/// in schema order, returns the new attribute value.
+using CellUdf = std::function<double(const std::vector<double>&)>;
+
+/// Appends attribute `new_attr` computed by `udf` over each present cell.
+Result<DenseArray> Apply(const DenseArray& in, const std::string& new_attr,
+                         const CellUdf& udf);
+
+/// Positional equi-join on dimensions (SciDB `join`): inputs must have
+/// identical dimension boxes. Output carries the attributes of `a` followed
+/// by those of `b` (names deduplicated with a suffix); a cell is present iff
+/// present in both inputs.
+Result<DenseArray> Join(const DenseArray& a, const DenseArray& b,
+                        std::string out_name);
+
+/// Keeps only cells where `pred` returns true; other cells become empty.
+using CellPredicate = std::function<bool(const std::vector<double>&)>;
+Result<DenseArray> Filter(const DenseArray& in, const CellPredicate& pred,
+                          std::string out_name);
+
+/// Aggregates one attribute over the whole array (ignoring empty cells).
+/// kCount returns the number of present cells regardless of `attr`.
+Result<double> AggregateAll(const DenseArray& in, std::size_t attr, AggKind kind);
+
+}  // namespace fc::array
+
+#endif  // FORECACHE_ARRAY_OPS_H_

@@ -1,0 +1,106 @@
+#include "array/schema.h"
+
+#include <set>
+
+#include "common/string_utils.h"
+
+namespace fc::array {
+
+ArraySchema::ArraySchema(std::string name, std::vector<Dimension> dims,
+                         std::vector<Attribute> attrs)
+    : name_(std::move(name)), dims_(std::move(dims)), attrs_(std::move(attrs)) {}
+
+Result<ArraySchema> ArraySchema::Make(std::string name, std::vector<Dimension> dims,
+                                      std::vector<Attribute> attrs) {
+  if (name.empty()) return Status::InvalidArgument("array name must be non-empty");
+  if (dims.empty()) return Status::InvalidArgument("array needs at least 1 dimension");
+  if (attrs.empty()) return Status::InvalidArgument("array needs at least 1 attribute");
+  std::set<std::string> seen;
+  for (auto& d : dims) {
+    if (d.name.empty()) return Status::InvalidArgument("dimension name must be non-empty");
+    if (!seen.insert(d.name).second) {
+      return Status::InvalidArgument("duplicate dimension name: " + d.name);
+    }
+    if (d.length <= 0) {
+      return Status::InvalidArgument("dimension " + d.name + " must have length > 0");
+    }
+    if (d.chunk_interval <= 0) d.chunk_interval = d.length;
+  }
+  std::set<std::string> seen_attrs;
+  for (const auto& a : attrs) {
+    if (a.name.empty()) return Status::InvalidArgument("attribute name must be non-empty");
+    if (!seen_attrs.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+  }
+  return ArraySchema(std::move(name), std::move(dims), std::move(attrs));
+}
+
+std::int64_t ArraySchema::cell_count() const {
+  std::int64_t n = 1;
+  for (const auto& d : dims_) n *= d.length;
+  return n;
+}
+
+std::int64_t ArraySchema::chunk_count() const {
+  std::int64_t n = 1;
+  for (const auto& d : dims_) {
+    n *= (d.length + d.chunk_interval - 1) / d.chunk_interval;
+  }
+  return n;
+}
+
+Result<std::size_t> ArraySchema::AttrIndex(std::string_view attr_name) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == attr_name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(attr_name) +
+                          "' in array " + name_);
+}
+
+Result<std::size_t> ArraySchema::DimIndex(std::string_view dim_name) const {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].name == dim_name) return i;
+  }
+  return Status::NotFound("no dimension named '" + std::string(dim_name) +
+                          "' in array " + name_);
+}
+
+bool ArraySchema::Contains(const std::vector<std::int64_t>& coords) const {
+  if (coords.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (coords[i] < dims_[i].start || coords[i] > dims_[i].end()) return false;
+  }
+  return true;
+}
+
+bool ArraySchema::SameShape(const ArraySchema& other) const {
+  if (dims_.size() != other.dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].start != other.dims_[i].start ||
+        dims_[i].length != other.dims_[i].length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ArraySchema::ToString() const {
+  std::string out = name_ + "(";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attrs_[i].name;
+  }
+  out += ")[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%s=%lld:%lld,%lld", dims_[i].name.c_str(),
+                     static_cast<long long>(dims_[i].start),
+                     static_cast<long long>(dims_[i].end()),
+                     static_cast<long long>(dims_[i].chunk_interval));
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fc::array

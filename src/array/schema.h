@@ -1,0 +1,83 @@
+// Array schemas for the embedded array engine (the SciDB stand-in).
+//
+// An array has:
+//  * an ordered list of named dimensions, each with an origin, a length, and
+//    a chunk interval (how many cells per storage chunk along the dimension);
+//  * an ordered list of named attributes; every non-empty cell stores one
+//    double per attribute (ForeCache datasets are numeric, paper section 2.1).
+
+#ifndef FORECACHE_ARRAY_SCHEMA_H_
+#define FORECACHE_ARRAY_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fc::array {
+
+/// One array dimension, e.g. {"latitude", 0, 4096, 256}.
+struct Dimension {
+  std::string name;
+  std::int64_t start = 0;        ///< Lowest coordinate value.
+  std::int64_t length = 0;       ///< Number of cells along this dimension.
+  std::int64_t chunk_interval = 0;  ///< Cells per chunk (<=0 means = length).
+
+  std::int64_t end() const { return start + length - 1; }  ///< Inclusive.
+};
+
+/// One array attribute. All attributes are IEEE doubles.
+struct Attribute {
+  std::string name;
+};
+
+/// Immutable-after-validation description of an array's shape.
+class ArraySchema {
+ public:
+  ArraySchema() = default;
+  ArraySchema(std::string name, std::vector<Dimension> dims,
+              std::vector<Attribute> attrs);
+
+  /// Validates names (non-empty, unique) and extents (positive lengths).
+  /// Defaults chunk_interval to the dimension length when <= 0.
+  static Result<ArraySchema> Make(std::string name, std::vector<Dimension> dims,
+                                  std::vector<Attribute> attrs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Dimension>& dims() const { return dims_; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+  std::size_t num_dims() const { return dims_.size(); }
+  std::size_t num_attrs() const { return attrs_.size(); }
+
+  /// Total number of logical cells (product of dimension lengths).
+  std::int64_t cell_count() const;
+
+  /// Total number of storage chunks (product of per-dim chunk counts).
+  std::int64_t chunk_count() const;
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<std::size_t> AttrIndex(std::string_view attr_name) const;
+
+  /// Index of the dimension named `name`, or NotFound.
+  Result<std::size_t> DimIndex(std::string_view dim_name) const;
+
+  /// True if `coords` (one per dimension) lies inside the array box.
+  bool Contains(const std::vector<std::int64_t>& coords) const;
+
+  /// True if the two schemas have identical dimension boxes (names ignored);
+  /// required for positional joins.
+  bool SameShape(const ArraySchema& other) const;
+
+  /// Human-readable form: name(attr,...)[dim=start:end,chunk ...].
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<Dimension> dims_;
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace fc::array
+
+#endif  // FORECACHE_ARRAY_SCHEMA_H_

@@ -1,0 +1,94 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fc {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += CsvEscape(fields[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvParseLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        current += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+        ++i;
+      } else {
+        current += c;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    out << CsvRow(row) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    FC_ASSIGN_OR_RETURN(auto fields, CsvParseLine(line));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace fc

@@ -1,0 +1,33 @@
+// Tiny CSV reader/writer used for trace logs and experiment output.
+// Handles quoting of fields containing commas, quotes, or newlines.
+
+#ifndef FORECACHE_COMMON_CSV_H_
+#define FORECACHE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fc {
+
+/// Escapes one CSV field (adds quotes only when needed).
+std::string CsvEscape(const std::string& field);
+
+/// Renders one CSV row (no trailing newline).
+std::string CsvRow(const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields; understands quoted fields with doubled
+/// quotes. Returns InvalidArgument on an unterminated quote.
+Result<std::vector<std::string>> CsvParseLine(const std::string& line);
+
+/// Writes rows (each a vector of fields) to `path`, overwriting.
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Reads all rows from `path`. Empty lines are skipped.
+Result<std::vector<std::vector<std::string>>> CsvReadFile(const std::string& path);
+
+}  // namespace fc
+
+#endif  // FORECACHE_COMMON_CSV_H_

@@ -1,0 +1,65 @@
+// Minimal leveled logging + invariant checks.
+
+#ifndef FORECACHE_COMMON_LOGGING_H_
+#define FORECACHE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Consumes a LogMessage stream when the level is suppressed.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace internal
+}  // namespace fc
+
+#define FC_LOG_INTERNAL(level) \
+  ::fc::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define FC_LOG(severity) \
+  FC_LOG_##severity
+
+#define FC_LOG_DEBUG FC_LOG_INTERNAL(::fc::LogLevel::kDebug)
+#define FC_LOG_INFO FC_LOG_INTERNAL(::fc::LogLevel::kInfo)
+#define FC_LOG_WARNING FC_LOG_INTERNAL(::fc::LogLevel::kWarning)
+#define FC_LOG_ERROR FC_LOG_INTERNAL(::fc::LogLevel::kError)
+
+/// Aborts with a diagnostic if `condition` is false. Active in all builds:
+/// these guard internal invariants whose violation would corrupt results.
+#define FC_CHECK(condition)                                              \
+  while (!(condition))                                                   \
+  ::fc::internal::CheckFailed(__FILE__, __LINE__, #condition, "")
+
+#define FC_CHECK_MSG(condition, msg)                                     \
+  while (!(condition))                                                   \
+  ::fc::internal::CheckFailed(__FILE__, __LINE__, #condition, (msg))
+
+#endif  // FORECACHE_COMMON_LOGGING_H_

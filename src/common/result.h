@@ -1,0 +1,85 @@
+// Result<T>: a Status or a value, never both.
+
+#ifndef FORECACHE_COMMON_RESULT_H_
+#define FORECACHE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fc {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Use `FC_ASSIGN_OR_RETURN(auto v, MaybeProduce())` in functions that
+/// themselves return Status/Result to propagate errors.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a Status: failure. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+namespace internal {
+// ConsumeResultValue moves the value out of an rvalue Result.
+template <typename T>
+T ConsumeResultValue(Result<T>&& result) {
+  return std::move(result).value();
+}
+}  // namespace internal
+
+}  // namespace fc
+
+#define FC_RESULT_CONCAT_INNER_(a, b) a##b
+#define FC_RESULT_CONCAT_(a, b) FC_RESULT_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define FC_ASSIGN_OR_RETURN(lhs, rexpr)                                     \
+  auto FC_RESULT_CONCAT_(_fc_result_, __LINE__) = (rexpr);                  \
+  if (!FC_RESULT_CONCAT_(_fc_result_, __LINE__).ok())                       \
+    return FC_RESULT_CONCAT_(_fc_result_, __LINE__).status();               \
+  lhs = ::fc::internal::ConsumeResultValue(                                 \
+      std::move(FC_RESULT_CONCAT_(_fc_result_, __LINE__)))
+
+#endif  // FORECACHE_COMMON_RESULT_H_

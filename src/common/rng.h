@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in ForeCache (terrain synthesis, user agents,
+// k-means init, SMO shuffling, latency jitter) receives an explicit Rng so
+// experiments are bit-reproducible. There is deliberately no global RNG.
+
+#ifndef FORECACHE_COMMON_RNG_H_
+#define FORECACHE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fc {
+
+/// PCG32 (O'Neill 2014): small, fast, statistically strong 32-bit generator.
+class Rng {
+ public:
+  /// Seeds the generator. Distinct (seed, stream) pairs give independent
+  /// sequences; `stream` selects one of 2^63 sequences.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Next uniform 32-bit value.
+  std::uint32_t NextUint32();
+
+  /// Next uniform 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound), bias-free. Precondition: bound > 0.
+  std::uint32_t UniformUint32(std::uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int UniformInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached spare).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Draws an index in [0, weights.size()) proportionally to `weights`.
+  /// Non-positive weights are treated as zero; if all weights are zero,
+  /// returns uniform. Precondition: !weights.empty().
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (std::size_t i = v->size() - 1; i > 0; --i) {
+      std::size_t j = UniformUint32(static_cast<std::uint32_t>(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-entity seeding).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// SplitMix64 hash: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used to derive stable seeds from (experiment, user, task) coordinates.
+std::uint64_t HashSeed(std::uint64_t x);
+
+/// Combines two seed components into one (order-sensitive).
+std::uint64_t CombineSeeds(std::uint64_t a, std::uint64_t b);
+
+}  // namespace fc
+
+#endif  // FORECACHE_COMMON_RNG_H_

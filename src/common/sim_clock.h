@@ -1,0 +1,58 @@
+// Virtual time for latency simulation.
+//
+// Latency experiments replay thousands of tile requests whose simulated
+// service times sum to minutes of "user time"; SimClock advances a virtual
+// microsecond counter instead of sleeping, so the full experiment grid runs
+// in real seconds while preserving all latency arithmetic.
+
+#ifndef FORECACHE_COMMON_SIM_CLOCK_H_
+#define FORECACHE_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace fc {
+
+/// Monotonic virtual clock, microsecond resolution.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current virtual time in microseconds since construction.
+  std::int64_t NowMicros() const { return now_micros_; }
+
+  /// Current virtual time in (fractional) milliseconds.
+  double NowMillis() const { return static_cast<double>(now_micros_) / 1000.0; }
+
+  /// Advances the clock. Negative durations are ignored.
+  void AdvanceMicros(std::int64_t micros) {
+    if (micros > 0) now_micros_ += micros;
+  }
+
+  void AdvanceMillis(double millis) {
+    AdvanceMicros(static_cast<std::int64_t>(millis * 1000.0));
+  }
+
+  /// Resets to time zero.
+  void Reset() { now_micros_ = 0; }
+
+ private:
+  std::int64_t now_micros_ = 0;
+};
+
+/// A scoped stopwatch over a SimClock: measures virtual elapsed time.
+class SimStopwatch {
+ public:
+  explicit SimStopwatch(const SimClock& clock)
+      : clock_(clock), start_micros_(clock.NowMicros()) {}
+
+  std::int64_t ElapsedMicros() const { return clock_.NowMicros() - start_micros_; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedMicros()) / 1000.0; }
+
+ private:
+  const SimClock& clock_;
+  std::int64_t start_micros_;
+};
+
+}  // namespace fc
+
+#endif  // FORECACHE_COMMON_SIM_CLOCK_H_

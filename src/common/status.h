@@ -1,0 +1,111 @@
+// Status: the error-handling currency of ForeCache.
+//
+// Public APIs in this codebase do not throw exceptions across library
+// boundaries (RocksDB/Arrow idiom). Fallible operations return fc::Status, or
+// fc::Result<T> (see result.h) when they also produce a value.
+
+#ifndef FORECACHE_COMMON_STATUS_H_
+#define FORECACHE_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace fc {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kIoError = 7,
+  kCorruption = 8,
+  kNotImplemented = 9,
+  kInternal = 10,
+};
+
+/// Returns the canonical lower-case name of a StatusCode ("ok", "not found"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success-or-error value.
+///
+/// The OK state carries no allocation; error states carry a code plus a
+/// human-readable message. Statuses are comparable by code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status IoError(std::string msg);
+  static Status Corruption(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// The error message; empty for OK.
+  std::string_view message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the message, preserving the code. No-op for OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. Errors are rare; OK stays allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace fc
+
+/// Propagates a non-OK Status to the caller.
+#define FC_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::fc::Status _fc_status = (expr);            \
+    if (!_fc_status.ok()) return _fc_status;     \
+  } while (false)
+
+#endif  // FORECACHE_COMMON_STATUS_H_

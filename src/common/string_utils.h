@@ -1,0 +1,37 @@
+// String helpers: splitting, joining, trimming, and printf-style formatting.
+
+#ifndef FORECACHE_COMMON_STRING_UTILS_H_
+#define FORECACHE_COMMON_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fc {
+
+/// Splits on a single-character delimiter. Adjacent delimiters yield empty
+/// fields; an empty input yields one empty field.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins parts with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses an integer/double, rejecting trailing garbage.
+Result<long long> ParseInt(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace fc
+
+#endif  // FORECACHE_COMMON_STRING_UTILS_H_

@@ -1,0 +1,49 @@
+// Action-Based (AB) recommender: an n-th-order Kneser-Ney Markov chain over
+// the user's recent moves (paper section 4.3.2, Algorithm 2).
+
+#ifndef FORECACHE_CORE_AB_RECOMMENDER_H_
+#define FORECACHE_CORE_AB_RECOMMENDER_H_
+
+#include <memory>
+
+#include "core/recommender.h"
+#include "markov/markov_chain.h"
+
+namespace fc::core {
+
+struct AbRecommenderOptions {
+  /// History length n: states are length-n move sequences. The paper found
+  /// n = 3 ("Markov3") the sweet spot (section 5.4.2).
+  std::size_t history_length = 3;
+  double kneser_ney_discount = 0.75;
+};
+
+class AbRecommender : public Recommender {
+ public:
+  /// InvalidArgument propagated from the underlying chain on bad options.
+  static Result<AbRecommender> Make(AbRecommenderOptions options = {});
+
+  std::string_view name() const override { return "ab"; }
+
+  /// Algorithm 2: accumulates transition frequencies from every trace's
+  /// move sequence, then applies Kneser-Ney smoothing.
+  Status Train(const std::vector<Trace>& traces) override;
+
+  /// Ranks candidates by the smoothed probability of the move that reaches
+  /// them from ctx.request.tile, given the recent move history.
+  Result<RankedTiles> Recommend(const PredictionContext& ctx) const override;
+
+  /// P(move | recent history) — exposed for tests and ablations.
+  double MoveProbability(const SessionHistory& history, Move move) const;
+
+  const markov::MarkovChain& chain() const { return *chain_; }
+
+ private:
+  explicit AbRecommender(markov::MarkovChain chain);
+
+  std::shared_ptr<markov::MarkovChain> chain_;  // shared: recommender is copyable
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_AB_RECOMMENDER_H_

@@ -1,0 +1,60 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fc::core {
+
+Allocation PhaseAllocationStrategy::Allocate(AnalysisPhase phase,
+                                             std::size_t k) const {
+  Allocation a;
+  switch (phase) {
+    case AnalysisPhase::kNavigation:
+      a.ab_slots = k;
+      a.sb_slots = 0;
+      a.ab_first = true;
+      break;
+    case AnalysisPhase::kSensemaking:
+      a.ab_slots = 0;
+      a.sb_slots = k;
+      a.ab_first = false;
+      break;
+    case AnalysisPhase::kForaging:
+      a.ab_slots = (k + 1) / 2;  // equal split, AB takes the odd slot
+      a.sb_slots = k / 2;
+      a.ab_first = true;
+      break;
+  }
+  return a;
+}
+
+Allocation HybridAllocationStrategy::Allocate(AnalysisPhase phase,
+                                              std::size_t k) const {
+  Allocation a;
+  if (phase == AnalysisPhase::kSensemaking) {
+    a.ab_slots = 0;
+    a.sb_slots = k;
+    a.ab_first = false;
+    return a;
+  }
+  a.ab_slots = std::min(ab_head_, k);
+  a.sb_slots = k - a.ab_slots;
+  a.ab_first = true;
+  return a;
+}
+
+FixedAllocationStrategy::FixedAllocationStrategy(std::string_view name,
+                                                 double ab_fraction)
+    : name_(name), ab_fraction_(std::clamp(ab_fraction, 0.0, 1.0)) {}
+
+Allocation FixedAllocationStrategy::Allocate(AnalysisPhase, std::size_t k) const {
+  Allocation a;
+  a.ab_slots = static_cast<std::size_t>(
+      std::llround(ab_fraction_ * static_cast<double>(k)));
+  a.ab_slots = std::min(a.ab_slots, k);
+  a.sb_slots = k - a.ab_slots;
+  a.ab_first = ab_fraction_ >= 0.5;
+  return a;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,66 @@
+// Cache allocation strategies: how the per-request prefetch budget `k` is
+// split between the AB and SB recommenders given the predicted analysis
+// phase (paper section 4.4, refined by the observed results in 5.4.3).
+
+#ifndef FORECACHE_CORE_ALLOCATION_H_
+#define FORECACHE_CORE_ALLOCATION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/request.h"
+
+namespace fc::core {
+
+/// How many of the k prefetch slots each model may fill, and which model's
+/// predictions take priority when interleaving.
+struct Allocation {
+  std::size_t ab_slots = 0;
+  std::size_t sb_slots = 0;
+  bool ab_first = true;  ///< AB's list is consumed before SB's.
+};
+
+class AllocationStrategy {
+ public:
+  virtual ~AllocationStrategy() = default;
+  virtual std::string_view name() const = 0;
+  virtual Allocation Allocate(AnalysisPhase phase, std::size_t k) const = 0;
+};
+
+/// Paper section 4.4: Navigation -> all AB; Sensemaking -> all SB;
+/// Foraging -> equal split.
+class PhaseAllocationStrategy : public AllocationStrategy {
+ public:
+  std::string_view name() const override { return "phase"; }
+  Allocation Allocate(AnalysisPhase phase, std::size_t k) const override;
+};
+
+/// Paper section 5.4.3 (the final engine, tuned on observed accuracies):
+/// Sensemaking -> SB only; otherwise the first min(4, k) predictions come
+/// from AB and the remaining k-4 from SB.
+class HybridAllocationStrategy : public AllocationStrategy {
+ public:
+  explicit HybridAllocationStrategy(std::size_t ab_head = 4) : ab_head_(ab_head) {}
+  std::string_view name() const override { return "hybrid"; }
+  Allocation Allocate(AnalysisPhase phase, std::size_t k) const override;
+
+ private:
+  std::size_t ab_head_;
+};
+
+/// Ablation strategies: a fixed split regardless of phase.
+class FixedAllocationStrategy : public AllocationStrategy {
+ public:
+  /// `ab_fraction` in [0,1]: share of k given to AB (1 = AB only).
+  FixedAllocationStrategy(std::string_view name, double ab_fraction);
+  std::string_view name() const override { return name_; }
+  Allocation Allocate(AnalysisPhase phase, std::size_t k) const override;
+
+ private:
+  std::string name_;
+  double ab_fraction_;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_ALLOCATION_H_

@@ -1,0 +1,101 @@
+#include "core/baseline_recommenders.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace fc::core {
+
+namespace {
+
+// Sorts candidates by descending score with stable index tiebreak.
+RankedTiles RankByScore(const std::vector<tiles::TileKey>& candidates,
+                        const std::vector<double>& scores) {
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  RankedTiles out;
+  out.reserve(candidates.size());
+  for (std::size_t i : order) out.push_back(candidates[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> MomentumRecommender::Scores(const PredictionContext& ctx) {
+  constexpr double kRepeatProbability = 0.9;
+  constexpr double kOtherProbability = 0.0125;
+  std::vector<double> scores(ctx.candidates.size(), kOtherProbability);
+  if (!ctx.request.move.has_value() || ctx.spec == nullptr) return scores;
+  auto repeat_target = ApplyMove(ctx.request.tile, *ctx.request.move, *ctx.spec);
+  if (!repeat_target.has_value()) return scores;
+  for (std::size_t i = 0; i < ctx.candidates.size(); ++i) {
+    if (ctx.candidates[i] == *repeat_target) scores[i] = kRepeatProbability;
+  }
+  return scores;
+}
+
+Result<RankedTiles> MomentumRecommender::Recommend(
+    const PredictionContext& ctx) const {
+  if (ctx.spec == nullptr) {
+    return Status::InvalidArgument("momentum: prediction context missing spec");
+  }
+  return RankByScore(ctx.candidates, Scores(ctx));
+}
+
+HotspotRecommender::HotspotRecommender(HotspotRecommenderOptions options)
+    : options_(options) {}
+
+Status HotspotRecommender::Train(const std::vector<Trace>& traces) {
+  std::map<tiles::TileKey, std::size_t> counts;
+  for (const auto& trace : traces) {
+    for (const auto& rec : trace.records) {
+      ++counts[rec.request.tile];
+    }
+  }
+  std::vector<std::pair<tiles::TileKey, std::size_t>> ranked(counts.begin(),
+                                                             counts.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  hotspots_.clear();
+  for (std::size_t i = 0; i < ranked.size() && i < options_.num_hotspots; ++i) {
+    hotspots_.push_back(ranked[i].first);
+  }
+  return Status::OK();
+}
+
+Result<RankedTiles> HotspotRecommender::Recommend(const PredictionContext& ctx) const {
+  if (ctx.spec == nullptr) {
+    return Status::InvalidArgument("hotspot: prediction context missing spec");
+  }
+  auto scores = MomentumRecommender::Scores(ctx);
+
+  // Nearest hotspot to the current tile.
+  const tiles::TileKey* nearest = nullptr;
+  std::int64_t nearest_dist = std::numeric_limits<std::int64_t>::max();
+  for (const auto& h : hotspots_) {
+    std::int64_t d = tiles::TileKey::ManhattanDistance(ctx.request.tile, h);
+    if (d < nearest_dist) {
+      nearest_dist = d;
+      nearest = &h;
+    }
+  }
+
+  // Far from every hotspot: pure Momentum behavior.
+  if (nearest != nullptr && nearest_dist <= options_.nearby_distance) {
+    for (std::size_t i = 0; i < ctx.candidates.size(); ++i) {
+      std::int64_t cand_dist =
+          tiles::TileKey::ManhattanDistance(ctx.candidates[i], *nearest);
+      if (cand_dist < nearest_dist) {
+        scores[i] += options_.boost;  // approaches the hotspot: rank higher
+      } else if (cand_dist > nearest_dist) {
+        scores[i] -= options_.boost * 0.01;  // walks away: rank lower
+      }
+    }
+  }
+  return RankByScore(ctx.candidates, scores);
+}
+
+}  // namespace fc::core

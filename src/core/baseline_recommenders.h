@@ -1,0 +1,57 @@
+// Baseline prefetchers from the literature (paper section 5.2.3, after
+// Doshi et al.): Momentum and Hotspot. ForeCache is evaluated against both.
+
+#ifndef FORECACHE_CORE_BASELINE_RECOMMENDERS_H_
+#define FORECACHE_CORE_BASELINE_RECOMMENDERS_H_
+
+#include <vector>
+
+#include "core/recommender.h"
+
+namespace fc::core {
+
+/// Momentum: "the user's next move will be the same as her previous move."
+/// The tile matching the previous move gets probability 0.9; the eight other
+/// candidates get 0.0125 each (a first-order Markov chain).
+class MomentumRecommender : public Recommender {
+ public:
+  MomentumRecommender() = default;
+
+  std::string_view name() const override { return "momentum"; }
+  Result<RankedTiles> Recommend(const PredictionContext& ctx) const override;
+
+  /// The momentum probability assigned to each candidate (for Hotspot reuse).
+  static std::vector<double> Scores(const PredictionContext& ctx);
+};
+
+struct HotspotRecommenderOptions {
+  std::size_t num_hotspots = 8;      ///< Top-N most requested training tiles.
+  std::int64_t nearby_distance = 4;  ///< Manhattan radius that activates boosts.
+  double boost = 1.0;                ///< Added to candidates approaching a hotspot.
+};
+
+/// Hotspot: Momentum plus awareness of popular tiles. Near a hotspot,
+/// candidates that bring the user closer to it rank higher; far from all
+/// hotspots it behaves exactly like Momentum.
+class HotspotRecommender : public Recommender {
+ public:
+  explicit HotspotRecommender(HotspotRecommenderOptions options = {});
+
+  std::string_view name() const override { return "hotspot"; }
+
+  /// Counts requests per tile across traces and keeps the most-requested
+  /// tiles as hotspots ("training took less than one second").
+  Status Train(const std::vector<Trace>& traces) override;
+
+  Result<RankedTiles> Recommend(const PredictionContext& ctx) const override;
+
+  const std::vector<tiles::TileKey>& hotspots() const { return hotspots_; }
+
+ private:
+  HotspotRecommenderOptions options_;
+  std::vector<tiles::TileKey> hotspots_;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_BASELINE_RECOMMENDERS_H_

@@ -1,0 +1,69 @@
+#include "core/cache_manager.h"
+
+namespace fc::core {
+
+CacheManager::CacheManager(storage::TileStore* store, CacheManagerOptions options)
+    : store_(store),
+      options_(options),
+      history_(options.history_capacity),
+      prefetch_(options.prefetch_capacity) {}
+
+Result<FetchOutcome> CacheManager::Request(const tiles::TileKey& key) {
+  ++requests_;
+  FetchOutcome outcome;
+
+  auto from_history = history_.Get(key);
+  if (from_history.ok()) {
+    outcome.tile = *from_history;
+    outcome.cache_hit = true;
+    ++cache_hits_;
+    return outcome;
+  }
+  auto from_prefetch = prefetch_.Get(key);
+  if (from_prefetch.ok()) {
+    outcome.tile = *from_prefetch;
+    outcome.cache_hit = true;
+    ++cache_hits_;
+    // Promote into the history region: the user actually viewed it.
+    history_.Put(key, outcome.tile);
+    return outcome;
+  }
+
+  FC_ASSIGN_OR_RETURN(outcome.tile, store_->Fetch(key));
+  outcome.cache_hit = false;
+  history_.Put(key, outcome.tile);
+  return outcome;
+}
+
+Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions) {
+  prefetch_.Clear();
+  std::size_t filled = 0;
+  for (const auto& key : predictions) {
+    if (filled >= options_.prefetch_capacity) break;
+    if (history_.Contains(key)) {
+      ++filled;  // already resident; the slot is effectively spent
+      continue;
+    }
+    FC_ASSIGN_OR_RETURN(auto tile, store_->Fetch(key));
+    prefetch_.Put(key, std::move(tile));
+    ++filled;
+  }
+  return Status::OK();
+}
+
+bool CacheManager::Cached(const tiles::TileKey& key) const {
+  return history_.Contains(key) || prefetch_.Contains(key);
+}
+
+void CacheManager::Clear() {
+  history_.Clear();
+  prefetch_.Clear();
+}
+
+double CacheManager::HitRate() const {
+  return requests_ == 0
+             ? 0.0
+             : static_cast<double>(cache_hits_) / static_cast<double>(requests_);
+}
+
+}  // namespace fc::core

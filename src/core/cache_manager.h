@@ -1,0 +1,69 @@
+// CacheManager: decides what lives in the middleware cache (paper section 3).
+//
+// Two regions back one user session:
+//  * a history LRU holding the last n requested tiles, and
+//  * a prefetch region, re-filled after every request from the prediction
+//    engine's ranked list (each recommendation model's share of the region
+//    is the allocation strategy's decision, applied upstream by the engine
+//    when it merges the two ranked lists).
+
+#ifndef FORECACHE_CORE_CACHE_MANAGER_H_
+#define FORECACHE_CORE_CACHE_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/tile_cache.h"
+#include "storage/tile_store.h"
+
+namespace fc::core {
+
+struct CacheManagerOptions {
+  std::size_t history_capacity = 8;  ///< Last-n-requests region (tiles).
+  std::size_t prefetch_capacity = 8; ///< Upper bound on the prefetch region.
+};
+
+/// Outcome of serving one tile request.
+struct FetchOutcome {
+  tiles::TilePtr tile;
+  bool cache_hit = false;  ///< Served from middleware memory (either region).
+};
+
+class CacheManager {
+ public:
+  /// `store` must outlive the manager.
+  CacheManager(storage::TileStore* store, CacheManagerOptions options = {});
+
+  /// Serves a client tile request: cache lookup first, then the backing
+  /// store. The returned tile is retained in the history region.
+  Result<FetchOutcome> Request(const tiles::TileKey& key);
+
+  /// Replaces the prefetch region with `predictions` (ranked, highest
+  /// priority first), fetching each tile from the backing store. Tiles
+  /// already cached are not re-fetched. Fetch failures abort the fill.
+  Status Prefetch(const std::vector<tiles::TileKey>& predictions);
+
+  /// True if either region holds the tile (no stats side effects).
+  bool Cached(const tiles::TileKey& key) const;
+
+  void Clear();
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  double HitRate() const;
+
+  const LruTileCache& history_cache() const { return history_; }
+  const LruTileCache& prefetch_cache() const { return prefetch_; }
+
+ private:
+  storage::TileStore* store_;
+  CacheManagerOptions options_;
+  LruTileCache history_;
+  LruTileCache prefetch_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_CACHE_MANAGER_H_

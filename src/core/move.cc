@@ -1,0 +1,117 @@
+#include "core/move.h"
+
+#include "common/logging.h"
+
+namespace fc::core {
+
+MoveClass ClassOf(Move move) {
+  switch (move) {
+    case Move::kPanLeft:
+    case Move::kPanRight:
+    case Move::kPanUp:
+    case Move::kPanDown:
+      return MoveClass::kPan;
+    case Move::kZoomOut:
+      return MoveClass::kZoomOut;
+    case Move::kZoomInNW:
+    case Move::kZoomInNE:
+    case Move::kZoomInSW:
+    case Move::kZoomInSE:
+      return MoveClass::kZoomIn;
+  }
+  return MoveClass::kPan;
+}
+
+bool IsPan(Move move) { return ClassOf(move) == MoveClass::kPan; }
+bool IsZoomIn(Move move) { return ClassOf(move) == MoveClass::kZoomIn; }
+bool IsZoomOut(Move move) { return ClassOf(move) == MoveClass::kZoomOut; }
+
+int ZoomQuadrant(Move move) {
+  FC_CHECK(IsZoomIn(move));
+  return static_cast<int>(move) - static_cast<int>(Move::kZoomInNW);
+}
+
+std::string_view MoveToString(Move move) {
+  switch (move) {
+    case Move::kPanLeft: return "left";
+    case Move::kPanRight: return "right";
+    case Move::kPanUp: return "up";
+    case Move::kPanDown: return "down";
+    case Move::kZoomOut: return "out";
+    case Move::kZoomInNW: return "in_nw";
+    case Move::kZoomInNE: return "in_ne";
+    case Move::kZoomInSW: return "in_sw";
+    case Move::kZoomInSE: return "in_se";
+  }
+  return "?";
+}
+
+Result<Move> MoveFromString(std::string_view name) {
+  for (Move m : AllMoves()) {
+    if (MoveToString(m) == name) return m;
+  }
+  return Status::InvalidArgument("unknown move: " + std::string(name));
+}
+
+const std::vector<Move>& AllMoves() {
+  static const std::vector<Move> kMoves = {
+      Move::kPanLeft,  Move::kPanRight, Move::kPanUp,
+      Move::kPanDown,  Move::kZoomOut,  Move::kZoomInNW,
+      Move::kZoomInNE, Move::kZoomInSW, Move::kZoomInSE,
+  };
+  return kMoves;
+}
+
+std::optional<tiles::TileKey> ApplyMove(const tiles::TileKey& from, Move move,
+                                        const tiles::PyramidSpec& spec) {
+  tiles::TileKey to = from;
+  switch (move) {
+    case Move::kPanLeft: to = from.Shifted(-1, 0); break;
+    case Move::kPanRight: to = from.Shifted(1, 0); break;
+    case Move::kPanUp: to = from.Shifted(0, -1); break;
+    case Move::kPanDown: to = from.Shifted(0, 1); break;
+    case Move::kZoomOut:
+      if (from.level == 0) return std::nullopt;
+      to = from.Parent();
+      break;
+    case Move::kZoomInNW:
+    case Move::kZoomInNE:
+    case Move::kZoomInSW:
+    case Move::kZoomInSE:
+      if (from.level + 1 >= spec.num_levels) return std::nullopt;
+      to = from.Child(ZoomQuadrant(move));
+      break;
+  }
+  if (!spec.Valid(to)) return std::nullopt;
+  return to;
+}
+
+std::optional<Move> MoveBetween(const tiles::TileKey& from,
+                                const tiles::TileKey& to) {
+  if (to.level == from.level) {
+    if (to.y == from.y && to.x == from.x - 1) return Move::kPanLeft;
+    if (to.y == from.y && to.x == from.x + 1) return Move::kPanRight;
+    if (to.x == from.x && to.y == from.y - 1) return Move::kPanUp;
+    if (to.x == from.x && to.y == from.y + 1) return Move::kPanDown;
+    return std::nullopt;
+  }
+  if (to.level == from.level - 1 && from.level > 0 && from.Parent() == to) {
+    return Move::kZoomOut;
+  }
+  if (to.level == from.level + 1 && to.Parent() == from) {
+    int q = to.QuadrantInParent();
+    return static_cast<Move>(static_cast<int>(Move::kZoomInNW) + q);
+  }
+  return std::nullopt;
+}
+
+std::vector<Move> ValidMoves(const tiles::TileKey& from,
+                             const tiles::PyramidSpec& spec) {
+  std::vector<Move> moves;
+  for (Move m : AllMoves()) {
+    if (ApplyMove(from, m, spec).has_value()) moves.push_back(m);
+  }
+  return moves;
+}
+
+}  // namespace fc::core

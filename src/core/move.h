@@ -1,0 +1,65 @@
+// The 9-move interaction vocabulary (paper section 5.2.2): zoom out, four
+// pans, and four quadrant zoom-ins. "At k = 9, we are guaranteed to prefetch
+// the correct tile, because the interface only supports nine different
+// moves."
+
+#ifndef FORECACHE_CORE_MOVE_H_
+#define FORECACHE_CORE_MOVE_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+enum class Move : int {
+  kPanLeft = 0,
+  kPanRight = 1,
+  kPanUp = 2,
+  kPanDown = 3,
+  kZoomOut = 4,
+  kZoomInNW = 5,  ///< Zoom into child quadrant 0 (north-west).
+  kZoomInNE = 6,  ///< quadrant 1
+  kZoomInSW = 7,  ///< quadrant 2
+  kZoomInSE = 8,  ///< quadrant 3
+};
+
+inline constexpr int kNumMoves = 9;
+
+/// Coarse classification used by the phase features and ROI tracking.
+enum class MoveClass { kPan, kZoomIn, kZoomOut };
+
+MoveClass ClassOf(Move move);
+bool IsPan(Move move);
+bool IsZoomIn(Move move);
+bool IsZoomOut(Move move);
+
+/// Quadrant (0..3) of a zoom-in move. Precondition: IsZoomIn(move).
+int ZoomQuadrant(Move move);
+
+std::string_view MoveToString(Move move);
+Result<Move> MoveFromString(std::string_view name);
+
+/// All nine moves, in enum order.
+const std::vector<Move>& AllMoves();
+
+/// The tile reached by applying `move` at `from`, or nullopt when the move
+/// leaves the pyramid (border pan, zoom past either end).
+std::optional<tiles::TileKey> ApplyMove(const tiles::TileKey& from, Move move,
+                                        const tiles::PyramidSpec& spec);
+
+/// The move leading from `from` to an adjacent `to`, or nullopt if they are
+/// not one move apart.
+std::optional<Move> MoveBetween(const tiles::TileKey& from,
+                                const tiles::TileKey& to);
+
+/// Moves that stay inside the pyramid from `from`.
+std::vector<Move> ValidMoves(const tiles::TileKey& from,
+                             const tiles::PyramidSpec& spec);
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_MOVE_H_

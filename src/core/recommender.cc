@@ -1,0 +1,33 @@
+#include "core/recommender.h"
+
+#include <set>
+
+namespace fc::core {
+
+Status Recommender::Train(const std::vector<Trace>&) { return Status::OK(); }
+
+std::vector<tiles::TileKey> CandidateTiles(const tiles::TileKey& from,
+                                           const tiles::PyramidSpec& spec, int d) {
+  std::vector<tiles::TileKey> result;
+  if (d <= 0) return result;
+  std::set<tiles::TileKey> seen;
+  seen.insert(from);
+  // BFS over the move graph to depth d; at d=1 this yields move-enum order.
+  std::vector<tiles::TileKey> frontier{from};
+  for (int depth = 0; depth < d; ++depth) {
+    std::vector<tiles::TileKey> next;
+    for (const auto& key : frontier) {
+      for (Move m : AllMoves()) {
+        auto to = ApplyMove(key, m, spec);
+        if (to.has_value() && seen.insert(*to).second) {
+          next.push_back(*to);
+          result.push_back(*to);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace fc::core

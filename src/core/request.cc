@@ -1,0 +1,115 @@
+#include "core/request.h"
+
+#include "common/csv.h"
+#include "common/string_utils.h"
+
+namespace fc::core {
+
+std::string_view AnalysisPhaseToString(AnalysisPhase phase) {
+  switch (phase) {
+    case AnalysisPhase::kForaging: return "foraging";
+    case AnalysisPhase::kSensemaking: return "sensemaking";
+    case AnalysisPhase::kNavigation: return "navigation";
+  }
+  return "?";
+}
+
+Result<AnalysisPhase> AnalysisPhaseFromString(std::string_view name) {
+  if (name == "foraging") return AnalysisPhase::kForaging;
+  if (name == "sensemaking") return AnalysisPhase::kSensemaking;
+  if (name == "navigation") return AnalysisPhase::kNavigation;
+  return Status::InvalidArgument("unknown phase: " + std::string(name));
+}
+
+SessionHistory::SessionHistory(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SessionHistory::Add(const TileRequest& request) {
+  entries_.push_back(request);
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void SessionHistory::Clear() { entries_.clear(); }
+
+std::optional<TileRequest> SessionHistory::Last() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.back();
+}
+
+std::vector<int> SessionHistory::MoveSymbols() const {
+  std::vector<int> symbols;
+  symbols.reserve(entries_.size());
+  for (const auto& r : entries_) {
+    if (r.move.has_value()) symbols.push_back(static_cast<int>(*r.move));
+  }
+  return symbols;
+}
+
+std::vector<int> Trace::MoveSymbols() const {
+  std::vector<int> symbols;
+  symbols.reserve(records.size());
+  for (const auto& rec : records) {
+    if (rec.request.move.has_value()) {
+      symbols.push_back(static_cast<int>(*rec.request.move));
+    }
+  }
+  return symbols;
+}
+
+Status WriteTracesCsv(const std::string& path, const std::vector<Trace>& traces) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"user_id", "task_id", "seq", "level", "x", "y", "move", "phase"});
+  for (const auto& trace : traces) {
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+      const auto& rec = trace.records[i];
+      rows.push_back({
+          trace.user_id,
+          StrFormat("%d", trace.task_id),
+          StrFormat("%zu", i),
+          StrFormat("%d", rec.request.tile.level),
+          StrFormat("%lld", static_cast<long long>(rec.request.tile.x)),
+          StrFormat("%lld", static_cast<long long>(rec.request.tile.y)),
+          rec.request.move ? std::string(MoveToString(*rec.request.move)) : "",
+          std::string(AnalysisPhaseToString(rec.phase)),
+      });
+    }
+  }
+  return CsvWriteFile(path, rows);
+}
+
+Result<std::vector<Trace>> ReadTracesCsv(const std::string& path) {
+  FC_ASSIGN_OR_RETURN(auto rows, CsvReadFile(path));
+  if (rows.empty()) return Status::InvalidArgument("empty trace file: " + path);
+  std::vector<Trace> traces;
+  // Rows are grouped by (user_id, task_id) in file order.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 8) {
+      return Status::Corruption(
+          StrFormat("trace row %zu has %zu fields, want 8", i, row.size()));
+    }
+    FC_ASSIGN_OR_RETURN(auto task_id, ParseInt(row[1]));
+    FC_ASSIGN_OR_RETURN(auto level, ParseInt(row[3]));
+    FC_ASSIGN_OR_RETURN(auto x, ParseInt(row[4]));
+    FC_ASSIGN_OR_RETURN(auto y, ParseInt(row[5]));
+    TraceRecord rec;
+    rec.request.tile =
+        tiles::TileKey{static_cast<int>(level), x, y};
+    if (!row[6].empty()) {
+      FC_ASSIGN_OR_RETURN(auto move, MoveFromString(row[6]));
+      rec.request.move = move;
+    }
+    FC_ASSIGN_OR_RETURN(rec.phase, AnalysisPhaseFromString(row[7]));
+    if (traces.empty() || traces.back().user_id != row[0] ||
+        traces.back().task_id != static_cast<int>(task_id)) {
+      Trace t;
+      t.user_id = row[0];
+      t.task_id = static_cast<int>(task_id);
+      traces.push_back(std::move(t));
+    }
+    traces.back().records.push_back(std::move(rec));
+  }
+  return traces;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,92 @@
+// Tile requests, analysis phases, session history (paper section 4.1), and
+// trace logs (the training-data format: "a set of traces {U1, U2, ...}").
+
+#ifndef FORECACHE_CORE_REQUEST_H_
+#define FORECACHE_CORE_REQUEST_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/move.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+/// The user's frame of mind while exploring (paper section 4.2.1).
+enum class AnalysisPhase : int {
+  kForaging = 0,     ///< Scanning coarse levels for interesting regions.
+  kSensemaking = 1,  ///< Comparing neighboring detailed tiles.
+  kNavigation = 2,   ///< Zooming between the two.
+};
+
+inline constexpr int kNumPhases = 3;
+
+std::string_view AnalysisPhaseToString(AnalysisPhase phase);
+Result<AnalysisPhase> AnalysisPhaseFromString(std::string_view name);
+
+/// One user interaction: the move made and the tile it retrieved.
+struct TileRequest {
+  tiles::TileKey tile;
+  /// The move that produced this request; nullopt for the session's first
+  /// request (the initial viewport has no preceding move).
+  std::optional<Move> move;
+
+  friend bool operator==(const TileRequest&, const TileRequest&) = default;
+};
+
+/// The cache manager "constantly records the user's last n moves" and hands
+/// them to the prediction engine as H = [r1..rn] (paper section 4.1).
+class SessionHistory {
+ public:
+  /// `capacity` is the paper's history length n.
+  explicit SessionHistory(std::size_t capacity = 8);
+
+  void Add(const TileRequest& request);
+  void Clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Oldest-first view of the retained requests.
+  const std::deque<TileRequest>& entries() const { return entries_; }
+
+  /// The most recent request, or nullopt when empty.
+  std::optional<TileRequest> Last() const;
+
+  /// Move symbols (enum values) of the retained requests, oldest first;
+  /// requests without a move (session start) are skipped.
+  std::vector<int> MoveSymbols() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TileRequest> entries_;
+};
+
+/// One labeled request within a recorded session.
+struct TraceRecord {
+  TileRequest request;
+  AnalysisPhase phase = AnalysisPhase::kForaging;  ///< Ground-truth label.
+};
+
+/// One user session: an ordered request log (paper: trace U_j).
+struct Trace {
+  std::string user_id;
+  int task_id = 0;
+  std::vector<TraceRecord> records;
+
+  /// Move-symbol sequence of the trace (skips the first, move-less request).
+  std::vector<int> MoveSymbols() const;
+};
+
+/// CSV round-trip for trace sets. Columns:
+/// user_id,task_id,seq,level,x,y,move,phase
+Status WriteTracesCsv(const std::string& path, const std::vector<Trace>& traces);
+Result<std::vector<Trace>> ReadTracesCsv(const std::string& path);
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_REQUEST_H_

@@ -1,0 +1,41 @@
+#include "core/roi_tracker.h"
+
+#include <algorithm>
+
+namespace fc::core {
+
+const std::vector<tiles::TileKey>& RoiTracker::Update(const TileRequest& request) {
+  // Algorithm 1, lines 5-14. A request without a move (session start) leaves
+  // the tracker untouched.
+  if (!request.move.has_value()) return roi_;
+  Move move = *request.move;
+
+  if (IsZoomIn(move)) {
+    // Lines 5-7: a zoom-in opens a fresh temporary ROI seeded with T_r.
+    in_flag_ = true;
+    temp_roi_.clear();
+    temp_roi_.push_back(request.tile);
+  } else if (IsZoomOut(move)) {
+    // Lines 8-12: a zoom-out commits the temporary ROI if one was open.
+    if (in_flag_) {
+      roi_ = temp_roi_;
+      in_flag_ = false;
+      temp_roi_.clear();
+    }
+  } else if (in_flag_) {
+    // Lines 13-14: pans while collecting extend the temporary ROI.
+    if (std::find(temp_roi_.begin(), temp_roi_.end(), request.tile) ==
+        temp_roi_.end()) {
+      temp_roi_.push_back(request.tile);
+    }
+  }
+  return roi_;
+}
+
+void RoiTracker::Reset() {
+  roi_.clear();
+  temp_roi_.clear();
+  in_flag_ = false;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,47 @@
+// RoiTracker: the paper's Algorithm 1 — tracks the user's most recent
+// Region Of Interest as the set of tiles visited between a zoom-in and the
+// following zoom-out.
+
+#ifndef FORECACHE_CORE_ROI_TRACKER_H_
+#define FORECACHE_CORE_ROI_TRACKER_H_
+
+#include <vector>
+
+#include "core/request.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+/// Stateful ROI heuristic. Feed every request through Update; read the last
+/// completed ROI with roi().
+///
+/// Pattern matched (section 4.3.1): one zoom-in, then zero or more pans,
+/// then one zoom-out. The zoom-in opens a temporary ROI collecting the
+/// requested tiles; the zoom-out commits it.
+class RoiTracker {
+ public:
+  RoiTracker() = default;
+
+  /// Algorithm 1's UPDATEROI. Returns the current (possibly unchanged) ROI.
+  const std::vector<tiles::TileKey>& Update(const TileRequest& request);
+
+  /// The user's last completed ROI (empty until a zoom-in/zoom-out pair).
+  const std::vector<tiles::TileKey>& roi() const { return roi_; }
+
+  /// Tiles collected since the last zoom-in (the open, uncommitted ROI).
+  const std::vector<tiles::TileKey>& temp_roi() const { return temp_roi_; }
+
+  /// True while a zoom-in has opened a temporary ROI (Algorithm 1's inFlag).
+  bool collecting() const { return in_flag_; }
+
+  void Reset();
+
+ private:
+  std::vector<tiles::TileKey> roi_;
+  std::vector<tiles::TileKey> temp_roi_;
+  bool in_flag_ = false;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_ROI_TRACKER_H_

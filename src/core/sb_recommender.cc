@@ -1,0 +1,151 @@
+#include "core/sb_recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fc::core {
+
+SbRecommender::SbRecommender(const tiles::TileMetadataStore* metadata,
+                             const vision::SignatureToolbox* toolbox,
+                             SbRecommenderOptions options)
+    : metadata_(metadata), toolbox_(toolbox), options_(std::move(options)) {
+  if (options_.signature_weights.empty()) {
+    options_.signature_weights[vision::SignatureKind::kSift] = 1.0;
+  }
+  for (const auto& [kind, weight] : options_.signature_weights) {
+    kinds_.push_back(kind);
+    weights_.push_back(weight);
+  }
+}
+
+Result<double> SbRecommender::PenalizedSignatureDistance(
+    vision::SignatureKind kind, const tiles::TileKey& a,
+    const tiles::TileKey& b) const {
+  FC_ASSIGN_OR_RETURN(const auto* sig_a, metadata_->GetSignature(a, kind));
+  FC_ASSIGN_OR_RETURN(const auto* sig_b, metadata_->GetSignature(b, kind));
+  FC_ASSIGN_OR_RETURN(auto* extractor, toolbox_->Get(kind));
+  double raw = extractor->Distance(*sig_a, *sig_b);
+  // Algorithm 3 line 8: d_i,A,B <- 2^(dmanh(A,B)-1) * dist_Si(...).
+  std::int64_t manh = tiles::TileKey::ManhattanDistance(a, b);
+  double penalty = std::pow(2.0, static_cast<double>(manh) - 1.0);
+  return penalty * raw;
+}
+
+Result<double> SbRecommender::PairDistance(
+    const tiles::TileKey& candidate, const tiles::TileKey& reference,
+    const std::map<vision::SignatureKind, double>& per_signature_max) const {
+  // Algorithm 3 lines 12-13: weighted l2-norm of normalized per-signature
+  // distances, divided by the physical distance.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    FC_ASSIGN_OR_RETURN(double d,
+                        PenalizedSignatureDistance(kinds_[i], candidate, reference));
+    auto it = per_signature_max.find(kinds_[i]);
+    double dmax = (it != per_signature_max.end() && it->second > 0.0) ? it->second : 1.0;
+    double normalized = d / dmax;
+    sum += weights_[i] * normalized * normalized;
+  }
+  double physical = static_cast<double>(
+      std::max<std::int64_t>(1, tiles::TileKey::ManhattanDistance(candidate, reference)));
+  return std::sqrt(sum) / physical;
+}
+
+Result<RankedTiles> SbRecommender::Recommend(const PredictionContext& ctx) const {
+  if (ctx.history == nullptr || ctx.spec == nullptr) {
+    return Status::InvalidArgument("sb: prediction context missing history/spec");
+  }
+
+  // Reference set: the last ROI, else recent history tiles, else the
+  // current tile (a degenerate but well-defined reference).
+  std::vector<tiles::TileKey> references = ctx.roi;
+  if (references.empty()) {
+    for (const auto& r : ctx.history->entries()) {
+      if (std::find(references.begin(), references.end(), r.tile) ==
+          references.end()) {
+        references.push_back(r.tile);
+      }
+    }
+    constexpr std::size_t kMaxFallbackRefs = 4;
+    if (references.size() > kMaxFallbackRefs) {
+      references.erase(references.begin(),
+                       references.end() - static_cast<std::ptrdiff_t>(kMaxFallbackRefs));
+    }
+  }
+  if (references.empty()) references.push_back(ctx.request.tile);
+
+  // A candidate that is itself a reference tile (the user just came from
+  // it) carries no similarity information — comparing a tile with itself
+  // yields distance zero and would waste the top prefetch slot on a tile
+  // the user already holds. Skip such pairs (unless they are all we have).
+  auto skip_self = [&references](const tiles::TileKey& cand,
+                                 const tiles::TileKey& ref) {
+    return references.size() > 1 && cand == ref;
+  };
+
+  // Lines 1-9: compute penalized distances and per-signature maxima.
+  std::map<vision::SignatureKind, double> sig_max;
+  for (auto kind : kinds_) sig_max[kind] = 1.0;  // d_i,MAX <- 1 (line 2)
+  for (const auto& cand : ctx.candidates) {
+    for (const auto& ref : references) {
+      if (skip_self(cand, ref)) continue;
+      for (auto kind : kinds_) {
+        auto d = PenalizedSignatureDistance(kind, cand, ref);
+        // Candidates lacking metadata simply do not raise the max.
+        if (d.ok()) sig_max[kind] = std::max(sig_max[kind], *d);
+      }
+    }
+  }
+
+  // Lines 10-15: normalized, weighted, physical-distance-scaled pair
+  // distances, summed per candidate over all reference tiles.
+  //
+  // Candidates the user has requested recently are demoted below all fresh
+  // candidates: the middleware's history region already holds the last n
+  // tiles, so SB's job is to surface NEW tiles that look like the user's
+  // recent interest ("find more mountains", section 4.3.3) — re-predicting
+  // a resident tile wastes a prefetch slot.
+  struct Scored {
+    tiles::TileKey key;
+    double distance;
+    bool recently_requested;
+    int tiebreak;
+  };
+  auto in_history = [&ctx](const tiles::TileKey& key) {
+    for (const auto& r : ctx.history->entries()) {
+      if (r.tile == key) return true;
+    }
+    return false;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(ctx.candidates.size());
+  for (std::size_t i = 0; i < ctx.candidates.size(); ++i) {
+    const auto& cand = ctx.candidates[i];
+    double total = 0.0;
+    bool any = false;
+    for (const auto& ref : references) {
+      if (skip_self(cand, ref)) continue;
+      auto d = PairDistance(cand, ref, sig_max);
+      if (d.ok()) {
+        total += *d;
+        any = true;
+      }
+    }
+    // Candidates without metadata rank last (infinite distance).
+    double dist = any ? total : std::numeric_limits<double>::infinity();
+    scored.push_back({cand, dist, in_history(cand), static_cast<int>(i)});
+  }
+  std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.recently_requested != b.recently_requested) {
+      return !a.recently_requested;  // fresh tiles first
+    }
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.tiebreak < b.tiebreak;
+  });
+  RankedTiles out;
+  out.reserve(scored.size());
+  for (const auto& s : scored) out.push_back(s.key);
+  return out;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,62 @@
+#include "core/tile_cache.h"
+
+namespace fc::core {
+
+LruTileCache::LruTileCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void LruTileCache::Put(const tiles::TileKey& key, tiles::TilePtr tile) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->tile = std::move(tile);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(tile)});
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+Result<tiles::TilePtr> LruTileCache::Get(const tiles::TileKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return Status::NotFound("cache miss: " + key.ToString());
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->tile;
+}
+
+bool LruTileCache::Contains(const tiles::TileKey& key) const {
+  return map_.count(key) > 0;
+}
+
+void LruTileCache::Erase(const tiles::TileKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruTileCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+double LruTileCache::HitRate() const {
+  std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+std::vector<tiles::TileKey> LruTileCache::KeysByRecency() const {
+  std::vector<tiles::TileKey> keys;
+  keys.reserve(lru_.size());
+  for (const auto& e : lru_) keys.push_back(e.key);
+  return keys;
+}
+
+}  // namespace fc::core

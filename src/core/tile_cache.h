@@ -1,0 +1,62 @@
+// Main-memory middleware tile cache (paper section 3): an LRU region for
+// the user's recently requested tiles plus a prefetch region refreshed from
+// the prediction engine's ranked list after every request.
+
+#ifndef FORECACHE_CORE_TILE_CACHE_H_
+#define FORECACHE_CORE_TILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "tiles/tile.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+/// Plain LRU cache of tile payloads with a fixed tile-count capacity.
+class LruTileCache {
+ public:
+  explicit LruTileCache(std::size_t capacity);
+
+  /// Inserts/refreshes; evicts the least-recently-used tile when full.
+  void Put(const tiles::TileKey& key, tiles::TilePtr tile);
+
+  /// Returns the tile and promotes it to most-recently-used; NotFound miss.
+  Result<tiles::TilePtr> Get(const tiles::TileKey& key);
+
+  /// Lookup without LRU promotion or stats.
+  bool Contains(const tiles::TileKey& key) const;
+
+  void Erase(const tiles::TileKey& key);
+  void Clear();
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double HitRate() const;
+
+  /// Keys currently cached, most-recently-used first.
+  std::vector<tiles::TileKey> KeysByRecency() const;
+
+ private:
+  struct Entry {
+    tiles::TileKey key;
+    tiles::TilePtr tile;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<tiles::TileKey, std::list<Entry>::iterator, tiles::TileKeyHash>
+      map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_TILE_CACHE_H_

@@ -1,0 +1,96 @@
+#include "eval/latency.h"
+
+#include <algorithm>
+
+#include "common/sim_clock.h"
+#include "core/cache_manager.h"
+#include "storage/tile_store.h"
+
+namespace fc::eval {
+
+void LatencyReport::Merge(const LatencyReport& other) {
+  double total = average_ms * static_cast<double>(requests) +
+                 other.average_ms * static_cast<double>(other.requests);
+  double hits = hit_rate * static_cast<double>(requests) +
+                other.hit_rate * static_cast<double>(other.requests);
+  requests += other.requests;
+  average_ms = requests == 0 ? 0.0 : total / static_cast<double>(requests);
+  hit_rate = requests == 0 ? 0.0 : hits / static_cast<double>(requests);
+  per_request_ms.insert(per_request_ms.end(), other.per_request_ms.begin(),
+                        other.per_request_ms.end());
+}
+
+Result<LatencyReport> ReplayLatencyForUser(const sim::Study& study,
+                                           const LatencyReplayOptions& options,
+                                           const std::string& user_id) {
+  // Per-fold components, trained on the other users' traces.
+  std::unique_ptr<TilePredictor> predictor;
+  if (options.prefetching_enabled) {
+    PredictorFactory factory(study.dataset.pyramid.get(),
+                             study.dataset.toolbox.get());
+    FC_ASSIGN_OR_RETURN(
+        predictor,
+        factory.Build(options.predictor, study.TracesExcludingUser(user_id)));
+  }
+
+  SimClock clock;
+  array::QueryCostModel miss_model(options.costs, options.seed);
+  array::QueryCostModel hit_model(options.costs, options.seed + 1);
+  storage::SimulatedDbmsStore store(study.dataset.pyramid, miss_model, &clock);
+
+  core::CacheManagerOptions cache_opts;
+  cache_opts.history_capacity = options.history_capacity;
+  cache_opts.prefetch_capacity = options.predictor.k;
+  core::CacheManager cache(&store, cache_opts);
+
+  LatencyReport report;
+  std::size_t hits = 0;
+  for (const auto& trace : study.traces) {
+    if (trace.user_id != user_id) continue;
+    cache.Clear();
+    if (predictor) predictor->StartSession();
+    for (const auto& record : trace.records) {
+      // Serve the request, measuring user-perceived latency.
+      std::int64_t t0 = clock.NowMicros();
+      FC_ASSIGN_OR_RETURN(auto outcome, cache.Request(record.request.tile));
+      if (outcome.cache_hit) {
+        clock.AdvanceMillis(hit_model.CacheHitMillis());
+        ++hits;
+      }
+      report.per_request_ms.push_back(
+          static_cast<double>(clock.NowMicros() - t0) / 1000.0);
+      ++report.requests;
+
+      // Predict + prefetch during think time (not charged to the user).
+      if (predictor) {
+        FC_ASSIGN_OR_RETURN(auto ranked, predictor->OnRequest(record));
+        if (ranked.size() > options.predictor.k) {
+          ranked.resize(options.predictor.k);
+        }
+        FC_RETURN_IF_ERROR(cache.Prefetch(ranked));
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (double ms : report.per_request_ms) total += ms;
+  report.average_ms =
+      report.requests == 0 ? 0.0 : total / static_cast<double>(report.requests);
+  report.hit_rate = report.requests == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(report.requests);
+  return report;
+}
+
+Result<LatencyReport> ReplayLatencyLoocv(const sim::Study& study,
+                                         const LatencyReplayOptions& options) {
+  LatencyReport merged;
+  for (const auto& user : study.UserIds()) {
+    FC_ASSIGN_OR_RETURN(auto report, ReplayLatencyForUser(study, options, user));
+    merged.Merge(report);
+  }
+  return merged;
+}
+
+}  // namespace fc::eval

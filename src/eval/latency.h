@@ -1,0 +1,53 @@
+// Latency replay (paper section 5.5): drive study traces through the full
+// middleware (cache manager + prediction engine + simulated DBMS) on the
+// virtual clock and measure per-request response times.
+
+#ifndef FORECACHE_EVAL_LATENCY_H_
+#define FORECACHE_EVAL_LATENCY_H_
+
+#include <optional>
+#include <vector>
+
+#include "array/cost_model.h"
+#include "eval/predictor.h"
+#include "sim/study.h"
+
+namespace fc::eval {
+
+struct LatencyReplayOptions {
+  /// Model under test. Ignored when `prefetching_enabled` is false.
+  PredictorConfig predictor;
+
+  bool prefetching_enabled = true;
+
+  /// History-LRU capacity. The paper's latency measurements reflect
+  /// prefetch hits only (Figure 12's tight linearity), so the default keeps
+  /// just the tile being viewed; raise it to study revisit-caching effects.
+  std::size_t history_capacity = 1;
+
+  array::CostModelOptions costs = array::CalibratedPaperCosts();
+  std::uint64_t seed = 97;
+};
+
+struct LatencyReport {
+  double average_ms = 0.0;
+  double hit_rate = 0.0;
+  std::size_t requests = 0;
+  std::vector<double> per_request_ms;
+
+  void Merge(const LatencyReport& other);
+};
+
+/// Replays every trace of one held-out user with components trained on the
+/// remaining users (LOOCV fold), measuring simulated latency.
+Result<LatencyReport> ReplayLatencyForUser(const sim::Study& study,
+                                           const LatencyReplayOptions& options,
+                                           const std::string& user_id);
+
+/// Full LOOCV latency sweep: merges every user's fold.
+Result<LatencyReport> ReplayLatencyLoocv(const sim::Study& study,
+                                         const LatencyReplayOptions& options);
+
+}  // namespace fc::eval
+
+#endif  // FORECACHE_EVAL_LATENCY_H_

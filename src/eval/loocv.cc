@@ -1,0 +1,51 @@
+#include "eval/loocv.h"
+
+#include <algorithm>
+
+namespace fc::eval {
+
+Result<LoocvResult> RunLoocvAccuracy(const sim::Study& study,
+                                     const PredictorConfig& config,
+                                     std::size_t k) {
+  PredictorFactory factory(study.dataset.pyramid.get(),
+                           study.dataset.toolbox.get());
+  LoocvResult result;
+  for (const auto& user : study.UserIds()) {
+    auto training = study.TracesExcludingUser(user);
+    FC_ASSIGN_OR_RETURN(auto predictor, factory.Build(config, training));
+
+    std::vector<core::Trace> test;
+    for (const auto& t : study.traces) {
+      if (t.user_id == user) test.push_back(t);
+    }
+    FC_ASSIGN_OR_RETURN(auto report, ReplayTraces(predictor.get(), test, k));
+    result.per_user[user] = report;
+    result.merged.Merge(report);
+  }
+  return result;
+}
+
+Result<ClassifierLoocvResult> RunLoocvClassifier(
+    const sim::Study& study, const core::PhaseClassifierOptions& options) {
+  ClassifierLoocvResult result;
+  double sum = 0.0;
+  std::size_t folds = 0;
+  for (const auto& user : study.UserIds()) {
+    auto training = study.TracesExcludingUser(user);
+    FC_ASSIGN_OR_RETURN(auto classifier,
+                        core::PhaseClassifier::Train(training, options));
+    std::vector<core::Trace> test;
+    for (const auto& t : study.traces) {
+      if (t.user_id == user) test.push_back(t);
+    }
+    double accuracy = classifier.EvaluateAccuracy(test);
+    result.per_user[user] = accuracy;
+    result.best_user_accuracy = std::max(result.best_user_accuracy, accuracy);
+    sum += accuracy;
+    ++folds;
+  }
+  result.overall_accuracy = folds == 0 ? 0.0 : sum / static_cast<double>(folds);
+  return result;
+}
+
+}  // namespace fc::eval

@@ -1,0 +1,38 @@
+// Leave-one-out cross-validation over study users (paper section 5.4):
+// for each of the 18 users, train on the other 17 and test on the held-out
+// user's traces.
+
+#ifndef FORECACHE_EVAL_LOOCV_H_
+#define FORECACHE_EVAL_LOOCV_H_
+
+#include <map>
+#include <string>
+
+#include "eval/replay.h"
+#include "sim/study.h"
+
+namespace fc::eval {
+
+struct LoocvResult {
+  AccuracyReport merged;                          ///< Across all users.
+  std::map<std::string, AccuracyReport> per_user;  ///< Per held-out user.
+};
+
+/// Runs the full LOOCV accuracy protocol for one model configuration at one
+/// fetch budget k.
+Result<LoocvResult> RunLoocvAccuracy(const sim::Study& study,
+                                     const PredictorConfig& config, std::size_t k);
+
+/// Phase-classifier LOOCV (section 5.4.1): trains the SVM per fold and
+/// reports label accuracy per held-out user plus the overall mean.
+struct ClassifierLoocvResult {
+  double overall_accuracy = 0.0;                ///< Mean across users.
+  std::map<std::string, double> per_user;
+  double best_user_accuracy = 0.0;
+};
+Result<ClassifierLoocvResult> RunLoocvClassifier(
+    const sim::Study& study, const core::PhaseClassifierOptions& options);
+
+}  // namespace fc::eval
+
+#endif  // FORECACHE_EVAL_LOOCV_H_

@@ -1,0 +1,211 @@
+#include "eval/predictor.h"
+
+#include <algorithm>
+
+#include "common/string_utils.h"
+
+namespace fc::eval {
+
+std::string PredictorConfig::DisplayName() const {
+  std::string base;
+  switch (kind) {
+    case Kind::kMomentum: base = "momentum"; break;
+    case Kind::kHotspot: base = "hotspot"; break;
+    case Kind::kAb: base = StrFormat("markov%zu", ab_history_length); break;
+    case Kind::kSb: {
+      if (sb_weights.empty()) {
+        base = "sb-sift";
+      } else {
+        base = "sb";
+        for (const auto& [kind_, _] : sb_weights) {
+          base += "-";
+          base += vision::SignatureKindToString(kind_);
+        }
+      }
+      break;
+    }
+    case Kind::kHybridEngine: base = "hybrid"; break;
+    case Kind::kPhaseEngine: base = "phase-engine"; break;
+  }
+  if (kind == Kind::kHybridEngine || kind == Kind::kPhaseEngine) {
+    if (phase_source == PhaseSource::kOracle) {
+      base += "+oracle";
+    } else if (phase_source == PhaseSource::kFixed) {
+      base += StrFormat("+fixed(%s)",
+                        std::string(core::AnalysisPhaseToString(fixed_phase)).c_str());
+    }
+  }
+  return base;
+}
+
+namespace {
+
+// Replays a single recommender, maintaining history and ROI state itself.
+class SingleModelPredictor : public TilePredictor {
+ public:
+  SingleModelPredictor(std::string name, std::unique_ptr<core::Recommender> model,
+                       const tiles::PyramidSpec* spec, std::size_t history_length)
+      : name_(std::move(name)),
+        model_(std::move(model)),
+        spec_(spec),
+        history_(history_length) {}
+
+  std::string_view name() const override { return name_; }
+
+  void StartSession() override {
+    history_.Clear();
+    roi_.Reset();
+  }
+
+  Result<core::RankedTiles> OnRequest(const core::TraceRecord& record) override {
+    history_.Add(record.request);
+    roi_.Update(record.request);
+    core::PredictionContext ctx;
+    ctx.request = record.request;
+    ctx.history = &history_;
+    ctx.spec = spec_;
+    // Committed ROI plus the tiles visited since the current zoom-in —
+    // mirrors PredictionEngine's reference-set construction.
+    ctx.roi = roi_.roi();
+    for (const auto& key : roi_.temp_roi()) {
+      if (std::find(ctx.roi.begin(), ctx.roi.end(), key) == ctx.roi.end()) {
+        ctx.roi.push_back(key);
+      }
+    }
+    ctx.candidates = core::CandidateTiles(record.request.tile, *spec_);
+    return model_->Recommend(ctx);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<core::Recommender> model_;
+  const tiles::PyramidSpec* spec_;
+  core::SessionHistory history_;
+  core::RoiTracker roi_;
+};
+
+// Replays a full two-level engine (owning all of its components).
+class EnginePredictor : public TilePredictor {
+ public:
+  EnginePredictor(std::string name, const tiles::PyramidSpec* spec,
+                  std::unique_ptr<core::PhaseClassifier> classifier,
+                  std::unique_ptr<core::Recommender> ab,
+                  std::unique_ptr<core::Recommender> sb,
+                  std::unique_ptr<core::AllocationStrategy> strategy,
+                  core::PredictionEngineOptions options,
+                  PredictorConfig::PhaseSource phase_source,
+                  core::AnalysisPhase fixed_phase)
+      : name_(std::move(name)),
+        classifier_(std::move(classifier)),
+        ab_(std::move(ab)),
+        sb_(std::move(sb)),
+        strategy_(std::move(strategy)),
+        phase_source_(phase_source),
+        engine_(spec,
+                phase_source == PredictorConfig::PhaseSource::kSvm
+                    ? classifier_.get()
+                    : nullptr,
+                ab_.get(), sb_.get(), strategy_.get(), options) {
+    engine_.fallback_phase = fixed_phase;
+  }
+
+  std::string_view name() const override { return name_; }
+
+  void StartSession() override { engine_.Reset(); }
+
+  Result<core::RankedTiles> OnRequest(const core::TraceRecord& record) override {
+    if (phase_source_ == PredictorConfig::PhaseSource::kOracle) {
+      engine_.fallback_phase = record.phase;
+    }
+    FC_ASSIGN_OR_RETURN(auto prediction, engine_.OnRequest(record.request));
+    return prediction.tiles;
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<core::PhaseClassifier> classifier_;
+  std::unique_ptr<core::Recommender> ab_;
+  std::unique_ptr<core::Recommender> sb_;
+  std::unique_ptr<core::AllocationStrategy> strategy_;
+  PredictorConfig::PhaseSource phase_source_;
+  core::PredictionEngine engine_;
+};
+
+}  // namespace
+
+PredictorFactory::PredictorFactory(const tiles::TilePyramid* pyramid,
+                                   const vision::SignatureToolbox* toolbox)
+    : pyramid_(pyramid), toolbox_(toolbox) {}
+
+Result<std::unique_ptr<TilePredictor>> PredictorFactory::Build(
+    const PredictorConfig& config,
+    const std::vector<core::Trace>& training_traces) const {
+  const auto* spec = &pyramid_->spec();
+  std::string name = config.DisplayName();
+
+  auto make_ab = [&]() -> Result<std::unique_ptr<core::Recommender>> {
+    core::AbRecommenderOptions ab_opts;
+    ab_opts.history_length = config.ab_history_length;
+    FC_ASSIGN_OR_RETURN(auto ab, core::AbRecommender::Make(ab_opts));
+    auto owned = std::make_unique<core::AbRecommender>(std::move(ab));
+    FC_RETURN_IF_ERROR(owned->Train(training_traces));
+    return std::unique_ptr<core::Recommender>(std::move(owned));
+  };
+  auto make_sb = [&]() -> std::unique_ptr<core::Recommender> {
+    core::SbRecommenderOptions sb_opts;
+    sb_opts.signature_weights = config.sb_weights;
+    return std::make_unique<core::SbRecommender>(&pyramid_->metadata(), toolbox_,
+                                                 sb_opts);
+  };
+
+  switch (config.kind) {
+    case PredictorConfig::Kind::kMomentum: {
+      return std::unique_ptr<TilePredictor>(std::make_unique<SingleModelPredictor>(
+          name, std::make_unique<core::MomentumRecommender>(), spec,
+          config.history_length));
+    }
+    case PredictorConfig::Kind::kHotspot: {
+      auto hotspot = std::make_unique<core::HotspotRecommender>();
+      FC_RETURN_IF_ERROR(hotspot->Train(training_traces));
+      return std::unique_ptr<TilePredictor>(std::make_unique<SingleModelPredictor>(
+          name, std::move(hotspot), spec, config.history_length));
+    }
+    case PredictorConfig::Kind::kAb: {
+      FC_ASSIGN_OR_RETURN(auto ab, make_ab());
+      return std::unique_ptr<TilePredictor>(std::make_unique<SingleModelPredictor>(
+          name, std::move(ab), spec, config.history_length));
+    }
+    case PredictorConfig::Kind::kSb: {
+      return std::unique_ptr<TilePredictor>(std::make_unique<SingleModelPredictor>(
+          name, make_sb(), spec, config.history_length));
+    }
+    case PredictorConfig::Kind::kHybridEngine:
+    case PredictorConfig::Kind::kPhaseEngine: {
+      std::unique_ptr<core::PhaseClassifier> classifier;
+      if (config.phase_source == PredictorConfig::PhaseSource::kSvm) {
+        FC_ASSIGN_OR_RETURN(
+            auto trained,
+            core::PhaseClassifier::Train(training_traces, config.classifier));
+        classifier = std::make_unique<core::PhaseClassifier>(std::move(trained));
+      }
+      FC_ASSIGN_OR_RETURN(auto ab, make_ab());
+      auto sb = make_sb();
+      std::unique_ptr<core::AllocationStrategy> strategy;
+      if (config.kind == PredictorConfig::Kind::kHybridEngine) {
+        strategy = std::make_unique<core::HybridAllocationStrategy>();
+      } else {
+        strategy = std::make_unique<core::PhaseAllocationStrategy>();
+      }
+      core::PredictionEngineOptions engine_opts;
+      engine_opts.prefetch_k = config.k;
+      engine_opts.history_length = config.history_length;
+      return std::unique_ptr<TilePredictor>(std::make_unique<EnginePredictor>(
+          name, spec, std::move(classifier), std::move(ab), std::move(sb),
+          std::move(strategy), engine_opts, config.phase_source,
+          config.fixed_phase));
+    }
+  }
+  return Status::InvalidArgument("unknown predictor kind");
+}
+
+}  // namespace fc::eval

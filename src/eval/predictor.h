@@ -1,0 +1,84 @@
+// TilePredictor: the uniform interface the evaluation harness replays
+// traces against, plus a factory that assembles every model configuration
+// evaluated in the paper (Momentum, Hotspot, Markov-n AB, per-signature SB,
+// and the full two-level engines).
+
+#ifndef FORECACHE_EVAL_PREDICTOR_H_
+#define FORECACHE_EVAL_PREDICTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ab_recommender.h"
+#include "core/allocation.h"
+#include "core/baseline_recommenders.h"
+#include "core/phase_classifier.h"
+#include "core/prediction_engine.h"
+#include "core/sb_recommender.h"
+#include "sim/study.h"
+
+namespace fc::eval {
+
+/// Stateful per-session predictor: feed requests, get ranked prefetch lists.
+class TilePredictor {
+ public:
+  virtual ~TilePredictor() = default;
+  virtual std::string_view name() const = 0;
+  virtual void StartSession() = 0;
+  /// Receives the full trace record so oracle-phase ablations can read the
+  /// ground-truth label; ordinary predictors use only record.request.
+  virtual Result<core::RankedTiles> OnRequest(const core::TraceRecord& record) = 0;
+};
+
+/// Model configurations evaluated in section 5.
+struct PredictorConfig {
+  enum class Kind {
+    kMomentum,      ///< Baseline (section 5.2.3).
+    kHotspot,       ///< Baseline (section 5.2.3).
+    kAb,            ///< Markov-n AB recommender alone.
+    kSb,            ///< SB recommender alone (one or more signatures).
+    kHybridEngine,  ///< Final two-level engine (section 5.4.3 allocation).
+    kPhaseEngine,   ///< Two-level engine with the section 4.4 allocation.
+  };
+  Kind kind = Kind::kHybridEngine;
+
+  std::size_t ab_history_length = 3;  ///< The paper's Markov3 default.
+
+  /// SB signature weights; empty = {SIFT: 1} (the paper's best).
+  std::map<vision::SignatureKind, double> sb_weights;
+
+  std::size_t k = 5;               ///< Prefetch budget (engine kinds).
+  std::size_t history_length = 8;  ///< Session history n.
+
+  /// Phase source for engine kinds: SVM (default), ground truth (oracle
+  /// ablation), or a fixed phase (classifier disabled).
+  enum class PhaseSource { kSvm, kOracle, kFixed } phase_source = PhaseSource::kSvm;
+  core::AnalysisPhase fixed_phase = core::AnalysisPhase::kNavigation;
+
+  core::PhaseClassifierOptions classifier;
+
+  std::string DisplayName() const;
+};
+
+/// Builds fresh, trained predictors for one LOOCV fold.
+class PredictorFactory {
+ public:
+  /// `pyramid` and `toolbox` must outlive all built predictors.
+  PredictorFactory(const tiles::TilePyramid* pyramid,
+                   const vision::SignatureToolbox* toolbox);
+
+  /// Trains every component the configuration needs on `training_traces`.
+  Result<std::unique_ptr<TilePredictor>> Build(
+      const PredictorConfig& config,
+      const std::vector<core::Trace>& training_traces) const;
+
+ private:
+  const tiles::TilePyramid* pyramid_;
+  const vision::SignatureToolbox* toolbox_;
+};
+
+}  // namespace fc::eval
+
+#endif  // FORECACHE_EVAL_PREDICTOR_H_

@@ -1,0 +1,51 @@
+#include "eval/replay.h"
+
+#include <algorithm>
+
+namespace fc::eval {
+
+void AccuracyReport::Merge(const AccuracyReport& other) {
+  overall.Merge(other.overall);
+  for (std::size_t i = 0; i < per_phase.size(); ++i) {
+    per_phase[i].Merge(other.per_phase[i]);
+  }
+}
+
+Result<AccuracyReport> ReplayTrace(TilePredictor* predictor,
+                                   const core::Trace& trace, std::size_t k) {
+  AccuracyReport report;
+  predictor->StartSession();
+  for (std::size_t i = 0; i + 1 < trace.records.size(); ++i) {
+    FC_ASSIGN_OR_RETURN(auto ranked, predictor->OnRequest(trace.records[i]));
+    const auto& next = trace.records[i + 1];
+    std::size_t depth = std::min(k, ranked.size());
+    bool hit = false;
+    for (std::size_t j = 0; j < depth; ++j) {
+      if (ranked[j] == next.request.tile) {
+        hit = true;
+        break;
+      }
+    }
+    ++report.overall.total;
+    auto& phase = report.per_phase[static_cast<std::size_t>(next.phase)];
+    ++phase.total;
+    if (hit) {
+      ++report.overall.hits;
+      ++phase.hits;
+    }
+  }
+  return report;
+}
+
+Result<AccuracyReport> ReplayTraces(TilePredictor* predictor,
+                                    const std::vector<core::Trace>& traces,
+                                    std::size_t k) {
+  AccuracyReport merged;
+  for (const auto& trace : traces) {
+    FC_ASSIGN_OR_RETURN(auto report, ReplayTrace(predictor, trace, k));
+    merged.Merge(report);
+  }
+  return merged;
+}
+
+}  // namespace fc::eval

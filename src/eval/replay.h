@@ -1,0 +1,54 @@
+// Trace replay: the paper's accuracy protocol (section 5.2.2).
+//
+// Step through a request log; after each request collect the model's ranked
+// prediction list trimmed to the fetch budget k; a hit means the next
+// requested tile was in the list. Accuracy == middleware-cache hit rate.
+
+#ifndef FORECACHE_EVAL_REPLAY_H_
+#define FORECACHE_EVAL_REPLAY_H_
+
+#include <array>
+
+#include "core/request.h"
+#include "eval/predictor.h"
+
+namespace fc::eval {
+
+struct PhaseAccuracy {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+
+  double Rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  void Merge(const PhaseAccuracy& other) {
+    hits += other.hits;
+    total += other.total;
+  }
+};
+
+struct AccuracyReport {
+  PhaseAccuracy overall;
+  /// Indexed by AnalysisPhase; a prediction is attributed to the phase of
+  /// the request being predicted (the next request).
+  std::array<PhaseAccuracy, core::kNumPhases> per_phase;
+
+  void Merge(const AccuracyReport& other);
+  const PhaseAccuracy& ForPhase(core::AnalysisPhase phase) const {
+    return per_phase[static_cast<std::size_t>(phase)];
+  }
+};
+
+/// Replays one trace. Predictions are trimmed to the top `k` tiles.
+Result<AccuracyReport> ReplayTrace(TilePredictor* predictor,
+                                   const core::Trace& trace, std::size_t k);
+
+/// Replays many traces (one session each) and merges the reports.
+Result<AccuracyReport> ReplayTraces(TilePredictor* predictor,
+                                    const std::vector<core::Trace>& traces,
+                                    std::size_t k);
+
+}  // namespace fc::eval
+
+#endif  // FORECACHE_EVAL_REPLAY_H_

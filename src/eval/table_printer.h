@@ -1,0 +1,32 @@
+// Fixed-width table output for the benchmark harnesses.
+
+#ifndef FORECACHE_EVAL_TABLE_PRINTER_H_
+#define FORECACHE_EVAL_TABLE_PRINTER_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace fc::eval {
+
+/// Accumulates rows and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Writes the table to `os` with a separator under the header.
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fc::eval
+
+#endif  // FORECACHE_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,130 @@
+#include "eval/trace_stats.h"
+
+#include <algorithm>
+#include <set>
+
+namespace fc::eval {
+
+MoveDistribution ComputeMoveDistribution(const std::vector<core::Trace>& traces) {
+  MoveDistribution dist;
+  std::size_t pans = 0;
+  std::size_t ins = 0;
+  std::size_t outs = 0;
+  for (const auto& trace : traces) {
+    for (const auto& rec : trace.records) {
+      if (!rec.request.move.has_value()) continue;
+      switch (core::ClassOf(*rec.request.move)) {
+        case core::MoveClass::kPan: ++pans; break;
+        case core::MoveClass::kZoomIn: ++ins; break;
+        case core::MoveClass::kZoomOut: ++outs; break;
+      }
+    }
+  }
+  dist.total_moves = pans + ins + outs;
+  if (dist.total_moves > 0) {
+    auto n = static_cast<double>(dist.total_moves);
+    dist.pan = static_cast<double>(pans) / n;
+    dist.zoom_in = static_cast<double>(ins) / n;
+    dist.zoom_out = static_cast<double>(outs) / n;
+  }
+  return dist;
+}
+
+std::array<double, core::kNumPhases> ComputePhaseDistribution(
+    const std::vector<core::Trace>& traces) {
+  std::array<std::size_t, core::kNumPhases> counts{};
+  std::size_t total = 0;
+  for (const auto& trace : traces) {
+    for (const auto& rec : trace.records) {
+      ++counts[static_cast<std::size_t>(rec.phase)];
+      ++total;
+    }
+  }
+  std::array<double, core::kNumPhases> dist{};
+  if (total > 0) {
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      dist[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+    }
+  }
+  return dist;
+}
+
+std::map<std::string, MoveDistribution> ComputePerUserMoveDistributions(
+    const std::vector<core::Trace>& traces) {
+  std::map<std::string, std::vector<core::Trace>> by_user;
+  for (const auto& trace : traces) by_user[trace.user_id].push_back(trace);
+  std::map<std::string, MoveDistribution> out;
+  for (const auto& [user, user_traces] : by_user) {
+    out[user] = ComputeMoveDistribution(user_traces);
+  }
+  return out;
+}
+
+std::vector<int> ZoomLevelSeries(const core::Trace& trace) {
+  std::vector<int> levels;
+  levels.reserve(trace.records.size());
+  for (const auto& rec : trace.records) levels.push_back(rec.request.tile.level);
+  return levels;
+}
+
+double AverageRequestsPerTrace(const std::vector<core::Trace>& traces) {
+  if (traces.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& t : traces) total += t.records.size();
+  return static_cast<double>(total) / static_cast<double>(traces.size());
+}
+
+bool ExhibitsSawtooth(const core::Trace& trace, int shallow, int deep,
+                      int min_cycles) {
+  // Count shallow->deep->shallow alternations.
+  auto levels = ZoomLevelSeries(trace);
+  int cycles = 0;
+  bool in_deep = false;
+  bool seen_shallow = false;
+  for (int level : levels) {
+    if (level <= shallow) {
+      if (in_deep && seen_shallow) ++cycles;  // completed deep excursion
+      in_deep = false;
+      seen_shallow = true;
+    } else if (level >= deep) {
+      in_deep = true;
+    }
+  }
+  if (in_deep && seen_shallow) ++cycles;  // trace may end while deep
+  return cycles >= min_cycles;
+}
+
+SawtoothSummary SummarizeSawtooth(const std::vector<core::Trace>& traces,
+                                  int shallow, int deep) {
+  SawtoothSummary summary;
+  std::map<std::string, std::pair<int, int>> user_counts;  // sawtooth, total
+  for (const auto& trace : traces) {
+    auto& [saw, total] = user_counts[trace.user_id];
+    ++total;
+    if (ExhibitsSawtooth(trace, shallow, deep)) ++saw;
+
+    for (const auto& rec : trace.records) {
+      ++summary.total_requests;
+      if (!rec.request.move.has_value()) continue;
+      auto cls = core::ClassOf(*rec.request.move);
+      // Moves the three-phase model does not anticipate for the label.
+      bool violation =
+          (rec.phase == core::AnalysisPhase::kNavigation &&
+           cls == core::MoveClass::kPan) ||
+          (rec.phase == core::AnalysisPhase::kSensemaking &&
+           cls != core::MoveClass::kPan);
+      if (violation) ++summary.model_violations;
+    }
+  }
+  summary.users_total = static_cast<int>(user_counts.size());
+  for (const auto& [user, counts] : user_counts) {
+    (void)user;
+    if (counts.first == counts.second && counts.second > 0) {
+      ++summary.users_all_tasks;
+    }
+    if (counts.first >= 2) ++summary.users_two_plus_tasks;
+  }
+  return summary;
+}
+
+}  // namespace fc::eval

@@ -1,0 +1,63 @@
+// Descriptive statistics over study traces — the ingredients of the paper's
+// Figures 8 and 9 and the section 5.3.5 behavioral claims.
+
+#ifndef FORECACHE_EVAL_TRACE_STATS_H_
+#define FORECACHE_EVAL_TRACE_STATS_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/request.h"
+
+namespace fc::eval {
+
+/// Fractions of pan / zoom-in / zoom-out moves (Figure 8a, 8c-e).
+struct MoveDistribution {
+  double pan = 0.0;
+  double zoom_in = 0.0;
+  double zoom_out = 0.0;
+  std::size_t total_moves = 0;
+};
+
+MoveDistribution ComputeMoveDistribution(const std::vector<core::Trace>& traces);
+
+/// Fractions of requests per analysis phase (Figure 8b).
+std::array<double, core::kNumPhases> ComputePhaseDistribution(
+    const std::vector<core::Trace>& traces);
+
+/// Per-user move distributions for one task (Figure 8c-e).
+std::map<std::string, MoveDistribution> ComputePerUserMoveDistributions(
+    const std::vector<core::Trace>& traces);
+
+/// The zoom level of every request in order (Figure 9's series).
+std::vector<int> ZoomLevelSeries(const core::Trace& trace);
+
+/// Mean number of requests per trace.
+double AverageRequestsPerTrace(const std::vector<core::Trace>& traces);
+
+/// Section 5.3.5's alternation claim: a trace "exhibits the exploration
+/// behavior" when the zoom-level series alternates between a shallow band
+/// (level <= shallow) and a deep band (level >= deep) at least `min_cycles`
+/// times.
+bool ExhibitsSawtooth(const core::Trace& trace, int shallow, int deep,
+                      int min_cycles = 2);
+
+struct SawtoothSummary {
+  int users_total = 0;
+  int users_all_tasks = 0;      ///< Sawtooth in every task (paper: 13/18).
+  int users_two_plus_tasks = 0; ///< Sawtooth in >= 2 tasks (paper: 16/18).
+  std::size_t total_requests = 0;
+  /// Requests whose move is inconsistent with the labeled phase (pans during
+  /// Navigation, zooms during Sensemaking) — the analogue of the paper's
+  /// "57 out of 1390 requests not described by our exploration model".
+  std::size_t model_violations = 0;
+};
+
+SawtoothSummary SummarizeSawtooth(const std::vector<core::Trace>& traces,
+                                  int shallow, int deep);
+
+}  // namespace fc::eval
+
+#endif  // FORECACHE_EVAL_TRACE_STATS_H_

@@ -1,0 +1,34 @@
+#include "markov/markov_chain.h"
+
+namespace fc::markov {
+
+Result<MarkovChain> MarkovChain::Make(std::size_t vocab_size,
+                                      std::size_t history_length, double discount) {
+  FC_ASSIGN_OR_RETURN(auto model,
+                      NGramModel::Make(vocab_size, history_length + 1, discount));
+  return MarkovChain(std::move(model), history_length);
+}
+
+Status MarkovChain::Train(const std::vector<std::vector<int>>& traces) {
+  for (const auto& trace : traces) {
+    FC_RETURN_IF_ERROR(model_.ObserveSequence(trace));
+  }
+  model_.Finalize();
+  return Status::OK();
+}
+
+Status MarkovChain::Observe(const std::vector<int>& trace) {
+  return model_.ObserveSequence(trace);
+}
+
+double MarkovChain::TransitionProbability(const std::vector<int>& recent_moves,
+                                          int next) const {
+  return model_.Probability(recent_moves, next);
+}
+
+std::vector<double> MarkovChain::NextMoveDistribution(
+    const std::vector<int>& recent_moves) const {
+  return model_.Distribution(recent_moves);
+}
+
+}  // namespace fc::markov

@@ -1,0 +1,54 @@
+#include "server/forecache_server.h"
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace fc::server {
+
+ForeCacheServer::ForeCacheServer(storage::TileStore* store,
+                                 core::PredictionEngine* engine, SimClock* clock,
+                                 ServerOptions options)
+    : store_(store),
+      engine_(engine),
+      clock_(clock),
+      options_(options),
+      cache_manager_(store, options.cache) {
+  FC_CHECK_MSG(engine_ != nullptr || !options_.prefetching_enabled,
+               "prefetching requires a prediction engine");
+}
+
+void ForeCacheServer::StartSession() {
+  cache_manager_.Clear();
+  if (engine_ != nullptr) engine_->Reset();
+}
+
+Result<ServedRequest> ForeCacheServer::HandleRequest(
+    const core::TileRequest& request) {
+  ServedRequest served;
+
+  // Step 1: serve the tile, measuring user-perceived latency on the
+  // virtual clock. A cache hit costs the middleware service time; a miss
+  // runs a DBMS query (SimulatedDbmsStore advances the clock itself).
+  std::int64_t t0 = clock_->NowMicros();
+  FC_ASSIGN_OR_RETURN(auto outcome, cache_manager_.Request(request.tile));
+  if (outcome.cache_hit) {
+    clock_->AdvanceMillis(options_.cache_hit_service_ms);
+  }
+  served.tile = outcome.tile;
+  served.cache_hit = outcome.cache_hit;
+  served.latency_ms =
+      static_cast<double>(clock_->NowMicros() - t0) / 1000.0;
+  latency_log_.push_back(served.latency_ms);
+
+  // Steps 2-3: predict and prefetch during the user's think time (not
+  // charged to this request's latency).
+  if (options_.prefetching_enabled) {
+    FC_ASSIGN_OR_RETURN(served.prediction, engine_->OnRequest(request));
+    FC_RETURN_IF_ERROR(cache_manager_.Prefetch(served.prediction.tiles));
+  }
+  return served;
+}
+
+double ForeCacheServer::AverageLatencyMs() const { return Mean(latency_log_); }
+
+}  // namespace fc::server

@@ -1,0 +1,74 @@
+// ForeCacheServer: the middleware request loop (paper section 3).
+//
+// Per request: (1) serve the tile — from the middleware cache (fast) or the
+// backing DBMS (slow, charged to the virtual clock); (2) feed the request to
+// the prediction engine; (3) refill the prefetch region with the engine's
+// ranked list. Prefetching happens during the user's think time, so only
+// step (1) counts toward response latency.
+
+#ifndef FORECACHE_SERVER_FORECACHE_SERVER_H_
+#define FORECACHE_SERVER_FORECACHE_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "array/cost_model.h"
+#include "common/sim_clock.h"
+#include "core/cache_manager.h"
+#include "core/prediction_engine.h"
+#include "storage/tile_store.h"
+
+namespace fc::server {
+
+struct ServerOptions {
+  core::CacheManagerOptions cache;
+  /// Middleware service time on a cache hit (paper: 19.5 ms measured).
+  double cache_hit_service_ms = 19.5;
+  /// When false, the prediction engine is bypassed entirely — the
+  /// "traditional system" baseline of section 5.5.
+  bool prefetching_enabled = true;
+};
+
+/// One served request, with its simulated response latency.
+struct ServedRequest {
+  tiles::TilePtr tile;
+  bool cache_hit = false;
+  double latency_ms = 0.0;
+  core::EnginePrediction prediction;  ///< Empty when prefetching is disabled.
+};
+
+class ForeCacheServer {
+ public:
+  /// `store`, `engine`, and `clock` must outlive the server. `engine` may be
+  /// null only when options.prefetching_enabled is false.
+  ForeCacheServer(storage::TileStore* store, core::PredictionEngine* engine,
+                  SimClock* clock, ServerOptions options = {});
+
+  /// Serves one client request end to end.
+  Result<ServedRequest> HandleRequest(const core::TileRequest& request);
+
+  /// Resets per-session state (cache + engine history) for a new session.
+  void StartSession();
+
+  const core::CacheManager& cache_manager() const { return cache_manager_; }
+  core::CacheManager* mutable_cache_manager() { return &cache_manager_; }
+
+  /// Geometry of the dataset being served.
+  const tiles::PyramidSpec& spec() const { return store_->spec(); }
+
+  /// Latencies of every request served since construction, in order.
+  const std::vector<double>& latency_log() const { return latency_log_; }
+  double AverageLatencyMs() const;
+
+ private:
+  storage::TileStore* store_;
+  core::PredictionEngine* engine_;
+  SimClock* clock_;
+  ServerOptions options_;
+  core::CacheManager cache_manager_;
+  std::vector<double> latency_log_;
+};
+
+}  // namespace fc::server
+
+#endif  // FORECACHE_SERVER_FORECACHE_SERVER_H_

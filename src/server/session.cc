@@ -1,0 +1,75 @@
+#include "server/session.h"
+
+namespace fc::server {
+
+BrowserSession::BrowserSession(ForeCacheServer* server) : server_(server) {}
+
+Result<ServedRequest> BrowserSession::Issue(const core::TileRequest& request) {
+  FC_ASSIGN_OR_RETURN(auto served, server_->HandleRequest(request));
+  current_ = request.tile;
+  ++requests_made_;
+  return served;
+}
+
+Result<ServedRequest> BrowserSession::Open() {
+  if (opened_) {
+    return Status::FailedPrecondition("session already opened");
+  }
+  server_->StartSession();
+  opened_ = true;
+  core::TileRequest request;
+  request.tile = tiles::TileKey{0, 0, 0};
+  request.move = std::nullopt;
+  return Issue(request);
+}
+
+Result<ServedRequest> BrowserSession::ApplyMove(core::Move move) {
+  if (!opened_) {
+    return Status::FailedPrecondition("session not opened; call Open() first");
+  }
+  auto target = core::ApplyMove(current_, move, server_->spec());
+  if (!target.has_value()) {
+    return Status::InvalidArgument("move " + std::string(core::MoveToString(move)) +
+                                   " leaves the dataset from " + current_.ToString());
+  }
+  core::TileRequest request;
+  request.tile = *target;
+  request.move = move;
+  return Issue(request);
+}
+
+SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
+                               SharedPredictionComponents shared,
+                               ServerOptions options)
+    : store_(store), clock_(clock), shared_(shared), options_(options) {}
+
+BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
+  auto it = sessions_.find(session_id);
+  if (it != sessions_.end()) return it->second.browser.get();
+
+  SessionState state;
+  state.engine = std::make_unique<core::PredictionEngine>(
+      &store_->spec(), shared_.classifier, shared_.ab, shared_.sb,
+      shared_.strategy, shared_.engine_options);
+  state.server = std::make_unique<ForeCacheServer>(store_, state.engine.get(),
+                                                   clock_, options_);
+  state.browser = std::make_unique<BrowserSession>(state.server.get());
+  auto [inserted, _] = sessions_.emplace(session_id, std::move(state));
+  return inserted->second.browser.get();
+}
+
+Status SessionManager::Close(const std::string& session_id) {
+  if (sessions_.erase(session_id) == 0) {
+    return Status::NotFound("no session: " + session_id);
+  }
+  return Status::OK();
+}
+
+Result<const ForeCacheServer*> SessionManager::ServerFor(
+    const std::string& session_id) const {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return Status::NotFound("no session: " + session_id);
+  return it->second.server.get();
+}
+
+}  // namespace fc::server

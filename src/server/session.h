@@ -1,0 +1,91 @@
+// Client-facing session API and the multi-user session manager.
+//
+// BrowserSession is the headless stand-in for the paper's web front end: it
+// tracks the user's current tile and translates pans/zooms into tile
+// requests against a ForeCacheServer. SessionManager hosts many independent
+// sessions over one shared tile store (paper section 6.2 discusses the
+// multi-user setting as future work; a per-session-cache version is
+// implemented here).
+
+#ifndef FORECACHE_SERVER_SESSION_H_
+#define FORECACHE_SERVER_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/prediction_engine.h"
+#include "server/forecache_server.h"
+
+namespace fc::server {
+
+/// A single user's browsing session. Starts at the coarsest tile.
+class BrowserSession {
+ public:
+  /// `server` must outlive the session.
+  explicit BrowserSession(ForeCacheServer* server);
+
+  /// Issues the opening request for the root tile (L0/0/0).
+  Result<ServedRequest> Open();
+
+  /// Applies a move from the current tile. InvalidArgument if the move
+  /// leaves the pyramid.
+  Result<ServedRequest> ApplyMove(core::Move move);
+
+  const tiles::TileKey& current_tile() const { return current_; }
+  std::size_t requests_made() const { return requests_made_; }
+
+ private:
+  Result<ServedRequest> Issue(const core::TileRequest& request);
+
+  ForeCacheServer* server_;
+  tiles::TileKey current_;
+  bool opened_ = false;
+  std::size_t requests_made_ = 0;
+};
+
+/// Shared prediction components a SessionManager wires into every session.
+struct SharedPredictionComponents {
+  const core::PhaseClassifier* classifier = nullptr;
+  const core::Recommender* ab = nullptr;
+  const core::Recommender* sb = nullptr;
+  const core::AllocationStrategy* strategy = nullptr;
+  core::PredictionEngineOptions engine_options;
+};
+
+/// Hosts independent per-user sessions over one backing store. Each session
+/// gets its own cache manager, prediction-engine state, and latency log.
+class SessionManager {
+ public:
+  /// `store` and everything in `shared` must outlive the manager.
+  SessionManager(storage::TileStore* store, SimClock* clock,
+                 SharedPredictionComponents shared, ServerOptions options = {});
+
+  /// Creates (or returns the existing) session for `session_id`.
+  BrowserSession* GetOrCreate(const std::string& session_id);
+
+  /// Ends a session, releasing its cache. NotFound if absent.
+  Status Close(const std::string& session_id);
+
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+  /// The server backing `session_id` (for latency inspection), or NotFound.
+  Result<const ForeCacheServer*> ServerFor(const std::string& session_id) const;
+
+ private:
+  struct SessionState {
+    std::unique_ptr<core::PredictionEngine> engine;
+    std::unique_ptr<ForeCacheServer> server;
+    std::unique_ptr<BrowserSession> browser;
+  };
+
+  storage::TileStore* store_;
+  SimClock* clock_;
+  SharedPredictionComponents shared_;
+  ServerOptions options_;
+  std::map<std::string, SessionState> sessions_;
+};
+
+}  // namespace fc::server
+
+#endif  // FORECACHE_SERVER_SESSION_H_

@@ -1,0 +1,68 @@
+#include "sim/study.h"
+
+#include "common/string_utils.h"
+
+namespace fc::sim {
+
+std::vector<core::Trace> Study::TracesForTask(int task_id) const {
+  std::vector<core::Trace> out;
+  for (const auto& t : traces) {
+    if (t.task_id == task_id) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<core::Trace> Study::TracesExcludingUser(
+    const std::string& user_id) const {
+  std::vector<core::Trace> out;
+  for (const auto& t : traces) {
+    if (t.user_id != user_id) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> Study::UserIds() const {
+  std::vector<std::string> ids;
+  for (const auto& t : traces) {
+    if (ids.empty() || ids.back() != t.user_id) {
+      bool seen = false;
+      for (const auto& id : ids) {
+        if (id == t.user_id) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) ids.push_back(t.user_id);
+    }
+  }
+  return ids;
+}
+
+Result<Study> RunStudyOnDataset(ModisDataset dataset,
+                                const StudyOptions& study_options) {
+  Study study;
+  study.dataset = std::move(dataset);
+  study.options = study_options;
+  study.tasks = DefaultStudyTasks(study.dataset.options.terrain,
+                                  study.dataset.options.num_levels);
+
+  for (int u = 0; u < study_options.num_users; ++u) {
+    std::string user_id = StrFormat("user%02d", u + 1);
+    AgentPersonality personality = MakePersonality(u, study_options.seed);
+    UserAgent agent(study.dataset.pyramid.get(), personality);
+    for (const auto& task : study.tasks) {
+      FC_ASSIGN_OR_RETURN(auto trace, agent.RunTask(task, user_id));
+      study.traces.push_back(std::move(trace));
+    }
+  }
+  return study;
+}
+
+Result<Study> RunStudy(const ModisDatasetOptions& dataset_options,
+                       const StudyOptions& study_options) {
+  ModisDatasetBuilder builder(dataset_options);
+  FC_ASSIGN_OR_RETURN(auto dataset, builder.Build());
+  return RunStudyOnDataset(std::move(dataset), study_options);
+}
+
+}  // namespace fc::sim

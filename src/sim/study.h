@@ -1,0 +1,51 @@
+// StudyRunner: regenerates the paper's user study — 18 subjects x 3 tasks =
+// 54 labeled traces over the synthetic MODIS dataset (paper section 5.3).
+
+#ifndef FORECACHE_SIM_STUDY_H_
+#define FORECACHE_SIM_STUDY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/request.h"
+#include "sim/modis_dataset.h"
+#include "sim/task.h"
+#include "sim/user_agent.h"
+
+namespace fc::sim {
+
+struct StudyOptions {
+  int num_users = 18;
+  std::uint64_t seed = 4242;
+};
+
+/// The complete study: dataset, tasks, and all traces.
+struct Study {
+  ModisDataset dataset;
+  std::vector<Task> tasks;
+  std::vector<core::Trace> traces;  ///< user-major, task-minor order.
+  StudyOptions options;
+
+  /// Traces of one task (1-based id).
+  std::vector<core::Trace> TracesForTask(int task_id) const;
+
+  /// Traces of every user except `user_id` (LOOCV training set).
+  std::vector<core::Trace> TracesExcludingUser(const std::string& user_id) const;
+
+  /// Distinct user ids, in order of first appearance.
+  std::vector<std::string> UserIds() const;
+};
+
+/// Builds the dataset and runs every (user, task) pair.
+Result<Study> RunStudy(const ModisDatasetOptions& dataset_options,
+                       const StudyOptions& study_options = {});
+
+/// Runs the traces against an already-built dataset (reuse across benches).
+Result<Study> RunStudyOnDataset(ModisDataset dataset,
+                                const StudyOptions& study_options = {});
+
+}  // namespace fc::sim
+
+#endif  // FORECACHE_SIM_STUDY_H_

@@ -1,0 +1,78 @@
+#include "sim/task.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fc::sim {
+
+void TileCenterUnit(const tiles::TileKey& key, const tiles::PyramidSpec& spec,
+                    double* ux, double* uy) {
+  *ux = (static_cast<double>(key.x) + 0.5) /
+        static_cast<double>(spec.TilesX(key.level));
+  *uy = (static_cast<double>(key.y) + 0.5) /
+        static_cast<double>(spec.TilesY(key.level));
+}
+
+bool Task::Contains(const tiles::TileKey& key,
+                    const tiles::PyramidSpec& spec) const {
+  double ux = 0.0;
+  double uy = 0.0;
+  TileCenterUnit(key, spec, &ux, &uy);
+  return ux >= x0 && ux <= x1 && uy >= y0 && uy <= y1;
+}
+
+namespace {
+
+// Bounding box of a rotated elliptical ridge, inflated by `margin`.
+Task RegionAroundRange(const MountainRange& range, double margin) {
+  double cos_a = std::abs(std::cos(range.angle_rad));
+  double sin_a = std::abs(std::sin(range.angle_rad));
+  double half_x = range.length * cos_a + range.width * sin_a + margin;
+  double half_y = range.length * sin_a + range.width * cos_a + margin;
+  Task t;
+  t.x0 = std::max(0.0, range.center_x - half_x);
+  t.x1 = std::min(1.0, range.center_x + half_x);
+  t.y0 = std::max(0.0, range.center_y - half_y);
+  t.y1 = std::min(1.0, range.center_y + half_y);
+  return t;
+}
+
+}  // namespace
+
+std::vector<Task> DefaultStudyTasks(const TerrainOptions& terrain, int num_levels) {
+  auto ranges = terrain.ranges.empty() ? DefaultStudyRanges() : terrain.ranges;
+  // Scale the paper's levels (6 and 8 of 9) to this pyramid: tasks 1 and 3
+  // sit two levels above the finest, task 2 one level above.
+  int deep = std::max(1, num_levels - 1);   // task 2 ("level 8")
+  int mid = std::max(1, num_levels - 2);    // tasks 1 and 3 ("level 6")
+
+  std::vector<Task> tasks;
+
+  Task t1 = RegionAroundRange(ranges[0], 0.22);
+  t1.id = 1;
+  t1.name = "continental_us_highest_ndsi";
+  t1.target_level = mid;
+  t1.ndsi_threshold = 0.65;  // "highest NDSI values": selective hunting
+  t1.finds_per_excursion = 1;
+  tasks.push_back(t1);
+
+  Task t2 = RegionAroundRange(ranges.size() > 1 ? ranges[1] : ranges[0], 0.07);
+  t2.id = 2;
+  t2.name = "western_europe_ndsi_ge_0.5";
+  t2.target_level = deep;
+  t2.ndsi_threshold = 0.22;
+  t2.finds_per_excursion = 2;
+  tasks.push_back(t2);
+
+  Task t3 = RegionAroundRange(ranges.size() > 2 ? ranges[2] : ranges[0], 0.06);
+  t3.id = 3;
+  t3.name = "south_america_ndsi_gt_0.25";
+  t3.target_level = mid;
+  t3.ndsi_threshold = 0.20;
+  t3.finds_per_excursion = 2;  // dense, easy ridge: several accepts per dive
+  tasks.push_back(t3);
+
+  return tasks;
+}
+
+}  // namespace fc::sim

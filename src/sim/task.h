@@ -1,0 +1,58 @@
+// Study task definitions (paper section 5.3.3): find `tiles_needed` tiles at
+// a target zoom level, inside a geographic region, whose NDSI meets a
+// threshold.
+
+#ifndef FORECACHE_SIM_TASK_H_
+#define FORECACHE_SIM_TASK_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/terrain.h"
+#include "tiles/tile_key.h"
+
+namespace fc::sim {
+
+struct Task {
+  int id = 1;
+  std::string name;
+
+  /// Search region in unit map coordinates ([0,1]^2, y down).
+  double x0 = 0.0;
+  double x1 = 1.0;
+  double y0 = 0.0;
+  double y1 = 1.0;
+
+  int target_level = 4;        ///< Zoom level the answer tiles must be at.
+  double ndsi_threshold = 0.5; ///< Minimum max-NDSI for an answer tile.
+  int tiles_needed = 4;
+
+  /// Answer tiles a participant typically confirms per deep excursion:
+  /// selective tasks ("highest NDSI") force one careful confirmation per
+  /// dive; permissive ones (task 3's low threshold over a dense ridge) let
+  /// users bank several neighbors at once. Shapes the section 5.3.4
+  /// request-count ordering (35 / 25 / 17).
+  int finds_per_excursion = 1;
+
+  /// True if the tile's center lies inside the region.
+  bool Contains(const tiles::TileKey& key, const tiles::PyramidSpec& spec) const;
+
+  /// Unit-coordinate center of the region.
+  double CenterX() const { return 0.5 * (x0 + x1); }
+  double CenterY() const { return 0.5 * (y0 + y1); }
+};
+
+/// The three study tasks, bound to the default terrain ranges and scaled to
+/// a pyramid with `num_levels` levels. Analogues of:
+///   1. continental US, level 6, highest NDSI       (Rockies)
+///   2. western Europe, level 8, NDSI >= 0.5        (Alps)
+///   3. South America, level 6, NDSI > 0.25         (Andes)
+std::vector<Task> DefaultStudyTasks(const TerrainOptions& terrain, int num_levels);
+
+/// Unit-coordinate center of a tile.
+void TileCenterUnit(const tiles::TileKey& key, const tiles::PyramidSpec& spec,
+                    double* ux, double* uy);
+
+}  // namespace fc::sim
+
+#endif  // FORECACHE_SIM_TASK_H_

@@ -1,0 +1,390 @@
+#include "sim/user_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+
+namespace fc::sim {
+
+using core::AnalysisPhase;
+using core::Move;
+using tiles::TileKey;
+
+AgentPersonality MakePersonality(int user_index, std::uint64_t study_seed) {
+  Rng rng(CombineSeeds(study_seed, static_cast<std::uint64_t>(user_index) + 1000));
+  AgentPersonality p;
+  // Mixture matching the study's observed variety (Figure 8c-e groupings):
+  // most users scan one or two levels below the root; error rates and
+  // patience vary per user.
+  p.forage_level = 1 + static_cast<int>(rng.UniformUint32(2));  // 1 or 2
+  p.mistake_rate = rng.UniformDouble(0.04, 0.11);
+  p.pan_vs_zoomout = rng.UniformDouble(0.45, 0.8);
+  p.threshold_slack = rng.UniformDouble(0.04, 0.12);
+  p.patience = 2 + static_cast<int>(rng.UniformUint32(3));  // 2..4
+  p.tiles_per_roi = rng.Bernoulli(0.3) ? 2 : 1;
+  p.compare_pans = 1 + static_cast<int>(rng.UniformUint32(3));  // 1..3
+  p.perception_noise = rng.UniformDouble(0.06, 0.16);
+  p.visual_affinity = rng.UniformDouble(0.3, 0.9);
+  p.seed = rng.NextUint64();
+  return p;
+}
+
+UserAgent::UserAgent(const tiles::TilePyramid* pyramid,
+                     AgentPersonality personality)
+    : pyramid_(pyramid), personality_(personality) {}
+
+AnalysisPhase UserAgent::PhaseOf(Mode mode) const {
+  switch (mode) {
+    case Mode::kScanning: return AnalysisPhase::kForaging;
+    case Mode::kGoingDown: return AnalysisPhase::kNavigation;
+    case Mode::kInspecting: return AnalysisPhase::kSensemaking;
+    case Mode::kGoingUp: return AnalysisPhase::kNavigation;
+  }
+  return AnalysisPhase::kForaging;
+}
+
+double UserAgent::TileMax(const TileKey& key) const {
+  auto md = pyramid_->metadata().Get(key);
+  if (!md.ok()) return -1.0;
+  return (*md)->max;
+}
+
+double UserAgent::VisualSimilarity(const TileKey& a, const TileKey& b) const {
+  auto sig_a =
+      pyramid_->metadata().GetSignature(a, vision::SignatureKind::kHistogram);
+  auto sig_b =
+      pyramid_->metadata().GetSignature(b, vision::SignatureKind::kHistogram);
+  if (!sig_a.ok() || !sig_b.ok()) return 0.0;
+  double chi2 = ChiSquaredDistance(**sig_a, **sig_b);
+  return 1.0 / (1.0 + chi2);
+}
+
+double UserAgent::Promise(const TileKey& key, const Task& task) const {
+  const auto& spec = pyramid_->spec();
+  if (key.level > task.target_level) return -1.0;
+  int delta = task.target_level - key.level;
+  std::int64_t x0 = key.x << delta;
+  std::int64_t y0 = key.y << delta;
+  std::int64_t span = std::int64_t{1} << delta;
+  std::int64_t tx = spec.TilesX(task.target_level);
+  std::int64_t ty = spec.TilesY(task.target_level);
+  double best = -1.0;
+  for (std::int64_t y = y0; y < std::min(y0 + span, ty); ++y) {
+    for (std::int64_t x = x0; x < std::min(x0 + span, tx); ++x) {
+      TileKey detail{task.target_level, x, y};
+      if (!task.Contains(detail, spec)) continue;
+      if (visited_detail_.count(detail) > 0) continue;
+      best = std::max(best, TileMax(detail));
+    }
+  }
+  if (best < 0.0 || key.level >= task.target_level) return best;
+  // Coarse levels are judged by eye from aggregated renderings; perturb the
+  // estimate deterministically per (user, task, tile).
+  std::uint64_t h = HashSeed(CombineSeeds(
+      perception_salt_,
+      CombineSeeds(static_cast<std::uint64_t>(key.level),
+                   (static_cast<std::uint64_t>(key.x) << 24) ^
+                       static_cast<std::uint64_t>(key.y))));
+  double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return best + personality_.perception_noise * (2.0 * unit - 1.0);
+}
+
+Result<core::Trace> UserAgent::RunTask(const Task& task,
+                                       const std::string& user_id) {
+  if (task.target_level < 1 || task.target_level >= pyramid_->spec().num_levels) {
+    return Status::InvalidArgument("task target level outside pyramid");
+  }
+  visited_detail_.clear();
+  found_.clear();
+  perception_salt_ = CombineSeeds(personality_.seed,
+                                  static_cast<std::uint64_t>(task.id) * 31 + 7);
+  std::set<TileKey> visited_coarse;
+
+  const auto& spec = pyramid_->spec();
+  const int forage =
+      std::max(0, std::min(personality_.forage_level, task.target_level - 1));
+  // Per-dive accept quota: the task's typical count, nudged by personality.
+  const int roi_quota = task.finds_per_excursion + (personality_.tiles_per_roi - 1);
+  Rng rng(CombineSeeds(personality_.seed, static_cast<std::uint64_t>(task.id)));
+
+  core::Trace trace;
+  trace.user_id = user_id;
+  trace.task_id = task.id;
+
+  TileKey current{0, 0, 0};
+  Mode mode = Mode::kScanning;
+  int unpromising_streak = 0;
+  int found_this_descent = 0;
+  int pans_this_descent = 0;
+  std::vector<TileKey> found_this_roi;
+
+  // When leaving an ROI, the accepted tiles' neighborhoods count as seen so
+  // the next excursion explores new ground.
+  auto mark_roi_exhausted = [&]() {
+    std::int64_t tx = spec.TilesX(task.target_level);
+    std::int64_t ty = spec.TilesY(task.target_level);
+    for (const auto& tile : found_this_roi) {
+      // Mark the accepted tile and its 4-neighborhood (not the full 3x3:
+      // diagonal peaks stay discoverable on a later excursion).
+      const std::pair<std::int64_t, std::int64_t> kCross[] = {
+          {0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+      for (const auto& [dx, dy] : kCross) {
+        TileKey nb = tile.Shifted(dx, dy);
+        if (nb.x >= 0 && nb.x < tx && nb.y >= 0 && nb.y < ty) {
+          visited_detail_.insert(nb);
+        }
+      }
+    }
+    found_this_roi.clear();
+  };
+
+  auto emit = [&](std::optional<Move> move, AnalysisPhase phase) {
+    core::TraceRecord rec;
+    rec.request.tile = current;
+    rec.request.move = move;
+    rec.phase = phase;
+    trace.records.push_back(rec);
+  };
+  emit(std::nullopt, AnalysisPhase::kForaging);
+
+  // Picks the child quadrant with the best promise (random tiebreak).
+  auto best_child_move = [&](const TileKey& key) -> std::optional<Move> {
+    if (key.level + 1 >= spec.num_levels) return std::nullopt;
+    double best = -2.0;
+    std::vector<Move> best_moves;
+    for (int q = 0; q < 4; ++q) {
+      TileKey child = key.Child(q);
+      if (!spec.Valid(child)) continue;
+      double p = Promise(child, task);
+      if (p > best + 1e-12) {
+        best = p;
+        best_moves.assign(1, static_cast<Move>(static_cast<int>(Move::kZoomInNW) + q));
+      } else if (std::abs(p - best) <= 1e-12) {
+        best_moves.push_back(static_cast<Move>(static_cast<int>(Move::kZoomInNW) + q));
+      }
+    }
+    if (best_moves.empty() || best < 0.0) return std::nullopt;
+    return best_moves[rng.UniformUint32(static_cast<std::uint32_t>(best_moves.size()))];
+  };
+
+  // Pans one step toward the task region's center.
+  auto pan_toward_region = [&](const TileKey& key) -> std::optional<Move> {
+    double ux = 0.0;
+    double uy = 0.0;
+    TileCenterUnit(key, spec, &ux, &uy);
+    double dx = task.CenterX() - ux;
+    double dy = task.CenterY() - uy;
+    std::vector<Move> ordered;
+    if (std::abs(dx) >= std::abs(dy)) {
+      ordered = {dx > 0 ? Move::kPanRight : Move::kPanLeft,
+                 dy > 0 ? Move::kPanDown : Move::kPanUp};
+    } else {
+      ordered = {dy > 0 ? Move::kPanDown : Move::kPanUp,
+                 dx > 0 ? Move::kPanRight : Move::kPanLeft};
+    }
+    for (Move m : ordered) {
+      if (core::ApplyMove(key, m, spec).has_value()) return m;
+    }
+    return std::nullopt;
+  };
+
+  for (int step = 0; step < kMaxSteps; ++step) {
+    // Normalize mode against the current level (mistake moves can shift it).
+    if (mode == Mode::kGoingDown && current.level >= task.target_level) {
+      mode = Mode::kInspecting;
+      unpromising_streak = 0;
+      found_this_descent = 0;
+      pans_this_descent = 0;
+    }
+    if (mode == Mode::kGoingUp && current.level <= forage) mode = Mode::kScanning;
+    if (mode == Mode::kInspecting && current.level < task.target_level) {
+      mode = Mode::kGoingDown;
+    }
+
+    // Inspect the tile under the viewport.
+    if (mode == Mode::kInspecting) {
+      visited_detail_.insert(current);
+      bool qualifies = task.Contains(current, spec) &&
+                       TileMax(current) >= task.ndsi_threshold &&
+                       found_.count(current) == 0;
+      if (qualifies && found_this_descent < roi_quota) {
+        found_.insert(current);
+        found_this_roi.push_back(current);
+        ++found_this_descent;
+        if (static_cast<int>(found_.size()) >= task.tiles_needed) break;
+      }
+      // Retreat only after accepting this descent's quota AND comparing
+      // enough neighbors to trust the answer (the Sensemaking pans).
+      if (found_this_descent >= roi_quota &&
+          pans_this_descent >= personality_.compare_pans) {
+        mode = Mode::kGoingUp;
+        mark_roi_exhausted();
+      }
+    } else if (mode == Mode::kScanning) {
+      visited_coarse.insert(current);
+    }
+
+    std::optional<Move> chosen;
+
+    // Off-policy exploration/mistakes (never deeper than the target level).
+    if (rng.Bernoulli(personality_.mistake_rate)) {
+      std::vector<Move> valid;
+      for (Move m : core::ValidMoves(current, spec)) {
+        auto to = core::ApplyMove(current, m, spec);
+        if (to->level <= task.target_level) valid.push_back(m);
+      }
+      if (!valid.empty()) {
+        chosen = valid[rng.UniformUint32(static_cast<std::uint32_t>(valid.size()))];
+      }
+    }
+
+    if (!chosen.has_value()) {
+      switch (mode) {
+        case Mode::kScanning: {
+          if (current.level < forage) {
+            // Still descending to scanning altitude: zoom toward promise.
+            chosen = best_child_move(current);
+            if (!chosen.has_value()) chosen = pan_toward_region(current);
+            break;
+          }
+          double here = Promise(current, task);
+          // Users dive on fairly weak evidence (a hint of orange is enough
+          // to zoom in and check); the eagerness constant keeps descents
+          // frequent relative to forage pans.
+          constexpr double kDescendEagerness = 0.12;
+          if (here >= task.ndsi_threshold - personality_.threshold_slack -
+                          kDescendEagerness) {
+            mode = Mode::kGoingDown;
+            chosen = best_child_move(current);
+            if (chosen.has_value()) break;
+            mode = Mode::kScanning;  // nothing below after all
+          }
+          // Scan: prefer the most promising unvisited neighbor.
+          double best_score = -2.0;
+          std::optional<Move> best_move;
+          for (Move m : {Move::kPanLeft, Move::kPanRight, Move::kPanUp,
+                         Move::kPanDown}) {
+            auto to = core::ApplyMove(current, m, spec);
+            if (!to.has_value()) continue;
+            double score = Promise(*to, task);
+            if (visited_coarse.count(*to) > 0) score -= 0.15;
+            if (score > best_score) {
+              best_score = score;
+              best_move = m;
+            }
+          }
+          if (best_move.has_value() && best_score > 0.0) {
+            chosen = best_move;
+          } else if (current.level > 0 &&
+                     !rng.Bernoulli(personality_.pan_vs_zoomout)) {
+            chosen = Move::kZoomOut;  // widen the view (still foraging)
+          } else {
+            chosen = pan_toward_region(current);
+            if (!chosen.has_value()) chosen = best_move;
+          }
+          break;
+        }
+        case Mode::kGoingDown: {
+          chosen = best_child_move(current);
+          if (!chosen.has_value()) {
+            mode = Mode::kGoingUp;  // subtree exhausted
+            chosen = Move::kZoomOut;
+          }
+          break;
+        }
+        case Mode::kInspecting: {
+          // Pan to the most promising neighbor at this level. Unvisited
+          // tiles are strongly preferred, but comparison pans may revisit
+          // (users look back and forth when weighing candidates). Neighbors
+          // that look about equally interesting are chosen between at
+          // whim — humans do not sweep in a fixed direction.
+          constexpr double kVisualTieBand = 0.30;
+          struct PanOption {
+            Move move;
+            double score;
+            double tile_max;
+            bool unvisited;
+          };
+          std::vector<PanOption> pan_options;
+          for (Move m : {Move::kPanLeft, Move::kPanRight, Move::kPanUp,
+                         Move::kPanDown}) {
+            auto to = core::ApplyMove(current, m, spec);
+            if (!to.has_value()) continue;
+            bool unvisited = visited_detail_.count(*to) == 0;
+            // Blend of "looks like what I am studying" (content similarity
+            // to the tile under the viewport) and "has lots of snow". The
+            // blend picks WHICH neighbor to inspect; whether to keep
+            // inspecting at all is decided on raw snow content below.
+            double score =
+                personality_.visual_affinity * VisualSimilarity(current, *to) +
+                (1.0 - personality_.visual_affinity) * TileMax(*to);
+            if (task.Contains(*to, spec)) score += 0.25;
+            if (!unvisited) score -= 1.5;
+            pan_options.push_back({m, score, TileMax(*to), unvisited});
+          }
+          double best_score = -4.0;
+          std::optional<Move> best_move;
+          double best_tile_max = -1.0;
+          bool best_unvisited = false;
+          for (const auto& opt : pan_options) {
+            if (opt.score > best_score) best_score = opt.score;
+          }
+          std::vector<const PanOption*> near_best;
+          for (const auto& opt : pan_options) {
+            if (opt.score >= best_score - kVisualTieBand) near_best.push_back(&opt);
+          }
+          if (!near_best.empty()) {
+            const PanOption* pick = near_best[rng.UniformUint32(
+                static_cast<std::uint32_t>(near_best.size()))];
+            best_move = pick->move;
+            best_tile_max = pick->tile_max;
+            best_unvisited = pick->unvisited;
+          }
+          // Attention is bounded: after the quota plus a few extra
+          // comparisons the region is considered understood.
+          bool exhausted_attention =
+              pans_this_descent >= personality_.compare_pans + 4;
+          bool promising =
+              best_move.has_value() && best_unvisited && !exhausted_attention &&
+              best_tile_max >= task.ndsi_threshold - personality_.threshold_slack;
+          // Comparison pans target tiles not yet inspected — there is
+          // nothing left to learn from a tile already studied this session.
+          bool owes_compares = pans_this_descent < personality_.compare_pans &&
+                               found_this_descent > 0 && best_unvisited;
+          if (promising || (owes_compares && best_move.has_value())) {
+            if (promising) unpromising_streak = 0;
+            chosen = best_move;
+          } else if (best_move.has_value() && best_unvisited &&
+                     !exhausted_attention &&
+                     unpromising_streak < personality_.patience) {
+            ++unpromising_streak;
+            chosen = best_move;
+          } else {
+            mode = Mode::kGoingUp;
+            mark_roi_exhausted();
+            chosen = Move::kZoomOut;
+          }
+          break;
+        }
+        case Mode::kGoingUp: {
+          chosen = Move::kZoomOut;
+          break;
+        }
+      }
+    }
+
+    if (!chosen.has_value()) break;  // completely stuck; end the session
+    auto next = core::ApplyMove(current, *chosen, spec);
+    if (!next.has_value()) break;
+    if (mode == Mode::kInspecting && core::IsPan(*chosen)) ++pans_this_descent;
+    AnalysisPhase phase = PhaseOf(mode);
+    current = *next;
+    emit(*chosen, phase);
+  }
+
+  return trace;
+}
+
+}  // namespace fc::sim

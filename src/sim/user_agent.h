@@ -1,0 +1,115 @@
+// UserAgent: a stochastic stand-in for one study participant.
+//
+// The agent executes a search task with the explicit three-phase behavior
+// the paper's analysis model describes (section 4.2.1): it *forages* at a
+// coarse zoom level scanning for snowy regions, *navigates* down to a
+// candidate region, *sensemakes* by panning across detailed tiles and
+// checking them against the task threshold, then navigates back up and
+// repeats until it has found the required tiles. Each emitted request is
+// labeled with the agent's ground-truth phase — replacing the paper's
+// hand-labeling of study traces.
+
+#ifndef FORECACHE_SIM_USER_AGENT_H_
+#define FORECACHE_SIM_USER_AGENT_H_
+
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/request.h"
+#include "sim/task.h"
+#include "tiles/pyramid.h"
+
+namespace fc::sim {
+
+/// Per-user behavioral parameters; varied across the 18 simulated subjects.
+struct AgentPersonality {
+  /// Level the agent prefers for scanning (coarse; paper users hovered a
+  /// few levels below the root).
+  int forage_level = 2;
+
+  /// Probability of an off-policy (exploratory/erroneous) move per step.
+  double mistake_rate = 0.05;
+
+  /// In a dead region: probability of panning onward vs zooming out.
+  double pan_vs_zoomout = 0.6;
+
+  /// How far below the task threshold a tile still looks "promising".
+  double threshold_slack = 0.08;
+
+  /// Unpromising sensemaking pans tolerated before retreating.
+  int patience = 3;
+
+  /// Answer tiles accepted per deep excursion before retreating to forage
+  /// again. The study's participants confirmed roughly one answer per
+  /// descent (Figure 9 shows four separate dives for four tiles).
+  int tiles_per_roi = 1;
+
+  /// Neighboring tiles compared at the detail level before the agent trusts
+  /// an accepted answer and retreats — the Sensemaking behavior proper
+  /// ("analyzes neighboring tiles to determine if the pattern in the data
+  /// supports or refutes her hypothesis", section 4.2.1).
+  int compare_pans = 2;
+
+  /// Std-dev of the perception error on coarse-level promise judgments.
+  /// Users eyeball aggregated renderings and sometimes dive into regions
+  /// that turn out uninteresting — failed excursions are a big part of why
+  /// real sessions are long.
+  double perception_noise = 0.12;
+
+  /// Weight of content-similarity (vs raw snow intensity) when choosing
+  /// which neighbor to inspect next during Sensemaking. The paper's user
+  /// model holds that people navigate toward tiles that *look like* what
+  /// they are studying (section 4.3.3); high-affinity users embody that.
+  double visual_affinity = 0.5;
+
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic personality for study subject `user_index` (0-based).
+AgentPersonality MakePersonality(int user_index, std::uint64_t study_seed);
+
+class UserAgent {
+ public:
+  /// `pyramid` must outlive the agent. Promise estimates read the pyramid's
+  /// per-tile metadata (the agent "sees" rendered tiles; metadata max-NDSI
+  /// is the programmatic stand-in for the user seeing orange snow pixels).
+  UserAgent(const tiles::TilePyramid* pyramid, AgentPersonality personality);
+
+  /// Runs one task to completion (or the step cap) and returns the labeled
+  /// request trace.
+  Result<core::Trace> RunTask(const Task& task, const std::string& user_id);
+
+  /// Hard cap on requests per trace (guards pathological personalities).
+  static constexpr int kMaxSteps = 160;
+
+ private:
+  enum class Mode { kScanning, kGoingDown, kInspecting, kGoingUp };
+
+  core::AnalysisPhase PhaseOf(Mode mode) const;
+
+  /// Highest max-NDSI among the tile's unvisited in-region descendants at
+  /// the task's target level, perturbed by deterministic perception noise
+  /// (the tile's *perceived* promise).
+  double Promise(const tiles::TileKey& key, const Task& task) const;
+
+  /// Metadata max-NDSI of one tile (-1 when metadata is missing).
+  double TileMax(const tiles::TileKey& key) const;
+
+  /// Content similarity of two tiles in [0, 1], from their histogram
+  /// signatures (1 = identical distributions). 0 when metadata is missing.
+  double VisualSimilarity(const tiles::TileKey& a, const tiles::TileKey& b) const;
+
+  const tiles::TilePyramid* pyramid_;
+  AgentPersonality personality_;
+
+  // Per-task state (reset by RunTask).
+  std::set<tiles::TileKey> visited_detail_;
+  std::set<tiles::TileKey> found_;
+  std::uint64_t perception_salt_ = 0;
+};
+
+}  // namespace fc::sim
+
+#endif  // FORECACHE_SIM_USER_AGENT_H_

@@ -1,0 +1,120 @@
+#include "storage/tile_codec.h"
+
+#include <cstring>
+
+namespace fc::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'C', 'T', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+void AppendRaw(std::string* out, const void* data, std::size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  Status ReadRaw(void* dst, std::size_t len) {
+    if (pos_ + len > bytes_.size()) {
+      return Status::Corruption("tile blob truncated");
+    }
+    std::memcpy(dst, bytes_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Result<T> ReadValue() {
+    T value;
+    FC_RETURN_IF_ERROR(ReadRaw(&value, sizeof(T)));
+    return value;
+  }
+
+  Result<std::string> ReadString() {
+    FC_ASSIGN_OR_RETURN(auto len, ReadValue<std::uint32_t>());
+    if (len > 1 << 20) return Status::Corruption("unreasonable string length");
+    std::string s(len, '\0');
+    FC_RETURN_IF_ERROR(ReadRaw(s.data(), len));
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeTile(const tiles::Tile& tile) {
+  std::string out;
+  out.reserve(64 + tile.SizeBytes());
+  AppendRaw(&out, kMagic, sizeof(kMagic));
+  AppendValue(&out, kVersion);
+  AppendValue(&out, static_cast<std::int32_t>(tile.key().level));
+  AppendValue(&out, tile.key().x);
+  AppendValue(&out, tile.key().y);
+  AppendValue(&out, tile.width());
+  AppendValue(&out, tile.height());
+  AppendValue(&out, static_cast<std::uint32_t>(tile.num_attrs()));
+  for (const auto& name : tile.attr_names()) {
+    AppendValue(&out, static_cast<std::uint32_t>(name.size()));
+    AppendRaw(&out, name.data(), name.size());
+  }
+  for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
+    const auto& data = tile.AttrData(a);
+    AppendRaw(&out, data.data(), data.size() * sizeof(double));
+  }
+  return out;
+}
+
+Result<tiles::Tile> DecodeTile(const std::string& bytes) {
+  Reader reader(bytes);
+  char magic[4];
+  FC_RETURN_IF_ERROR(reader.ReadRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad tile magic");
+  }
+  FC_ASSIGN_OR_RETURN(auto version, reader.ReadValue<std::uint32_t>());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported tile version");
+  }
+  FC_ASSIGN_OR_RETURN(auto level, reader.ReadValue<std::int32_t>());
+  FC_ASSIGN_OR_RETURN(auto x, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto y, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto width, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto height, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto nattr, reader.ReadValue<std::uint32_t>());
+  if (width <= 0 || height <= 0 || nattr == 0 || nattr > 1024) {
+    return Status::Corruption("implausible tile header");
+  }
+  std::vector<std::string> names;
+  names.reserve(nattr);
+  for (std::uint32_t i = 0; i < nattr; ++i) {
+    FC_ASSIGN_OR_RETURN(auto name, reader.ReadString());
+    names.push_back(std::move(name));
+  }
+  auto tile_result = tiles::Tile::Make(
+      tiles::TileKey{level, x, y}, width, height, std::move(names));
+  if (!tile_result.ok()) {
+    return tile_result.status().WithContext("decoding tile");
+  }
+  tiles::Tile tile = std::move(tile_result).value();
+  for (std::uint32_t a = 0; a < nattr; ++a) {
+    auto& buf = tile.MutableAttrData(a);
+    FC_RETURN_IF_ERROR(reader.ReadRaw(buf.data(), buf.size() * sizeof(double)));
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes after tile");
+  return tile;
+}
+
+}  // namespace fc::storage

@@ -1,0 +1,26 @@
+// Binary serialization for tiles (the on-disk format of DiskTileStore).
+//
+// Layout (little-endian):
+//   magic "FCTL" | u32 version | i32 level | i64 x | i64 y
+//   | i64 width | i64 height | u32 nattr
+//   | nattr x { u32 name_len | bytes } | nattr x (width*height) f64
+
+#ifndef FORECACHE_STORAGE_TILE_CODEC_H_
+#define FORECACHE_STORAGE_TILE_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tiles/tile.h"
+
+namespace fc::storage {
+
+/// Serializes a tile to a byte string.
+std::string EncodeTile(const tiles::Tile& tile);
+
+/// Parses a byte string produced by EncodeTile. Corruption on any mismatch.
+Result<tiles::Tile> DecodeTile(const std::string& bytes);
+
+}  // namespace fc::storage
+
+#endif  // FORECACHE_STORAGE_TILE_CODEC_H_

@@ -1,0 +1,117 @@
+#include "storage/tile_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_utils.h"
+#include "storage/tile_codec.h"
+
+namespace fc::storage {
+
+// ---------------------------------------------------------------------------
+// MemoryTileStore
+
+MemoryTileStore::MemoryTileStore(std::shared_ptr<const tiles::TilePyramid> pyramid)
+    : pyramid_(std::move(pyramid)) {}
+
+Result<tiles::TilePtr> MemoryTileStore::Fetch(const tiles::TileKey& key) {
+  ++fetches_;
+  return pyramid_->GetTile(key);
+}
+
+bool MemoryTileStore::Contains(const tiles::TileKey& key) const {
+  return pyramid_->Contains(key);
+}
+
+const tiles::PyramidSpec& MemoryTileStore::spec() const { return pyramid_->spec(); }
+
+// ---------------------------------------------------------------------------
+// SimulatedDbmsStore
+
+SimulatedDbmsStore::SimulatedDbmsStore(
+    std::shared_ptr<const tiles::TilePyramid> pyramid,
+    array::QueryCostModel cost_model, SimClock* clock)
+    : pyramid_(std::move(pyramid)), cost_model_(cost_model), clock_(clock) {}
+
+Result<tiles::TilePtr> SimulatedDbmsStore::Fetch(const tiles::TileKey& key) {
+  ++fetches_;
+  auto tile = pyramid_->GetTile(key);
+  if (!tile.ok()) return tile;
+  // Each tile is one storage chunk in the materialized view (section 2.3);
+  // the query scans the tile's cells.
+  double ms = cost_model_.QueryMillis(/*chunks=*/1, (*tile)->cell_count());
+  total_query_millis_ += ms;
+  clock_->AdvanceMillis(ms);
+  return tile;
+}
+
+bool SimulatedDbmsStore::Contains(const tiles::TileKey& key) const {
+  return pyramid_->Contains(key);
+}
+
+const tiles::PyramidSpec& SimulatedDbmsStore::spec() const {
+  return pyramid_->spec();
+}
+
+// ---------------------------------------------------------------------------
+// DiskTileStore
+
+DiskTileStore::DiskTileStore(std::string directory, tiles::PyramidSpec spec)
+    : directory_(std::move(directory)), spec_(spec) {}
+
+Result<std::unique_ptr<DiskTileStore>> DiskTileStore::Open(std::string directory,
+                                                           tiles::PyramidSpec spec) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create tile directory " + directory + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<DiskTileStore>(
+      new DiskTileStore(std::move(directory), spec));
+}
+
+std::string DiskTileStore::PathFor(const tiles::TileKey& key) const {
+  return StrFormat("%s/tile_%d_%lld_%lld.fctl", directory_.c_str(), key.level,
+                   static_cast<long long>(key.x), static_cast<long long>(key.y));
+}
+
+Status DiskTileStore::Save(const tiles::Tile& tile) {
+  std::string path = PathFor(tile.key());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  std::string bytes = EncodeTile(tile);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status DiskTileStore::SavePyramid(const tiles::TilePyramid& pyramid) {
+  for (const auto& key : pyramid.spec().AllKeys()) {
+    FC_ASSIGN_OR_RETURN(auto tile, pyramid.GetTile(key));
+    FC_RETURN_IF_ERROR(Save(*tile));
+  }
+  return Status::OK();
+}
+
+Result<tiles::TilePtr> DiskTileStore::Fetch(const tiles::TileKey& key) {
+  ++fetches_;
+  std::string path = PathFor(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no tile file: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  FC_ASSIGN_OR_RETURN(auto tile, DecodeTile(bytes));
+  if (!(tile.key() == key)) {
+    return Status::Corruption("tile file " + path + " holds key " +
+                              tile.key().ToString());
+  }
+  return std::make_shared<const tiles::Tile>(std::move(tile));
+}
+
+bool DiskTileStore::Contains(const tiles::TileKey& key) const {
+  return std::filesystem::exists(PathFor(key));
+}
+
+}  // namespace fc::storage

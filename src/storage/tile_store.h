@@ -1,0 +1,110 @@
+// TileStore: where the middleware fetches tiles from when the cache misses.
+//
+// Three backends:
+//  * MemoryTileStore     — pyramid held in RAM, no simulated cost (the user
+//                          study served everything from memory, section 5.3);
+//  * SimulatedDbmsStore  — pyramid + query cost model + virtual clock; every
+//                          fetch charges the calibrated SciDB latency;
+//  * DiskTileStore       — tiles serialized to files, real I/O.
+
+#ifndef FORECACHE_STORAGE_TILE_STORE_H_
+#define FORECACHE_STORAGE_TILE_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "array/cost_model.h"
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "tiles/pyramid.h"
+#include "tiles/tile.h"
+#include "tiles/tile_key.h"
+
+namespace fc::storage {
+
+/// Abstract tile source. Fetch may be expensive; Contains must be cheap.
+class TileStore {
+ public:
+  virtual ~TileStore() = default;
+
+  virtual Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) = 0;
+  virtual bool Contains(const tiles::TileKey& key) const = 0;
+  virtual const tiles::PyramidSpec& spec() const = 0;
+
+  /// Cumulative count of Fetch calls (successful or not).
+  virtual std::uint64_t fetch_count() const = 0;
+};
+
+/// Serves straight from an in-memory pyramid.
+class MemoryTileStore : public TileStore {
+ public:
+  explicit MemoryTileStore(std::shared_ptr<const tiles::TilePyramid> pyramid);
+
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+  bool Contains(const tiles::TileKey& key) const override;
+  const tiles::PyramidSpec& spec() const override;
+  std::uint64_t fetch_count() const override { return fetches_; }
+
+ private:
+  std::shared_ptr<const tiles::TilePyramid> pyramid_;
+  std::uint64_t fetches_ = 0;
+};
+
+/// Serves from an in-memory pyramid while charging DBMS query cost to a
+/// virtual clock — the experimental stand-in for a SciDB backend.
+class SimulatedDbmsStore : public TileStore {
+ public:
+  /// `clock` must outlive the store.
+  SimulatedDbmsStore(std::shared_ptr<const tiles::TilePyramid> pyramid,
+                     array::QueryCostModel cost_model, SimClock* clock);
+
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+  bool Contains(const tiles::TileKey& key) const override;
+  const tiles::PyramidSpec& spec() const override;
+  std::uint64_t fetch_count() const override { return fetches_; }
+
+  /// Total simulated milliseconds charged across all fetches.
+  double total_query_millis() const { return total_query_millis_; }
+
+  array::QueryCostModel* cost_model() { return &cost_model_; }
+
+ private:
+  std::shared_ptr<const tiles::TilePyramid> pyramid_;
+  array::QueryCostModel cost_model_;
+  SimClock* clock_;
+  std::uint64_t fetches_ = 0;
+  double total_query_millis_ = 0.0;
+};
+
+/// Serves tiles from one file per tile under a directory.
+class DiskTileStore : public TileStore {
+ public:
+  /// Creates the directory if needed; Save writes tiles, Fetch reads them.
+  static Result<std::unique_ptr<DiskTileStore>> Open(std::string directory,
+                                                     tiles::PyramidSpec spec);
+
+  /// Persists one tile (overwrites).
+  Status Save(const tiles::Tile& tile);
+
+  /// Persists every tile of a pyramid.
+  Status SavePyramid(const tiles::TilePyramid& pyramid);
+
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+  bool Contains(const tiles::TileKey& key) const override;
+  const tiles::PyramidSpec& spec() const override { return spec_; }
+  std::uint64_t fetch_count() const override { return fetches_; }
+
+  /// Filesystem path for a tile key.
+  std::string PathFor(const tiles::TileKey& key) const;
+
+ private:
+  DiskTileStore(std::string directory, tiles::PyramidSpec spec);
+
+  std::string directory_;
+  tiles::PyramidSpec spec_;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace fc::storage
+
+#endif  // FORECACHE_STORAGE_TILE_STORE_H_

@@ -1,0 +1,158 @@
+#include "tiles/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_utils.h"
+#include "common/string_utils.h"
+
+namespace fc::tiles {
+
+Result<TilePtr> TilePyramid::GetTile(const TileKey& key) const {
+  auto it = tiles_.find(key);
+  if (it == tiles_.end()) return Status::NotFound("no tile " + key.ToString());
+  return it->second;
+}
+
+std::size_t TilePyramid::SizeBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [_, tile] : tiles_) bytes += tile->SizeBytes();
+  return bytes;
+}
+
+TilePyramidBuilder::TilePyramidBuilder(PyramidBuildOptions options)
+    : options_(std::move(options)) {}
+
+int FitNumLevels(std::int64_t base_width, std::int64_t base_height,
+                 std::int64_t tile_width, std::int64_t tile_height) {
+  int levels = 1;
+  std::int64_t w = base_width;
+  std::int64_t h = base_height;
+  while (w > tile_width || h > tile_height) {
+    w = (w + 1) / 2;
+    h = (h + 1) / 2;
+    ++levels;
+  }
+  return levels;
+}
+
+Result<std::shared_ptr<TilePyramid>> TilePyramidBuilder::Build(
+    const array::DenseArray& base) const {
+  const auto& schema = base.schema();
+  if (schema.num_dims() != 2) {
+    return Status::InvalidArgument("tile pyramids require 2D base arrays");
+  }
+  if (schema.dims()[0].start != 0 || schema.dims()[1].start != 0) {
+    return Status::InvalidArgument("base array dimensions must start at 0");
+  }
+
+  PyramidSpec spec;
+  spec.num_levels = options_.num_levels;
+  spec.tile_width = options_.tile_width;
+  spec.tile_height = options_.tile_height;
+  // Dimension order convention: dim 0 = y (rows / latitude),
+  // dim 1 = x (columns / longitude).
+  spec.base_height = schema.dims()[0].length;
+  spec.base_width = schema.dims()[1].length;
+  FC_RETURN_IF_ERROR(spec.Validate());
+
+  std::vector<array::AggKind> kinds = options_.agg_kinds;
+  if (kinds.empty()) {
+    kinds.assign(schema.num_attrs(), array::AggKind::kAvg);
+  }
+  if (kinds.size() != schema.num_attrs()) {
+    return Status::InvalidArgument(
+        StrFormat("agg_kinds size %zu != attribute count %zu", kinds.size(),
+                  schema.num_attrs()));
+  }
+
+  auto pyramid = std::make_shared<TilePyramid>();
+  pyramid->spec_ = spec;
+  for (const auto& a : schema.attrs()) pyramid->attr_names_.push_back(a.name);
+  pyramid->signature_attr_ =
+      options_.signature_attr.empty() ? schema.attrs()[0].name : options_.signature_attr;
+  FC_ASSIGN_OR_RETURN(std::size_t sig_attr,
+                      schema.AttrIndex(pyramid->signature_attr_));
+
+  // Step 1: materialized views, finest -> coarsest (paper builds bottom-up,
+  // doubling aggregation intervals per coarser level).
+  std::vector<array::DenseArray> levels;
+  levels.reserve(static_cast<std::size_t>(spec.num_levels));
+  levels.push_back(base);  // finest level = raw data
+  for (int l = spec.num_levels - 1; l > 0; --l) {
+    FC_ASSIGN_OR_RETURN(
+        auto coarser,
+        array::RegridMulti(levels.back(), {2, 2}, kinds,
+                           StrFormat("%s_L%d", schema.name().c_str(), l - 1)));
+    levels.push_back(std::move(coarser));
+  }
+  // levels[i] currently holds zoom level (num_levels - 1 - i); reverse so
+  // levels[L] is zoom level L.
+  std::reverse(levels.begin(), levels.end());
+
+  // Step 2: partition every view into tiles.
+  for (int l = 0; l < spec.num_levels; ++l) {
+    const auto& view = levels[static_cast<std::size_t>(l)];
+    std::int64_t vh = view.schema().dims()[0].length;
+    std::int64_t vw = view.schema().dims()[1].length;
+    FC_CHECK_MSG(vh == spec.LevelHeight(l) && vw == spec.LevelWidth(l),
+                 "materialized view extent mismatch");
+    for (const TileKey& key : spec.KeysAtLevel(l)) {
+      std::int64_t x0 = key.x * spec.tile_width;
+      std::int64_t y0 = key.y * spec.tile_height;
+      std::int64_t w = std::min(spec.tile_width, vw - x0);
+      std::int64_t h = std::min(spec.tile_height, vh - y0);
+      FC_ASSIGN_OR_RETURN(auto tile, Tile::Make(key, w, h, pyramid->attr_names_));
+      for (std::int64_t ty = 0; ty < h; ++ty) {
+        for (std::int64_t tx = 0; tx < w; ++tx) {
+          array::Coords c{y0 + ty, x0 + tx};
+          std::int64_t idx = view.LinearIndex(c);
+          bool present = view.PresentLinear(idx);
+          for (std::size_t a = 0; a < pyramid->attr_names_.size(); ++a) {
+            tile.Set(a, tx, ty, present ? view.GetLinear(idx, a) : 0.0);
+          }
+        }
+      }
+      pyramid->tiles_[key] = std::make_shared<const Tile>(std::move(tile));
+    }
+  }
+
+  // Step 3: metadata — summary stats always; signatures when configured.
+  if (options_.toolbox != nullptr && !options_.toolbox->FullyTrained()) {
+    // Sample tiles evenly across the whole pyramid for codebook training.
+    auto all_keys = pyramid->spec_.AllKeys();
+    std::size_t stride =
+        std::max<std::size_t>(1, all_keys.size() / std::max<std::size_t>(
+                                                       1, options_.training_sample_max));
+    std::vector<vision::Raster> samples;
+    for (std::size_t i = 0; i < all_keys.size(); i += stride) {
+      FC_ASSIGN_OR_RETURN(auto tile, pyramid->GetTile(all_keys[i]));
+      FC_ASSIGN_OR_RETURN(auto raster, tile->ToRaster(sig_attr));
+      samples.push_back(std::move(raster));
+    }
+    Rng rng(options_.seed);
+    FC_RETURN_IF_ERROR(options_.toolbox->TrainAll(samples, &rng)
+                           .WithContext("signature codebook training"));
+  }
+
+  for (const auto& [key, tile] : pyramid->tiles_) {
+    TileMetadata md;
+    const auto& values = tile->AttrData(sig_attr);
+    md.mean = Mean(values);
+    md.stddev = StdDev(values);
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    md.min = values.empty() ? 0.0 : *mn;
+    md.max = values.empty() ? 0.0 : *mx;
+    if (options_.toolbox != nullptr) {
+      FC_ASSIGN_OR_RETURN(auto raster, tile->ToRaster(sig_attr));
+      FC_ASSIGN_OR_RETURN(auto sigs, options_.toolbox->ComputeAll(raster));
+      md.signatures = std::move(sigs);
+    }
+    pyramid->metadata_.Put(key, std::move(md));
+  }
+
+  return pyramid;
+}
+
+}  // namespace fc::tiles

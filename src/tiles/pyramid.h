@@ -1,0 +1,98 @@
+// TilePyramid: the complete tiled, multi-resolution form of one dataset,
+// plus the builder that derives it from a raw array (paper section 2.3:
+// materialized views -> partitioning -> metadata).
+
+#ifndef FORECACHE_TILES_PYRAMID_H_
+#define FORECACHE_TILES_PYRAMID_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "array/ops.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "tiles/metadata.h"
+#include "tiles/tile.h"
+#include "tiles/tile_key.h"
+#include "vision/signature.h"
+
+namespace fc::tiles {
+
+/// All tiles of a dataset across zoom levels, with shared metadata.
+class TilePyramid {
+ public:
+  TilePyramid() = default;
+
+  const PyramidSpec& spec() const { return spec_; }
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+  const std::string& signature_attr() const { return signature_attr_; }
+
+  /// The tile at `key`, or NotFound.
+  Result<TilePtr> GetTile(const TileKey& key) const;
+
+  bool Contains(const TileKey& key) const { return tiles_.count(key) > 0; }
+  std::size_t tile_count() const { return tiles_.size(); }
+
+  const TileMetadataStore& metadata() const { return metadata_; }
+  TileMetadataStore* mutable_metadata() { return &metadata_; }
+
+  /// Total bytes across tile payloads.
+  std::size_t SizeBytes() const;
+
+ private:
+  friend class TilePyramidBuilder;
+
+  PyramidSpec spec_;
+  std::vector<std::string> attr_names_;
+  std::string signature_attr_;
+  std::unordered_map<TileKey, TilePtr, TileKeyHash> tiles_;
+  TileMetadataStore metadata_;
+};
+
+/// Options controlling pyramid construction.
+struct PyramidBuildOptions {
+  int num_levels = 6;
+  std::int64_t tile_width = 32;
+  std::int64_t tile_height = 32;
+
+  /// Per-attribute aggregation when coarsening (empty = all kAvg). The paper
+  /// stores min/avg/max NDSI attributes, aggregated with min/avg/max.
+  std::vector<array::AggKind> agg_kinds;
+
+  /// Attribute rendered to rasters for signatures (empty = first attribute).
+  std::string signature_attr;
+
+  /// When set, codebooks are trained and signatures computed for all tiles.
+  vision::SignatureToolbox* toolbox = nullptr;
+
+  /// Max tiles sampled (spread over all levels) for codebook training.
+  std::size_t training_sample_max = 64;
+
+  std::uint64_t seed = 17;
+};
+
+/// Builds TilePyramids from base (finest-level) arrays.
+class TilePyramidBuilder {
+ public:
+  explicit TilePyramidBuilder(PyramidBuildOptions options);
+
+  /// Runs the three-step pipeline over a 2D base array whose dimensions
+  /// start at 0: (1) one materialized view per zoom level via repeated
+  /// regrid-by-2; (2) fixed-size partitioning of every view; (3) per-tile
+  /// metadata (stats + signatures when a toolbox is configured).
+  Result<std::shared_ptr<TilePyramid>> Build(const array::DenseArray& base) const;
+
+ private:
+  PyramidBuildOptions options_;
+};
+
+/// Smallest num_levels such that the coarsest level fits in a single tile.
+int FitNumLevels(std::int64_t base_width, std::int64_t base_height,
+                 std::int64_t tile_width, std::int64_t tile_height);
+
+}  // namespace fc::tiles
+
+#endif  // FORECACHE_TILES_PYRAMID_H_

@@ -1,0 +1,51 @@
+#include "tiles/tile.h"
+
+#include "common/string_utils.h"
+
+namespace fc::tiles {
+
+Result<Tile> Tile::Make(TileKey key, std::int64_t width, std::int64_t height,
+                        std::vector<std::string> attr_names) {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("tile dimensions must be positive");
+  }
+  if (attr_names.empty()) {
+    return Status::InvalidArgument("tile needs at least one attribute");
+  }
+  Tile t;
+  t.key_ = key;
+  t.width_ = width;
+  t.height_ = height;
+  t.attr_names_ = std::move(attr_names);
+  t.data_.assign(t.attr_names_.size(),
+                 std::vector<double>(static_cast<std::size_t>(width * height), 0.0));
+  return t;
+}
+
+Result<std::size_t> Tile::AttrIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < attr_names_.size(); ++i) {
+    if (attr_names_[i] == name) return i;
+  }
+  return Status::NotFound("tile has no attribute named: " + std::string(name));
+}
+
+Result<vision::Raster> Tile::ToRaster(std::size_t attr) const {
+  if (attr >= data_.size()) {
+    return Status::NotFound(StrFormat("attribute index %zu out of range", attr));
+  }
+  return vision::Raster::FromData(static_cast<std::size_t>(width_),
+                                  static_cast<std::size_t>(height_), data_[attr]);
+}
+
+Result<vision::Raster> Tile::ToRaster(std::string_view attr_name) const {
+  FC_ASSIGN_OR_RETURN(auto idx, AttrIndex(attr_name));
+  return ToRaster(idx);
+}
+
+std::size_t Tile::SizeBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& buf : data_) bytes += buf.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace fc::tiles

@@ -1,0 +1,137 @@
+#include "tiles/tile_key.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace fc::tiles {
+
+std::string TileKey::ToString() const {
+  return StrFormat("L%d/%lld/%lld", level, static_cast<long long>(x),
+                   static_cast<long long>(y));
+}
+
+Result<TileKey> TileKey::Parse(std::string_view s) {
+  if (s.empty() || s[0] != 'L') {
+    return Status::InvalidArgument("tile key must start with 'L': " + std::string(s));
+  }
+  auto parts = Split(s.substr(1), '/');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("tile key needs L<level>/<x>/<y>: " + std::string(s));
+  }
+  FC_ASSIGN_OR_RETURN(auto level, ParseInt(parts[0]));
+  FC_ASSIGN_OR_RETURN(auto x, ParseInt(parts[1]));
+  FC_ASSIGN_OR_RETURN(auto y, ParseInt(parts[2]));
+  return TileKey{static_cast<int>(level), x, y};
+}
+
+TileKey TileKey::Parent() const {
+  FC_CHECK_MSG(level > 0, "level-0 tile has no parent");
+  return TileKey{level - 1, x / 2, y / 2};
+}
+
+TileKey TileKey::Child(int quadrant) const {
+  FC_CHECK_MSG(quadrant >= 0 && quadrant < 4, "quadrant must be 0..3");
+  return TileKey{level + 1, 2 * x + (quadrant % 2), 2 * y + (quadrant / 2)};
+}
+
+int TileKey::QuadrantInParent() const {
+  return static_cast<int>((y % 2) * 2 + (x % 2));
+}
+
+TileKey TileKey::Shifted(std::int64_t dx, std::int64_t dy) const {
+  return TileKey{level, x + dx, y + dy};
+}
+
+std::int64_t TileKey::ManhattanDistance(const TileKey& a, const TileKey& b) {
+  // Project both keys to the finer level by doubling coordinates.
+  std::int64_t ax = a.x;
+  std::int64_t ay = a.y;
+  std::int64_t bx = b.x;
+  std::int64_t by = b.y;
+  int level = std::max(a.level, b.level);
+  for (int l = a.level; l < level; ++l) {
+    ax *= 2;
+    ay *= 2;
+  }
+  for (int l = b.level; l < level; ++l) {
+    bx *= 2;
+    by *= 2;
+  }
+  std::int64_t level_gap = std::abs(a.level - b.level);
+  return std::abs(ax - bx) + std::abs(ay - by) + level_gap;
+}
+
+Status PyramidSpec::Validate() const {
+  if (num_levels <= 0) return Status::InvalidArgument("num_levels must be positive");
+  if (tile_width <= 0 || tile_height <= 0) {
+    return Status::InvalidArgument("tile dimensions must be positive");
+  }
+  if (base_width <= 0 || base_height <= 0) {
+    return Status::InvalidArgument("base dimensions must be positive");
+  }
+  if (LevelWidth(0) <= 0 || LevelHeight(0) <= 0) {
+    return Status::InvalidArgument("coarsest level would be empty");
+  }
+  return Status::OK();
+}
+
+std::int64_t PyramidSpec::AggregationInterval(int level) const {
+  FC_CHECK(level >= 0 && level < num_levels);
+  return std::int64_t{1} << (num_levels - 1 - level);
+}
+
+std::int64_t PyramidSpec::LevelWidth(int level) const {
+  std::int64_t interval = AggregationInterval(level);
+  return (base_width + interval - 1) / interval;
+}
+
+std::int64_t PyramidSpec::LevelHeight(int level) const {
+  std::int64_t interval = AggregationInterval(level);
+  return (base_height + interval - 1) / interval;
+}
+
+std::int64_t PyramidSpec::TilesX(int level) const {
+  return (LevelWidth(level) + tile_width - 1) / tile_width;
+}
+
+std::int64_t PyramidSpec::TilesY(int level) const {
+  return (LevelHeight(level) + tile_height - 1) / tile_height;
+}
+
+std::int64_t PyramidSpec::TotalTiles() const {
+  std::int64_t total = 0;
+  for (int l = 0; l < num_levels; ++l) total += TilesX(l) * TilesY(l);
+  return total;
+}
+
+bool PyramidSpec::Valid(const TileKey& key) const {
+  if (key.level < 0 || key.level >= num_levels) return false;
+  return key.x >= 0 && key.x < TilesX(key.level) && key.y >= 0 &&
+         key.y < TilesY(key.level);
+}
+
+std::vector<TileKey> PyramidSpec::KeysAtLevel(int level) const {
+  std::vector<TileKey> keys;
+  if (level < 0 || level >= num_levels) return keys;
+  keys.reserve(static_cast<std::size_t>(TilesX(level) * TilesY(level)));
+  for (std::int64_t y = 0; y < TilesY(level); ++y) {
+    for (std::int64_t x = 0; x < TilesX(level); ++x) {
+      keys.push_back(TileKey{level, x, y});
+    }
+  }
+  return keys;
+}
+
+std::vector<TileKey> PyramidSpec::AllKeys() const {
+  std::vector<TileKey> keys;
+  for (int l = 0; l < num_levels; ++l) {
+    auto level_keys = KeysAtLevel(l);
+    keys.insert(keys.end(), level_keys.begin(), level_keys.end());
+  }
+  return keys;
+}
+
+}  // namespace fc::tiles

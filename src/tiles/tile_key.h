@@ -1,0 +1,98 @@
+// Tile addressing and quad-pyramid coordinate math (paper sections 2.3, 4.1).
+//
+// Zoom level 0 is the coarsest view; each tile at level i covers exactly
+// four tiles at level i+1 (the paper's aggregation-interval-doubling
+// construction). Within a level, tiles form a (tiles_x x tiles_y) grid with
+// x growing rightward (longitude) and y growing downward (latitude).
+
+#ifndef FORECACHE_TILES_TILE_KEY_H_
+#define FORECACHE_TILES_TILE_KEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fc::tiles {
+
+struct TileKey {
+  int level = 0;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  friend bool operator==(const TileKey&, const TileKey&) = default;
+  friend auto operator<=>(const TileKey&, const TileKey&) = default;
+
+  /// "L3/5/7" form.
+  std::string ToString() const;
+  static Result<TileKey> Parse(std::string_view s);
+
+  /// Parent tile one zoom level coarser. Precondition: level > 0.
+  TileKey Parent() const;
+
+  /// Child tile in quadrant q (0=NW, 1=NE, 2=SW, 3=SE), one level finer.
+  TileKey Child(int quadrant) const;
+
+  /// The quadrant (0..3) this tile occupies within its parent.
+  int QuadrantInParent() const;
+
+  /// Same-level neighbor shifted by (dx, dy) grid steps.
+  TileKey Shifted(std::int64_t dx, std::int64_t dy) const;
+
+  /// Manhattan distance in tile units; tiles at different levels are first
+  /// projected to the finer of the two levels (paper Algorithm 3 penalizes
+  /// signature distances by physical tile distance).
+  static std::int64_t ManhattanDistance(const TileKey& a, const TileKey& b);
+};
+
+struct TileKeyHash {
+  std::size_t operator()(const TileKey& k) const {
+    std::size_t h = std::hash<int>()(k.level);
+    h ^= std::hash<std::int64_t>()(k.x) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    h ^= std::hash<std::int64_t>()(k.y) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+/// Geometry of a tile pyramid: how many levels, the fixed tile size, and the
+/// cell dimensions of the most detailed level (the raw data, paper 2.3).
+struct PyramidSpec {
+  int num_levels = 1;
+  std::int64_t tile_width = 128;   ///< Cells per tile along x.
+  std::int64_t tile_height = 128;  ///< Cells per tile along y.
+  std::int64_t base_width = 128;   ///< Raw-data cells along x (finest level).
+  std::int64_t base_height = 128;  ///< Raw-data cells along y.
+
+  /// Validates positivity and that the base is coverable at every level.
+  Status Validate() const;
+
+  /// Aggregation interval applied to the raw data to produce `level`
+  /// (doubles per coarser level: finest level has interval 1).
+  std::int64_t AggregationInterval(int level) const;
+
+  /// Cell dimensions of the materialized view at `level`.
+  std::int64_t LevelWidth(int level) const;
+  std::int64_t LevelHeight(int level) const;
+
+  /// Tile-grid dimensions at `level`.
+  std::int64_t TilesX(int level) const;
+  std::int64_t TilesY(int level) const;
+
+  /// Total tiles across all levels.
+  std::int64_t TotalTiles() const;
+
+  /// True if `key` addresses a tile inside this pyramid.
+  bool Valid(const TileKey& key) const;
+
+  /// All valid keys at `level`, row-major.
+  std::vector<TileKey> KeysAtLevel(int level) const;
+
+  /// All valid keys, coarsest level first.
+  std::vector<TileKey> AllKeys() const;
+};
+
+}  // namespace fc::tiles
+
+#endif  // FORECACHE_TILES_TILE_KEY_H_

@@ -1,0 +1,46 @@
+#include "vision/codebook.h"
+
+#include "common/math_utils.h"
+#include "vision/kmeans.h"
+
+namespace fc::vision {
+
+Result<Codebook> Codebook::Train(const std::vector<std::vector<double>>& descriptors,
+                                 std::size_t num_words, Rng* rng) {
+  KMeansOptions opts;
+  opts.k = num_words;
+  opts.max_iterations = 30;
+  FC_ASSIGN_OR_RETURN(auto km, KMeans(descriptors, opts, rng));
+  Codebook cb;
+  cb.centers_ = std::move(km.centers);
+  return cb;
+}
+
+Result<Codebook> Codebook::FromCenters(std::vector<std::vector<double>> centers) {
+  if (centers.empty()) return Status::InvalidArgument("codebook needs >= 1 center");
+  std::size_t dim = centers[0].size();
+  for (const auto& c : centers) {
+    if (c.size() != dim || dim == 0) {
+      return Status::InvalidArgument("codebook centers must share a non-zero dimension");
+    }
+  }
+  Codebook cb;
+  cb.centers_ = std::move(centers);
+  return cb;
+}
+
+std::size_t Codebook::Quantize(const std::vector<double>& descriptor) const {
+  return NearestCenter(centers_, descriptor);
+}
+
+std::vector<double> Codebook::BuildHistogram(
+    const std::vector<SiftFeature>& features) const {
+  std::vector<double> hist(centers_.size(), 0.0);
+  for (const auto& f : features) {
+    hist[Quantize(f.descriptor)] += 1.0;
+  }
+  NormalizeToSum1(&hist);
+  return hist;
+}
+
+}  // namespace fc::vision

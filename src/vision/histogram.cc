@@ -1,0 +1,41 @@
+#include "vision/histogram.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+
+namespace fc::vision {
+
+Histogram1D::Histogram1D(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {}
+
+Result<Histogram1D> Histogram1D::Make(std::size_t bins, double lo, double hi) {
+  if (bins == 0) return Status::InvalidArgument("histogram needs >= 1 bin");
+  if (!(lo < hi)) return Status::InvalidArgument("histogram range must have lo < hi");
+  return Histogram1D(bins, lo, hi);
+}
+
+std::size_t Histogram1D::BinOf(double value) const {
+  double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  return static_cast<std::size_t>(bin);
+}
+
+void Histogram1D::Add(double value) {
+  counts_[BinOf(value)] += 1.0;
+  ++total_;
+}
+
+void Histogram1D::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+std::vector<double> Histogram1D::Normalized() const {
+  std::vector<double> out = counts_;
+  NormalizeToSum1(&out);
+  return out;
+}
+
+}  // namespace fc::vision

@@ -1,0 +1,48 @@
+// Fixed-range 1-D histograms (tile signature #2 in paper Table 2).
+
+#ifndef FORECACHE_VISION_HISTOGRAM_H_
+#define FORECACHE_VISION_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fc::vision {
+
+/// Histogram over [lo, hi] with `bins` equal-width buckets. Values outside
+/// the range are clamped into the first/last bin (tile values occasionally
+/// exceed nominal NDSI bounds after aggregation).
+class Histogram1D {
+ public:
+  /// InvalidArgument if bins == 0 or lo >= hi.
+  static Result<Histogram1D> Make(std::size_t bins, double lo, double hi);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t total() const { return total_; }
+
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Counts normalized to sum 1 (all-zero when empty).
+  std::vector<double> Normalized() const;
+
+  /// Bin index a value falls into (clamped).
+  std::size_t BinOf(double value) const;
+
+ private:
+  Histogram1D(std::size_t bins, double lo, double hi);
+
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<double> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fc::vision
+
+#endif  // FORECACHE_VISION_HISTOGRAM_H_

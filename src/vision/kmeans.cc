@@ -1,0 +1,116 @@
+#include "vision/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace fc::vision {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double ss = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    ss += d * d;
+  }
+  return ss;
+}
+
+// k-means++ seeding: first center uniform, then proportional to D^2.
+std::vector<std::vector<double>> SeedCenters(
+    const std::vector<std::vector<double>>& points, std::size_t k, Rng* rng) {
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->UniformUint32(static_cast<std::uint32_t>(points.size()))]);
+  std::vector<double> d2(points.size(), 0.0);
+  while (centers.size() < k) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centers) best = std::min(best, SquaredDistance(points[i], c));
+      d2[i] = best;
+    }
+    std::size_t next = rng->WeightedIndex(d2);
+    centers.push_back(points[next]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+std::size_t NearestCenter(const std::vector<std::vector<double>>& centers,
+                          const std::vector<double>& point) {
+  FC_CHECK(!centers.empty());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    double d = SquaredDistance(centers[c], point);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            const KMeansOptions& options, Rng* rng) {
+  if (points.empty()) return Status::InvalidArgument("k-means: no points");
+  if (options.k == 0) return Status::InvalidArgument("k-means: k must be > 0");
+  std::size_t dim = points[0].size();
+  if (dim == 0) return Status::InvalidArgument("k-means: zero-dimensional points");
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("k-means: inconsistent point dimensions");
+    }
+  }
+
+  std::size_t k = std::min(options.k, points.size());
+  KMeansResult result;
+  result.centers = SeedCenters(points, k, rng);
+  result.assignments.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      result.assignments[i] = NearestCenter(result.centers, points[i]);
+    }
+    // Update step.
+    std::vector<std::vector<double>> new_centers(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t c = result.assignments[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) new_centers[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point to keep k clusters alive.
+        new_centers[c] =
+            points[rng->UniformUint32(static_cast<std::uint32_t>(points.size()))];
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        new_centers[c][d] /= static_cast<double>(counts[c]);
+      }
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      movement += std::sqrt(SquaredDistance(result.centers[c], new_centers[c]));
+    }
+    result.centers = std::move(new_centers);
+    if (movement < options.tolerance) break;
+  }
+
+  // Final assignment + inertia.
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.assignments[i] = NearestCenter(result.centers, points[i]);
+    result.inertia += SquaredDistance(points[i], result.centers[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace fc::vision

@@ -1,0 +1,145 @@
+#include "vision/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_utils.h"
+
+namespace fc::vision {
+
+Raster::Raster(std::size_t width, std::size_t height, double fill)
+    : width_(width), height_(height), data_(width * height, fill) {}
+
+Result<Raster> Raster::FromData(std::size_t width, std::size_t height,
+                                std::vector<double> data) {
+  if (data.size() != width * height) {
+    return Status::InvalidArgument(
+        StrFormat("raster data size %zu != %zu x %zu", data.size(), width, height));
+  }
+  Raster r;
+  r.width_ = width;
+  r.height_ = height;
+  r.data_ = std::move(data);
+  return r;
+}
+
+double Raster::AtClamped(std::ptrdiff_t x, std::ptrdiff_t y) const {
+  if (empty()) return 0.0;
+  x = std::clamp<std::ptrdiff_t>(x, 0, static_cast<std::ptrdiff_t>(width_) - 1);
+  y = std::clamp<std::ptrdiff_t>(y, 0, static_cast<std::ptrdiff_t>(height_) - 1);
+  return data_[static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)];
+}
+
+double Raster::Sample(double x, double y) const {
+  if (empty()) return 0.0;
+  double fx = std::floor(x);
+  double fy = std::floor(y);
+  auto x0 = static_cast<std::ptrdiff_t>(fx);
+  auto y0 = static_cast<std::ptrdiff_t>(fy);
+  double ax = x - fx;
+  double ay = y - fy;
+  double v00 = AtClamped(x0, y0);
+  double v10 = AtClamped(x0 + 1, y0);
+  double v01 = AtClamped(x0, y0 + 1);
+  double v11 = AtClamped(x0 + 1, y0 + 1);
+  return (1 - ax) * (1 - ay) * v00 + ax * (1 - ay) * v10 + (1 - ax) * ay * v01 +
+         ax * ay * v11;
+}
+
+std::pair<double, double> Raster::MinMax() const {
+  if (empty()) return {0.0, 0.0};
+  auto [mn, mx] = std::minmax_element(data_.begin(), data_.end());
+  return {*mn, *mx};
+}
+
+void Raster::NormalizeRange() {
+  auto [mn, mx] = MinMax();
+  double span = mx - mn;
+  if (span <= 0.0) return;
+  for (double& v : data_) v = (v - mn) / span;
+}
+
+GradientField ComputeGradients(const Raster& img) {
+  GradientField g;
+  g.dx = Raster(img.width(), img.height());
+  g.dy = Raster(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      auto xi = static_cast<std::ptrdiff_t>(x);
+      auto yi = static_cast<std::ptrdiff_t>(y);
+      g.dx.At(x, y) = 0.5 * (img.AtClamped(xi + 1, yi) - img.AtClamped(xi - 1, yi));
+      g.dy.At(x, y) = 0.5 * (img.AtClamped(xi, yi + 1) - img.AtClamped(xi, yi - 1));
+    }
+  }
+  return g;
+}
+
+Raster GaussianBlur(const Raster& img, double sigma) {
+  if (img.empty() || sigma <= 0.0) return img;
+  int radius = static_cast<int>(std::ceil(3.0 * sigma));
+  std::vector<double> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    double w = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = w;
+    sum += w;
+  }
+  for (double& w : kernel) w /= sum;
+
+  // Horizontal pass.
+  Raster tmp(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               img.AtClamped(static_cast<std::ptrdiff_t>(x) + i,
+                             static_cast<std::ptrdiff_t>(y));
+      }
+      tmp.At(x, y) = acc;
+    }
+  }
+  // Vertical pass.
+  Raster out(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      double acc = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               tmp.AtClamped(static_cast<std::ptrdiff_t>(x),
+                             static_cast<std::ptrdiff_t>(y) + i);
+      }
+      out.At(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+Raster Downsample2x(const Raster& img) {
+  std::size_t w = std::max<std::size_t>(1, img.width() / 2);
+  std::size_t h = std::max<std::size_t>(1, img.height() / 2);
+  Raster out(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      out.At(x, y) = img.At(std::min(2 * x, img.width() - 1),
+                            std::min(2 * y, img.height() - 1));
+    }
+  }
+  return out;
+}
+
+Raster Upsample2x(const Raster& img) {
+  if (img.empty()) return img;
+  std::size_t w = img.width() * 2;
+  std::size_t h = img.height() * 2;
+  Raster out(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      out.At(x, y) = img.Sample(static_cast<double>(x) / 2.0,
+                                static_cast<double>(y) / 2.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace fc::vision

@@ -1,0 +1,75 @@
+// Raster: a dense 2D grayscale image, the input to all signature extractors.
+//
+// Tiles are rendered to rasters by taking a single array attribute (paper
+// section 4.3.3: "All of our signatures are calculated over a single SciDB
+// array attribute").
+
+#ifndef FORECACHE_VISION_RASTER_H_
+#define FORECACHE_VISION_RASTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fc::vision {
+
+/// Row-major 2D image of doubles.
+class Raster {
+ public:
+  Raster() = default;
+
+  /// Creates a width x height raster filled with `fill`.
+  Raster(std::size_t width, std::size_t height, double fill = 0.0);
+
+  /// Wraps existing row-major data. data.size() must equal width*height.
+  static Result<Raster> FromData(std::size_t width, std::size_t height,
+                                 std::vector<double> data);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  double At(std::size_t x, std::size_t y) const { return data_[y * width_ + x]; }
+  double& At(std::size_t x, std::size_t y) { return data_[y * width_ + x]; }
+
+  /// Clamped access: coordinates outside the image are clamped to the border.
+  double AtClamped(std::ptrdiff_t x, std::ptrdiff_t y) const;
+
+  /// Bilinear interpolation at fractional coordinates (border-clamped).
+  double Sample(double x, double y) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Min/max over all pixels; {0,0} for an empty raster.
+  std::pair<double, double> MinMax() const;
+
+  /// Linearly rescales pixel values so min->0 and max->1 (no-op when flat).
+  void NormalizeRange();
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<double> data_;
+};
+
+/// Horizontal and vertical central-difference gradients of `img`.
+struct GradientField {
+  Raster dx;
+  Raster dy;
+};
+GradientField ComputeGradients(const Raster& img);
+
+/// Separable Gaussian blur with the given sigma (kernel radius = ceil(3*sigma)).
+Raster GaussianBlur(const Raster& img, double sigma);
+
+/// Downsamples by a factor of 2 (takes every other pixel).
+Raster Downsample2x(const Raster& img);
+
+/// Upsamples by a factor of 2 with bilinear interpolation.
+Raster Upsample2x(const Raster& img);
+
+}  // namespace fc::vision
+
+#endif  // FORECACHE_VISION_RASTER_H_

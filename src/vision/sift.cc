@@ -1,0 +1,304 @@
+#include "vision/sift.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace fc::vision {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// One octave of the Gaussian/DoG pyramid.
+struct Octave {
+  std::vector<Raster> gaussians;  // scales_per_octave + 3 levels
+  std::vector<Raster> dogs;       // gaussians.size() - 1 levels
+  std::vector<double> sigmas;     // absolute sigma per gaussian level
+  double pixel_scale = 1.0;       // image coords = octave coords * pixel_scale
+};
+
+std::vector<Octave> BuildPyramid(const Raster& base, const SiftOptions& opt) {
+  std::vector<Octave> pyramid;
+  Raster current = GaussianBlur(base, opt.base_sigma);
+  double pixel_scale = 1.0;
+  double k = std::pow(2.0, 1.0 / opt.scales_per_octave);
+
+  for (int o = 0; o < opt.num_octaves; ++o) {
+    if (current.width() < 8 || current.height() < 8) break;
+    Octave oct;
+    oct.pixel_scale = pixel_scale;
+    oct.gaussians.push_back(current);
+    oct.sigmas.push_back(opt.base_sigma);
+    double sigma = opt.base_sigma;
+    int levels = opt.scales_per_octave + 3;
+    for (int s = 1; s < levels; ++s) {
+      double next_sigma = sigma * k;
+      // Incremental blur: sigma_delta^2 = next^2 - current^2.
+      double delta = std::sqrt(std::max(1e-12, next_sigma * next_sigma - sigma * sigma));
+      oct.gaussians.push_back(GaussianBlur(oct.gaussians.back(), delta));
+      oct.sigmas.push_back(next_sigma);
+      sigma = next_sigma;
+    }
+    for (std::size_t s = 0; s + 1 < oct.gaussians.size(); ++s) {
+      const Raster& a = oct.gaussians[s];
+      const Raster& b = oct.gaussians[s + 1];
+      Raster d(a.width(), a.height());
+      for (std::size_t i = 0; i < d.data().size(); ++i) {
+        d.mutable_data()[i] = b.data()[i] - a.data()[i];
+      }
+      oct.dogs.push_back(std::move(d));
+    }
+    // Next octave starts from the level with double the base sigma.
+    Raster seed = oct.gaussians[static_cast<std::size_t>(opt.scales_per_octave)];
+    current = Downsample2x(seed);
+    pixel_scale *= 2.0;
+    pyramid.push_back(std::move(oct));
+  }
+  return pyramid;
+}
+
+// True if dogs[s](x,y) is a strict extremum over its 3x3x3 neighborhood.
+bool IsExtremum(const std::vector<Raster>& dogs, std::size_t s, std::size_t x,
+                std::size_t y) {
+  double v = dogs[s].At(x, y);
+  bool is_max = true;
+  bool is_min = true;
+  for (int ds = -1; ds <= 1; ++ds) {
+    const Raster& layer = dogs[s + static_cast<std::size_t>(ds + 1) - 1];
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (ds == 0 && dx == 0 && dy == 0) continue;
+        double n = layer.At(x + static_cast<std::size_t>(dx + 1) - 1,
+                            y + static_cast<std::size_t>(dy + 1) - 1);
+        if (n >= v) is_max = false;
+        if (n <= v) is_min = false;
+        if (!is_max && !is_min) return false;
+      }
+    }
+  }
+  return is_max || is_min;
+}
+
+// Rejects edge-like responses via the Hessian trace/determinant ratio test.
+bool PassesEdgeTest(const Raster& dog, std::size_t x, std::size_t y,
+                    double edge_ratio) {
+  auto xi = static_cast<std::ptrdiff_t>(x);
+  auto yi = static_cast<std::ptrdiff_t>(y);
+  double dxx = dog.AtClamped(xi + 1, yi) + dog.AtClamped(xi - 1, yi) -
+               2.0 * dog.AtClamped(xi, yi);
+  double dyy = dog.AtClamped(xi, yi + 1) + dog.AtClamped(xi, yi - 1) -
+               2.0 * dog.AtClamped(xi, yi);
+  double dxy = 0.25 * (dog.AtClamped(xi + 1, yi + 1) - dog.AtClamped(xi - 1, yi + 1) -
+                       dog.AtClamped(xi + 1, yi - 1) + dog.AtClamped(xi - 1, yi - 1));
+  double trace = dxx + dyy;
+  double det = dxx * dyy - dxy * dxy;
+  if (det <= 0.0) return false;
+  double r = edge_ratio;
+  return trace * trace / det < (r + 1.0) * (r + 1.0) / r;
+}
+
+// Dominant gradient orientation around (x, y) at the given scale.
+double DominantOrientation(const GradientField& grads, double x, double y,
+                           double scale) {
+  constexpr int kBins = 36;
+  std::array<double, kBins> hist{};
+  double sigma = 1.5 * scale;
+  int radius = std::max(1, static_cast<int>(std::round(3.0 * sigma)));
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      auto px = static_cast<std::ptrdiff_t>(std::round(x)) + dx;
+      auto py = static_cast<std::ptrdiff_t>(std::round(y)) + dy;
+      double gx = grads.dx.AtClamped(px, py);
+      double gy = grads.dy.AtClamped(px, py);
+      double mag = std::sqrt(gx * gx + gy * gy);
+      if (mag <= 0.0) continue;
+      double theta = std::atan2(gy, gx);
+      if (theta < 0) theta += kTwoPi;
+      double w = std::exp(-0.5 * (dx * dx + dy * dy) / (sigma * sigma));
+      int bin = static_cast<int>(theta / kTwoPi * kBins) % kBins;
+      hist[static_cast<std::size_t>(bin)] += w * mag;
+    }
+  }
+  int best = 0;
+  for (int b = 1; b < kBins; ++b) {
+    if (hist[static_cast<std::size_t>(b)] > hist[static_cast<std::size_t>(best)]) {
+      best = b;
+    }
+  }
+  // Parabolic refinement over the peak and its neighbors.
+  double l = hist[static_cast<std::size_t>((best + kBins - 1) % kBins)];
+  double c = hist[static_cast<std::size_t>(best)];
+  double r = hist[static_cast<std::size_t>((best + 1) % kBins)];
+  double denom = l - 2.0 * c + r;
+  double offset = (std::abs(denom) > 1e-12) ? 0.5 * (l - r) / denom : 0.0;
+  double theta = (best + 0.5 + offset) * kTwoPi / kBins;
+  if (theta < 0) theta += kTwoPi;
+  if (theta >= kTwoPi) theta -= kTwoPi;
+  return theta;
+}
+
+}  // namespace
+
+std::vector<double> ComputeSiftDescriptor(const GradientField& grads, double x,
+                                          double y, double scale,
+                                          double orientation) {
+  constexpr int kGrid = 4;        // 4x4 spatial cells
+  constexpr int kOrientBins = 8;  // orientations per cell
+  std::vector<double> desc(kDescriptorDims, 0.0);
+
+  double cell_size = 3.0 * scale;             // pixels per descriptor cell
+  double radius = cell_size * kGrid * 0.7071; // cover the rotated window
+  int r = std::max(2, static_cast<int>(std::round(radius)));
+  double cos_t = std::cos(-orientation);
+  double sin_t = std::sin(-orientation);
+  double window_sigma = 0.5 * kGrid * cell_size;
+
+  for (int dy = -r; dy <= r; ++dy) {
+    for (int dx = -r; dx <= r; ++dx) {
+      // Rotate the offset into the keypoint frame.
+      double rx = (cos_t * dx - sin_t * dy) / cell_size + kGrid / 2.0 - 0.5;
+      double ry = (sin_t * dx + cos_t * dy) / cell_size + kGrid / 2.0 - 0.5;
+      if (rx <= -1.0 || rx >= kGrid || ry <= -1.0 || ry >= kGrid) continue;
+
+      auto px = static_cast<std::ptrdiff_t>(std::round(x)) + dx;
+      auto py = static_cast<std::ptrdiff_t>(std::round(y)) + dy;
+      double gx = grads.dx.AtClamped(px, py);
+      double gy = grads.dy.AtClamped(px, py);
+      double mag = std::sqrt(gx * gx + gy * gy);
+      if (mag <= 0.0) continue;
+      double theta = std::atan2(gy, gx) - orientation;
+      while (theta < 0) theta += kTwoPi;
+      while (theta >= kTwoPi) theta -= kTwoPi;
+
+      double w = std::exp(-0.5 * (dx * dx + dy * dy) / (window_sigma * window_sigma));
+      double obin = theta / kTwoPi * kOrientBins;
+
+      // Trilinear vote over (rx, ry, obin).
+      int x0 = static_cast<int>(std::floor(rx));
+      int y0 = static_cast<int>(std::floor(ry));
+      int o0 = static_cast<int>(std::floor(obin)) % kOrientBins;
+      double fx = rx - x0;
+      double fy = ry - y0;
+      double fo = obin - std::floor(obin);
+      for (int ix = 0; ix <= 1; ++ix) {
+        int cx = x0 + ix;
+        if (cx < 0 || cx >= kGrid) continue;
+        double wx = ix == 0 ? 1.0 - fx : fx;
+        for (int iy = 0; iy <= 1; ++iy) {
+          int cy = y0 + iy;
+          if (cy < 0 || cy >= kGrid) continue;
+          double wy = iy == 0 ? 1.0 - fy : fy;
+          for (int io = 0; io <= 1; ++io) {
+            int co = (o0 + io) % kOrientBins;
+            double wo = io == 0 ? 1.0 - fo : fo;
+            std::size_t idx = static_cast<std::size_t>((cy * kGrid + cx) * kOrientBins + co);
+            desc[idx] += w * mag * wx * wy * wo;
+          }
+        }
+      }
+    }
+  }
+
+  // Normalize, clamp, renormalize (illumination invariance).
+  auto normalize = [&desc]() {
+    double norm = 0.0;
+    for (double v : desc) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& v : desc) v /= norm;
+    }
+  };
+  normalize();
+  for (double& v : desc) v = std::min(v, 0.2);
+  normalize();
+  return desc;
+}
+
+SiftExtractor::SiftExtractor(SiftOptions options) : options_(options) {}
+
+std::vector<Keypoint> SiftExtractor::DetectKeypoints(const Raster& img) const {
+  std::vector<Keypoint> keypoints;
+  if (img.width() < 16 || img.height() < 16) return keypoints;
+  Raster base = img;
+  if (options_.normalize_input) base.NormalizeRange();
+  double coord_scale = 1.0;
+  if (options_.upsample_first) {
+    base = Upsample2x(base);
+    coord_scale = 0.5;
+  }
+  auto pyramid = BuildPyramid(base, options_);
+
+  for (int o = 0; o < static_cast<int>(pyramid.size()); ++o) {
+    const Octave& oct = pyramid[static_cast<std::size_t>(o)];
+    for (std::size_t s = 1; s + 1 < oct.dogs.size(); ++s) {
+      const Raster& dog = oct.dogs[s];
+      for (std::size_t y = 1; y + 1 < dog.height(); ++y) {
+        for (std::size_t x = 1; x + 1 < dog.width(); ++x) {
+          double v = dog.At(x, y);
+          if (std::abs(v) < options_.contrast_threshold) continue;
+          if (!IsExtremum(oct.dogs, s, x, y)) continue;
+          if (!PassesEdgeTest(dog, x, y, options_.edge_ratio)) continue;
+          Keypoint kp;
+          kp.x = static_cast<double>(x) * oct.pixel_scale * coord_scale;
+          kp.y = static_cast<double>(y) * oct.pixel_scale * coord_scale;
+          kp.scale = oct.sigmas[s] * oct.pixel_scale * coord_scale;
+          kp.response = std::abs(v);
+          kp.octave = o;
+          keypoints.push_back(kp);
+        }
+      }
+    }
+  }
+
+  if (options_.max_features > 0 && keypoints.size() > options_.max_features) {
+    std::sort(keypoints.begin(), keypoints.end(),
+              [](const Keypoint& a, const Keypoint& b) { return a.response > b.response; });
+    keypoints.resize(options_.max_features);
+  }
+  return keypoints;
+}
+
+std::vector<SiftFeature> SiftExtractor::Extract(const Raster& img) const {
+  std::vector<SiftFeature> features;
+  auto keypoints = DetectKeypoints(img);
+  if (keypoints.empty()) return features;
+  Raster base = img;
+  if (options_.normalize_input) base.NormalizeRange();
+  GradientField grads = ComputeGradients(GaussianBlur(base, 1.0));
+  features.reserve(keypoints.size());
+  for (auto& kp : keypoints) {
+    kp.orientation = DominantOrientation(grads, kp.x, kp.y, kp.scale);
+    SiftFeature f;
+    f.keypoint = kp;
+    f.descriptor = ComputeSiftDescriptor(grads, kp.x, kp.y, kp.scale, kp.orientation);
+    features.push_back(std::move(f));
+  }
+  return features;
+}
+
+DenseSiftExtractor::DenseSiftExtractor(DenseSiftOptions options) : options_(options) {}
+
+std::vector<SiftFeature> DenseSiftExtractor::Extract(const Raster& img) const {
+  std::vector<SiftFeature> features;
+  if (img.width() < 8 || img.height() < 8 || options_.step == 0) return features;
+  Raster base = img;
+  if (options_.normalize_input) base.NormalizeRange();
+  GradientField grads = ComputeGradients(GaussianBlur(base, 1.0));
+  for (std::size_t y = options_.step / 2; y < img.height(); y += options_.step) {
+    for (std::size_t x = options_.step / 2; x < img.width(); x += options_.step) {
+      SiftFeature f;
+      f.keypoint.x = static_cast<double>(x);
+      f.keypoint.y = static_cast<double>(y);
+      f.keypoint.scale = options_.patch_scale;
+      f.keypoint.orientation = 0.0;  // dense variant is not rotation-normalized
+      f.descriptor = ComputeSiftDescriptor(grads, f.keypoint.x, f.keypoint.y,
+                                           options_.patch_scale, 0.0);
+      features.push_back(std::move(f));
+    }
+  }
+  return features;
+}
+
+}  // namespace fc::vision

@@ -1,0 +1,254 @@
+#include "vision/signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace fc::vision {
+
+std::string_view SignatureKindToString(SignatureKind kind) {
+  switch (kind) {
+    case SignatureKind::kNormalDist: return "normal";
+    case SignatureKind::kHistogram: return "histogram";
+    case SignatureKind::kSift: return "sift";
+    case SignatureKind::kDenseSift: return "densesift";
+    case SignatureKind::kOutlier: return "outlier";
+    case SignatureKind::kQuantile: return "quantile";
+  }
+  return "?";
+}
+
+Result<SignatureKind> SignatureKindFromString(std::string_view name) {
+  if (name == "normal") return SignatureKind::kNormalDist;
+  if (name == "histogram") return SignatureKind::kHistogram;
+  if (name == "sift") return SignatureKind::kSift;
+  if (name == "densesift") return SignatureKind::kDenseSift;
+  if (name == "outlier") return SignatureKind::kOutlier;
+  if (name == "quantile") return SignatureKind::kQuantile;
+  return Status::NotFound("unknown signature kind: " + std::string(name));
+}
+
+Status SignatureExtractor::Train(const std::vector<Raster>&, Rng*) {
+  return Status::OK();
+}
+
+double SignatureExtractor::Distance(const std::vector<double>& a,
+                                    const std::vector<double>& b) const {
+  return ChiSquaredDistance(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// NormalDistSignature
+
+NormalDistSignature::NormalDistSignature(double value_lo, double value_hi)
+    : lo_(value_lo), hi_(value_hi) {}
+
+Result<std::vector<double>> NormalDistSignature::Compute(const Raster& tile) const {
+  if (tile.empty()) return Status::InvalidArgument("empty tile raster");
+  double mean = Mean(tile.data());
+  double sd = StdDev(tile.data());
+  double span = hi_ - lo_;
+  // Map mean into [0,1]; stddev can be at most span/2 for bounded values.
+  std::vector<double> sig(2);
+  sig[0] = Clamp((mean - lo_) / span, 0.0, 1.0);
+  sig[1] = Clamp(sd / (span / 2.0), 0.0, 1.0);
+  return sig;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSignature
+
+HistogramSignature::HistogramSignature(std::size_t bins, double value_lo,
+                                       double value_hi)
+    : bins_(bins), lo_(value_lo), hi_(value_hi) {}
+
+Result<std::vector<double>> HistogramSignature::Compute(const Raster& tile) const {
+  if (tile.empty()) return Status::InvalidArgument("empty tile raster");
+  FC_ASSIGN_OR_RETURN(auto hist, Histogram1D::Make(bins_, lo_, hi_));
+  hist.AddAll(tile.data());
+  return hist.Normalized();
+}
+
+// ---------------------------------------------------------------------------
+// SiftSignature
+
+namespace {
+
+SiftOptions TileSiftOptions(SiftOptions base) {
+  base.normalize_input = false;  // inputs arrive pre-scaled to [0,1]
+  base.upsample_first = true;    // tiles are small; recover fine keypoints
+  base.contrast_threshold = 0.01;
+  return base;
+}
+
+DenseSiftOptions TileDenseOptions(DenseSiftOptions base) {
+  base.normalize_input = false;
+  return base;
+}
+
+}  // namespace
+
+SiftSignature::SiftSignature(bool dense, std::size_t num_words, double value_lo,
+                             double value_hi, SiftOptions sift_options,
+                             DenseSiftOptions dense_options)
+    : dense_(dense),
+      num_words_(num_words),
+      value_lo_(value_lo),
+      value_hi_(value_hi),
+      sparse_(TileSiftOptions(sift_options)),
+      dense_extractor_(TileDenseOptions(dense_options)) {}
+
+std::vector<SiftFeature> SiftSignature::ExtractFeatures(const Raster& tile) const {
+  // Absolute-range scaling: [value_lo, value_hi] -> [0, 1].
+  Raster scaled = tile;
+  double span = value_hi_ - value_lo_;
+  if (span > 0.0) {
+    for (double& v : scaled.mutable_data()) {
+      v = Clamp((v - value_lo_) / span, 0.0, 1.0);
+    }
+  }
+  return dense_ ? dense_extractor_.Extract(scaled) : sparse_.Extract(scaled);
+}
+
+Status SiftSignature::Train(const std::vector<Raster>& sample_tiles, Rng* rng) {
+  std::vector<std::vector<double>> descriptors;
+  for (const auto& tile : sample_tiles) {
+    for (auto& f : ExtractFeatures(tile)) {
+      descriptors.push_back(std::move(f.descriptor));
+    }
+  }
+  if (descriptors.empty()) {
+    return Status::FailedPrecondition(
+        std::string(name()) + ": no descriptors found in training tiles");
+  }
+  FC_ASSIGN_OR_RETURN(codebook_, Codebook::Train(descriptors, num_words_, rng));
+  return Status::OK();
+}
+
+Result<std::vector<double>> SiftSignature::Compute(const Raster& tile) const {
+  if (!codebook_.trained()) {
+    return Status::FailedPrecondition(std::string(name()) +
+                                      " signature used before codebook training");
+  }
+  return codebook_.BuildHistogram(ExtractFeatures(tile));
+}
+
+// ---------------------------------------------------------------------------
+// OutlierSignature
+
+Result<std::vector<double>> OutlierSignature::Compute(const Raster& tile) const {
+  if (tile.empty()) return Status::InvalidArgument("empty tile raster");
+  double mean = Mean(tile.data());
+  double sd = StdDev(tile.data());
+  std::vector<double> sig(4, 0.0);
+  if (sd <= 0.0) {
+    sig[0] = 1.0;  // all mass within 1 sigma of a flat tile
+    return sig;
+  }
+  for (double v : tile.data()) {
+    double z = std::abs(v - mean) / sd;
+    std::size_t band = z < 1.0 ? 0 : z < 2.0 ? 1 : z < 3.0 ? 2 : 3;
+    sig[band] += 1.0;
+  }
+  NormalizeToSum1(&sig);
+  return sig;
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSignature
+
+QuantileSignature::QuantileSignature(double value_lo, double value_hi)
+    : lo_(value_lo), hi_(value_hi) {}
+
+Result<std::vector<double>> QuantileSignature::Compute(const Raster& tile) const {
+  if (tile.empty()) return Status::InvalidArgument("empty tile raster");
+  std::vector<double> sig(11);
+  double span = hi_ - lo_;
+  for (int i = 0; i <= 10; ++i) {
+    double q = Percentile(tile.data(), 10.0 * i);
+    sig[static_cast<std::size_t>(i)] = Clamp((q - lo_) / span, 0.0, 1.0);
+  }
+  return sig;
+}
+
+// ---------------------------------------------------------------------------
+// SignatureToolbox
+
+SignatureToolbox SignatureToolbox::MakeDefault(const SignatureToolboxOptions& options) {
+  SignatureToolbox tb;
+  // Registration cannot fail here: kinds are distinct by construction.
+  (void)tb.RegisterExtractor(
+      std::make_unique<NormalDistSignature>(options.value_lo, options.value_hi));
+  (void)tb.RegisterExtractor(std::make_unique<HistogramSignature>(
+      options.histogram_bins, options.value_lo, options.value_hi));
+  (void)tb.RegisterExtractor(std::make_unique<SiftSignature>(
+      /*dense=*/false, options.sift_words, options.value_lo, options.value_hi));
+  (void)tb.RegisterExtractor(std::make_unique<SiftSignature>(
+      /*dense=*/true, options.densesift_words, options.value_lo, options.value_hi));
+  if (options.include_extensions) {
+    (void)tb.RegisterExtractor(std::make_unique<OutlierSignature>());
+    (void)tb.RegisterExtractor(
+        std::make_unique<QuantileSignature>(options.value_lo, options.value_hi));
+  }
+  return tb;
+}
+
+Status SignatureToolbox::RegisterExtractor(
+    std::unique_ptr<SignatureExtractor> extractor) {
+  for (const auto& e : extractors_) {
+    if (e->kind() == extractor->kind()) {
+      return Status::AlreadyExists("signature kind already registered: " +
+                                   std::string(extractor->name()));
+    }
+  }
+  extractors_.push_back(std::move(extractor));
+  return Status::OK();
+}
+
+Result<SignatureExtractor*> SignatureToolbox::Get(SignatureKind kind) const {
+  for (const auto& e : extractors_) {
+    if (e->kind() == kind) return e.get();
+  }
+  return Status::NotFound("no extractor registered for kind: " +
+                          std::string(SignatureKindToString(kind)));
+}
+
+std::vector<SignatureKind> SignatureToolbox::Kinds() const {
+  std::vector<SignatureKind> kinds;
+  kinds.reserve(extractors_.size());
+  for (const auto& e : extractors_) kinds.push_back(e->kind());
+  return kinds;
+}
+
+Status SignatureToolbox::TrainAll(const std::vector<Raster>& sample_tiles, Rng* rng) {
+  for (const auto& e : extractors_) {
+    if (e->requires_training()) {
+      FC_RETURN_IF_ERROR(e->Train(sample_tiles, rng).WithContext(std::string(e->name())));
+    }
+  }
+  return Status::OK();
+}
+
+bool SignatureToolbox::FullyTrained() const {
+  for (const auto& e : extractors_) {
+    if (e->requires_training()) {
+      // Probe with a tiny raster: untrained SIFT extractors fail.
+      Raster probe(16, 16, 0.0);
+      if (!e->Compute(probe).ok()) return false;
+    }
+  }
+  return true;
+}
+
+Result<std::map<SignatureKind, std::vector<double>>> SignatureToolbox::ComputeAll(
+    const Raster& tile) const {
+  std::map<SignatureKind, std::vector<double>> out;
+  for (const auto& e : extractors_) {
+    FC_ASSIGN_OR_RETURN(auto sig, e->Compute(tile));
+    out[e->kind()] = std::move(sig);
+  }
+  return out;
+}
+
+}  // namespace fc::vision

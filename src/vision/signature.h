@@ -1,0 +1,203 @@
+// Tile signatures (paper Table 2) and the extensible signature toolbox
+// (paper section 6.2 "signature toolbox" future work — implemented here).
+//
+// A signature is "a compact, numerical representation of a data tile, stored
+// as a vector of double-precision values" (section 4.3.3). All built-in
+// signatures produce histogram-shaped vectors, so the chi-squared distance
+// applies to each (the paper's default); extractors may override Distance.
+
+#ifndef FORECACHE_VISION_SIGNATURE_H_
+#define FORECACHE_VISION_SIGNATURE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "vision/codebook.h"
+#include "vision/histogram.h"
+#include "vision/raster.h"
+#include "vision/sift.h"
+
+namespace fc::vision {
+
+/// The four paper signatures plus toolbox extensions (section 6.2).
+enum class SignatureKind {
+  kNormalDist,   ///< Mean + stddev of tile values.
+  kHistogram,    ///< Fixed-bin 1-D histogram of tile values.
+  kSift,         ///< BoVW histogram of sparse SIFT descriptors.
+  kDenseSift,    ///< BoVW histogram of dense-grid SIFT descriptors.
+  kOutlier,      ///< Extension: z-score outlier profile (for time series).
+  kQuantile,     ///< Extension: decile sketch of tile values.
+};
+
+std::string_view SignatureKindToString(SignatureKind kind);
+Result<SignatureKind> SignatureKindFromString(std::string_view name);
+
+/// Computes one signature vector per tile raster.
+class SignatureExtractor {
+ public:
+  virtual ~SignatureExtractor() = default;
+
+  virtual SignatureKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+
+  /// Dimension of the produced vectors (after training, where applicable).
+  virtual std::size_t dims() const = 0;
+
+  /// True if the extractor needs corpus-level training (codebooks).
+  virtual bool requires_training() const { return false; }
+
+  /// Corpus-level training over sample tiles; default no-op.
+  virtual Status Train(const std::vector<Raster>& sample_tiles, Rng* rng);
+
+  /// Computes the signature. FailedPrecondition if training was required
+  /// but not performed.
+  virtual Result<std::vector<double>> Compute(const Raster& tile) const = 0;
+
+  /// Distance between two signatures of this kind; defaults to chi-squared
+  /// (the paper's choice for all four signatures).
+  virtual double Distance(const std::vector<double>& a,
+                          const std::vector<double>& b) const;
+};
+
+/// Signature #1: [mean, stddev] mapped into [0,1] per component assuming
+/// values in [value_lo, value_hi].
+class NormalDistSignature : public SignatureExtractor {
+ public:
+  NormalDistSignature(double value_lo, double value_hi);
+  SignatureKind kind() const override { return SignatureKind::kNormalDist; }
+  std::string_view name() const override { return "normal"; }
+  std::size_t dims() const override { return 2; }
+  Result<std::vector<double>> Compute(const Raster& tile) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Signature #2: normalized `bins`-bucket histogram over [value_lo, value_hi].
+class HistogramSignature : public SignatureExtractor {
+ public:
+  HistogramSignature(std::size_t bins, double value_lo, double value_hi);
+  SignatureKind kind() const override { return SignatureKind::kHistogram; }
+  std::string_view name() const override { return "histogram"; }
+  std::size_t dims() const override { return bins_; }
+  Result<std::vector<double>> Compute(const Raster& tile) const override;
+
+ private:
+  std::size_t bins_;
+  double lo_;
+  double hi_;
+};
+
+/// Signatures #3/#4: BoVW histograms over sparse / dense SIFT features.
+///
+/// Tile rasters are mapped from the dataset's absolute value range
+/// [value_lo, value_hi] onto [0,1] before feature extraction, so a flat
+/// ocean tile stays flat (per-tile normalization would amplify noise into
+/// spurious landmarks).
+class SiftSignature : public SignatureExtractor {
+ public:
+  /// `dense` selects the denseSIFT variant.
+  SiftSignature(bool dense, std::size_t num_words, double value_lo = 0.0,
+                double value_hi = 1.0, SiftOptions sift_options = {},
+                DenseSiftOptions dense_options = {});
+
+  SignatureKind kind() const override {
+    return dense_ ? SignatureKind::kDenseSift : SignatureKind::kSift;
+  }
+  std::string_view name() const override { return dense_ ? "densesift" : "sift"; }
+  std::size_t dims() const override { return codebook_.num_words(); }
+  bool requires_training() const override { return true; }
+  Status Train(const std::vector<Raster>& sample_tiles, Rng* rng) override;
+  Result<std::vector<double>> Compute(const Raster& tile) const override;
+
+  const Codebook& codebook() const { return codebook_; }
+  /// Injects a pre-trained codebook (deserialization path).
+  void SetCodebook(Codebook codebook) { codebook_ = std::move(codebook); }
+
+  /// Raw features for a raster (exposed for metadata pipelines and tests).
+  std::vector<SiftFeature> ExtractFeatures(const Raster& tile) const;
+
+ private:
+  bool dense_;
+  std::size_t num_words_;
+  double value_lo_;
+  double value_hi_;
+  SiftExtractor sparse_;
+  DenseSiftExtractor dense_extractor_;
+  Codebook codebook_;
+};
+
+/// Extension: histogram of |z-score| mass in bands [0,1), [1,2), [2,3), [3,inf)
+/// — an outlier profile, useful for time-series tiles (paper section 6.2).
+class OutlierSignature : public SignatureExtractor {
+ public:
+  SignatureKind kind() const override { return SignatureKind::kOutlier; }
+  std::string_view name() const override { return "outlier"; }
+  std::size_t dims() const override { return 4; }
+  Result<std::vector<double>> Compute(const Raster& tile) const override;
+};
+
+/// Extension: 11-point quantile sketch (min, deciles, max) rescaled to [0,1].
+class QuantileSignature : public SignatureExtractor {
+ public:
+  QuantileSignature(double value_lo, double value_hi);
+  SignatureKind kind() const override { return SignatureKind::kQuantile; }
+  std::string_view name() const override { return "quantile"; }
+  std::size_t dims() const override { return 11; }
+  Result<std::vector<double>> Compute(const Raster& tile) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Configuration for the default toolbox.
+struct SignatureToolboxOptions {
+  double value_lo = -1.0;   ///< NDSI range by default.
+  double value_hi = 1.0;
+  std::size_t histogram_bins = 32;
+  std::size_t sift_words = 32;
+  std::size_t densesift_words = 32;
+  bool include_extensions = false;  ///< Add outlier/quantile signatures.
+};
+
+/// Owns a set of extractors; add-a-signature is one RegisterExtractor call
+/// (paper section 4.3.3: "it is straightforward to add new signatures").
+class SignatureToolbox {
+ public:
+  SignatureToolbox() = default;
+
+  /// Builds the paper's four signatures (+ extensions when requested).
+  static SignatureToolbox MakeDefault(const SignatureToolboxOptions& options = {});
+
+  /// Registers an extractor; AlreadyExists if the kind is present.
+  Status RegisterExtractor(std::unique_ptr<SignatureExtractor> extractor);
+
+  /// The extractor for `kind`, or NotFound.
+  Result<SignatureExtractor*> Get(SignatureKind kind) const;
+
+  /// All registered kinds, in registration order.
+  std::vector<SignatureKind> Kinds() const;
+
+  /// Trains every extractor that requires training.
+  Status TrainAll(const std::vector<Raster>& sample_tiles, Rng* rng);
+
+  /// True once every training-requiring extractor has been trained.
+  bool FullyTrained() const;
+
+  /// Computes all registered signatures for a tile raster.
+  Result<std::map<SignatureKind, std::vector<double>>> ComputeAll(
+      const Raster& tile) const;
+
+ private:
+  std::vector<std::unique_ptr<SignatureExtractor>> extractors_;
+};
+
+}  // namespace fc::vision
+
+#endif  // FORECACHE_VISION_SIGNATURE_H_

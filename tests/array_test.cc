@@ -1,0 +1,364 @@
+// Unit tests for the embedded array engine (schema, storage, operators,
+// catalog, cost model).
+
+#include <gtest/gtest.h>
+
+#include "array/array_store.h"
+#include "array/cost_model.h"
+#include "array/dense_array.h"
+#include "array/ops.h"
+#include "array/schema.h"
+
+namespace fc::array {
+namespace {
+
+ArraySchema Simple2D(std::int64_t h = 4, std::int64_t w = 4) {
+  auto schema = ArraySchema::Make(
+      "t", {Dimension{"y", 0, h, 2}, Dimension{"x", 0, w, 2}},
+      {Attribute{"a"}, Attribute{"b"}});
+  return std::move(schema).value();
+}
+
+// Fills attr 0 with y*width+x and attr 1 with its negative.
+DenseArray FilledArray(std::int64_t h = 4, std::int64_t w = 4) {
+  DenseArray arr(Simple2D(h, w));
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double v = static_cast<double>(y * w + x);
+      EXPECT_TRUE(arr.SetCell({y, x}, {v, -v}).ok());
+    }
+  }
+  return arr;
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+
+TEST(SchemaTest, ValidatesNames) {
+  EXPECT_FALSE(ArraySchema::Make("", {Dimension{"x", 0, 4, 2}},
+                                 {Attribute{"a"}})
+                   .ok());
+  EXPECT_FALSE(ArraySchema::Make("t", {}, {Attribute{"a"}}).ok());
+  EXPECT_FALSE(ArraySchema::Make("t", {Dimension{"x", 0, 4, 2}}, {}).ok());
+  EXPECT_FALSE(ArraySchema::Make(
+                   "t", {Dimension{"x", 0, 4, 2}, Dimension{"x", 0, 4, 2}},
+                   {Attribute{"a"}})
+                   .ok());
+  EXPECT_FALSE(ArraySchema::Make("t", {Dimension{"x", 0, 0, 2}},
+                                 {Attribute{"a"}})
+                   .ok());
+  EXPECT_FALSE(ArraySchema::Make("t", {Dimension{"x", 0, 4, 2}},
+                                 {Attribute{"a"}, Attribute{"a"}})
+                   .ok());
+}
+
+TEST(SchemaTest, DefaultsChunkInterval) {
+  auto schema =
+      ArraySchema::Make("t", {Dimension{"x", 0, 10, 0}}, {Attribute{"a"}});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->dims()[0].chunk_interval, 10);
+}
+
+TEST(SchemaTest, Counts) {
+  auto schema = Simple2D(6, 4);
+  EXPECT_EQ(schema.cell_count(), 24);
+  EXPECT_EQ(schema.chunk_count(), 3 * 2);
+}
+
+TEST(SchemaTest, Lookups) {
+  auto schema = Simple2D();
+  EXPECT_EQ(*schema.AttrIndex("b"), 1u);
+  EXPECT_FALSE(schema.AttrIndex("zzz").ok());
+  EXPECT_EQ(*schema.DimIndex("x"), 1u);
+  EXPECT_FALSE(schema.DimIndex("zzz").ok());
+}
+
+TEST(SchemaTest, ContainsAndShape) {
+  auto schema = Simple2D();
+  EXPECT_TRUE(schema.Contains({0, 0}));
+  EXPECT_TRUE(schema.Contains({3, 3}));
+  EXPECT_FALSE(schema.Contains({4, 0}));
+  EXPECT_FALSE(schema.Contains({0}));
+  EXPECT_TRUE(schema.SameShape(Simple2D()));
+  EXPECT_FALSE(schema.SameShape(Simple2D(8, 4)));
+}
+
+TEST(SchemaTest, ToStringReadable) {
+  EXPECT_EQ(Simple2D().ToString(), "t(a,b)[y=0:3,2,x=0:3,2]");
+}
+
+// ---------------------------------------------------------------------------
+// DenseArray
+
+TEST(DenseArrayTest, CellsStartEmpty) {
+  DenseArray arr(Simple2D());
+  EXPECT_EQ(arr.PresentCount(), 0);
+  EXPECT_FALSE(arr.IsPresent({0, 0}));
+  EXPECT_TRUE(arr.Get({0, 0}, 0).status().IsFailedPrecondition());
+}
+
+TEST(DenseArrayTest, SetGetRoundTrip) {
+  DenseArray arr(Simple2D());
+  ASSERT_TRUE(arr.Set({1, 2}, 0, 3.5).ok());
+  EXPECT_TRUE(arr.IsPresent({1, 2}));
+  EXPECT_DOUBLE_EQ(*arr.Get({1, 2}, 0), 3.5);
+}
+
+TEST(DenseArrayTest, BoundsChecked) {
+  DenseArray arr(Simple2D());
+  EXPECT_TRUE(arr.Set({9, 0}, 0, 1.0).IsOutOfRange());
+  EXPECT_TRUE(arr.Set({0, 0}, 9, 1.0).IsNotFound());
+  EXPECT_TRUE(arr.Set({0}, 0, 1.0).IsInvalidArgument());
+}
+
+TEST(DenseArrayTest, EraseEmptiesCell) {
+  DenseArray arr = FilledArray();
+  ASSERT_TRUE(arr.Erase({0, 0}).ok());
+  EXPECT_FALSE(arr.IsPresent({0, 0}));
+  EXPECT_EQ(arr.PresentCount(), 15);
+}
+
+TEST(DenseArrayTest, LinearIndexRoundTrip) {
+  DenseArray arr(Simple2D(4, 6));
+  for (std::int64_t i = 0; i < arr.schema().cell_count(); ++i) {
+    EXPECT_EQ(arr.LinearIndex(arr.CoordsOf(i)), i);
+  }
+}
+
+TEST(DenseArrayTest, RowMajorLayout) {
+  DenseArray arr(Simple2D(4, 6));
+  EXPECT_EQ(arr.LinearIndex({0, 0}), 0);
+  EXPECT_EQ(arr.LinearIndex({0, 1}), 1);
+  EXPECT_EQ(arr.LinearIndex({1, 0}), 6);
+}
+
+TEST(DenseArrayTest, ForEachPresentVisitsExactly) {
+  DenseArray arr(Simple2D());
+  ASSERT_TRUE(arr.SetCell({0, 1}, {1.0, 2.0}).ok());
+  ASSERT_TRUE(arr.SetCell({3, 3}, {3.0, 4.0}).ok());
+  int count = 0;
+  arr.ForEachPresent([&](std::int64_t, const Coords&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Subarray
+
+TEST(OpsTest, SubarrayExtractsBox) {
+  auto arr = FilledArray();
+  auto sub = Subarray(arr, {1, 1}, {2, 3});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->schema().dims()[0].length, 2);
+  EXPECT_EQ(sub->schema().dims()[1].length, 3);
+  EXPECT_DOUBLE_EQ(*sub->Get({1, 1}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*sub->Get({2, 3}, 0), 11.0);
+}
+
+TEST(OpsTest, SubarrayValidatesBox) {
+  auto arr = FilledArray();
+  EXPECT_TRUE(Subarray(arr, {2, 2}, {1, 1}).status().IsInvalidArgument());
+  EXPECT_TRUE(Subarray(arr, {0, 0}, {9, 9}).status().IsOutOfRange());
+  EXPECT_TRUE(Subarray(arr, {0}, {1, 1}).status().IsInvalidArgument());
+}
+
+TEST(OpsTest, SubarraySkipsEmptyCells) {
+  DenseArray arr(Simple2D());
+  ASSERT_TRUE(arr.SetCell({0, 0}, {1.0, 1.0}).ok());
+  auto sub = Subarray(arr, {0, 0}, {1, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->PresentCount(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Regrid
+
+TEST(OpsTest, RegridAveragesWindows) {
+  auto arr = FilledArray();  // values 0..15 row-major in 4x4
+  auto out = Regrid(arr, {2, 2}, AggKind::kAvg, "out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().cell_count(), 4);
+  // Window {rows 0-1, cols 0-1} holds 0,1,4,5 -> avg 2.5.
+  EXPECT_DOUBLE_EQ(*out->Get({0, 0}, 0), 2.5);
+  // Window {rows 2-3, cols 2-3} holds 10,11,14,15 -> avg 12.5.
+  EXPECT_DOUBLE_EQ(*out->Get({1, 1}, 0), 12.5);
+}
+
+TEST(OpsTest, RegridMinMaxCount) {
+  auto arr = FilledArray();
+  auto mn = Regrid(arr, {2, 2}, AggKind::kMin, "mn");
+  auto mx = Regrid(arr, {2, 2}, AggKind::kMax, "mx");
+  auto ct = Regrid(arr, {2, 2}, AggKind::kCount, "ct");
+  ASSERT_TRUE(mn.ok() && mx.ok() && ct.ok());
+  EXPECT_DOUBLE_EQ(*mn->Get({0, 0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(*mx->Get({0, 0}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(*ct->Get({0, 0}, 0), 4.0);
+}
+
+TEST(OpsTest, RegridCeilDivExtents) {
+  auto arr = FilledArray(5, 5);  // odd extent
+  auto out = Regrid(arr, {2, 2}, AggKind::kAvg, "out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().dims()[0].length, 3);
+  EXPECT_EQ(out->schema().dims()[1].length, 3);
+}
+
+TEST(OpsTest, RegridSkipsEmptyWindows) {
+  DenseArray arr(Simple2D());
+  ASSERT_TRUE(arr.SetCell({0, 0}, {8.0, 0.0}).ok());
+  auto out = Regrid(arr, {2, 2}, AggKind::kAvg, "out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->IsPresent({0, 0}));   // window with 1 present cell
+  EXPECT_FALSE(out->IsPresent({1, 1}));  // all-empty window stays empty
+  EXPECT_DOUBLE_EQ(*out->Get({0, 0}, 0), 8.0);  // avg over present only
+}
+
+TEST(OpsTest, RegridMultiPerAttributeKinds) {
+  auto arr = FilledArray();
+  auto out = RegridMulti(arr, {2, 2}, {AggKind::kMax, AggKind::kMin}, "out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(*out->Get({0, 0}, 0), 5.0);   // max of 0,1,4,5
+  EXPECT_DOUBLE_EQ(*out->Get({0, 0}, 1), -5.0);  // min of -0,-1,-4,-5
+}
+
+TEST(OpsTest, RegridValidatesArguments) {
+  auto arr = FilledArray();
+  EXPECT_FALSE(Regrid(arr, {2}, AggKind::kAvg, "out").ok());
+  EXPECT_FALSE(Regrid(arr, {0, 2}, AggKind::kAvg, "out").ok());
+  EXPECT_FALSE(RegridMulti(arr, {2, 2}, {AggKind::kAvg}, "out").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Apply / Join / Filter
+
+TEST(OpsTest, ApplyAddsAttribute) {
+  auto arr = FilledArray();
+  auto out = Apply(arr, "sum", [](const std::vector<double>& cell) {
+    return cell[0] + cell[1];
+  });
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().num_attrs(), 3u);
+  EXPECT_DOUBLE_EQ(*out->Get({2, 2}, 2), 0.0);  // v + (-v)
+  EXPECT_DOUBLE_EQ(*out->Get({2, 2}, 0), 10.0);  // originals preserved
+}
+
+TEST(OpsTest, ApplyRejectsDuplicateName) {
+  auto arr = FilledArray();
+  EXPECT_TRUE(Apply(arr, "a", [](const auto&) { return 0.0; })
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(OpsTest, JoinConcatenatesAttributes) {
+  auto a = FilledArray();
+  auto b = FilledArray();
+  auto out = Join(a, b, "joined");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().num_attrs(), 4u);
+  // Name collisions get suffixed.
+  EXPECT_TRUE(out->schema().AttrIndex("a_2").ok());
+  EXPECT_DOUBLE_EQ(*out->Get({1, 1}, 0), *out->Get({1, 1}, 2));
+}
+
+TEST(OpsTest, JoinIntersectsPresence) {
+  DenseArray a(Simple2D());
+  DenseArray b(Simple2D());
+  ASSERT_TRUE(a.SetCell({0, 0}, {1, 1}).ok());
+  ASSERT_TRUE(a.SetCell({1, 1}, {2, 2}).ok());
+  ASSERT_TRUE(b.SetCell({1, 1}, {3, 3}).ok());
+  auto out = Join(a, b, "j");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->PresentCount(), 1);
+  EXPECT_TRUE(out->IsPresent({1, 1}));
+}
+
+TEST(OpsTest, JoinRequiresSameShape) {
+  auto a = FilledArray(4, 4);
+  auto b = FilledArray(8, 4);
+  EXPECT_TRUE(Join(a, b, "j").status().IsInvalidArgument());
+}
+
+TEST(OpsTest, FilterEmptiesNonMatching) {
+  auto arr = FilledArray();
+  auto out = Filter(arr, [](const std::vector<double>& cell) {
+    return cell[0] >= 8.0;
+  }, "f");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->PresentCount(), 8);
+  EXPECT_FALSE(out->IsPresent({0, 0}));
+  EXPECT_TRUE(out->IsPresent({3, 3}));
+}
+
+TEST(OpsTest, AggregateAll) {
+  auto arr = FilledArray();
+  EXPECT_DOUBLE_EQ(*AggregateAll(arr, 0, AggKind::kAvg), 7.5);
+  EXPECT_DOUBLE_EQ(*AggregateAll(arr, 0, AggKind::kMax), 15.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(arr, 0, AggKind::kCount), 16.0);
+  EXPECT_FALSE(AggregateAll(arr, 7, AggKind::kAvg).ok());
+  DenseArray empty(Simple2D());
+  EXPECT_TRUE(AggregateAll(empty, 0, AggKind::kMin).status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// ArrayStore
+
+TEST(ArrayStoreTest, StoreGetRemove) {
+  ArrayStore store;
+  ASSERT_TRUE(store.Store(FilledArray()).ok());
+  EXPECT_TRUE(store.Contains("t"));
+  EXPECT_TRUE(store.Store(FilledArray()).IsAlreadyExists());
+  auto got = store.Get("t");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->PresentCount(), 16);
+  EXPECT_TRUE(store.Remove("t").ok());
+  EXPECT_TRUE(store.Remove("t").IsNotFound());
+  EXPECT_FALSE(store.Get("t").ok());
+}
+
+TEST(ArrayStoreTest, ListsSorted) {
+  ArrayStore store;
+  ASSERT_TRUE(store.StoreAs("b", FilledArray()).ok());
+  ASSERT_TRUE(store.StoreAs("a", FilledArray()).ok());
+  auto names = store.List();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_GT(store.MemoryUsageBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+
+TEST(CostModelTest, ExpectedCostComposition) {
+  CostModelOptions opts;
+  opts.per_query_overhead_ms = 100.0;
+  opts.per_chunk_ms = 10.0;
+  opts.per_cell_us = 1.0;
+  opts.jitter_rel_stddev = 0.0;
+  QueryCostModel model(opts, 1);
+  EXPECT_DOUBLE_EQ(model.ExpectedQueryMillis(2, 1000), 100.0 + 20.0 + 1.0);
+  EXPECT_DOUBLE_EQ(model.QueryMillis(2, 1000), 121.0);  // no jitter
+}
+
+TEST(CostModelTest, CalibrationMatchesPaperMeans) {
+  auto opts = CalibratedPaperCosts();
+  opts.jitter_rel_stddev = 0.0;
+  QueryCostModel model(opts, 1);
+  // The default study tile is 32x32 = 1024 cells, one chunk.
+  EXPECT_NEAR(model.ExpectedQueryMillis(1, 1024), 984.0, 1.0);
+  EXPECT_NEAR(model.CacheHitMillis(), 19.5, 1e-9);
+}
+
+TEST(CostModelTest, JitterIsBoundedAndDeterministic) {
+  auto opts = CalibratedPaperCosts();
+  QueryCostModel a(opts, 7);
+  QueryCostModel b(opts, 7);
+  for (int i = 0; i < 100; ++i) {
+    double va = a.QueryMillis(1, 1024);
+    EXPECT_EQ(va, b.QueryMillis(1, 1024));
+    EXPECT_GT(va, 984.0 * 0.5 - 1.0);
+    EXPECT_LT(va, 984.0 * 1.5 + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fc::array

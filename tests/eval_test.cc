@@ -1,0 +1,353 @@
+// Unit tests for the evaluation harness: replay protocol, predictors,
+// LOOCV, latency replay, trace statistics, table printing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/latency.h"
+#include "eval/loocv.h"
+#include "eval/predictor.h"
+#include "eval/replay.h"
+#include "eval/table_printer.h"
+#include "eval/trace_stats.h"
+#include "test_fixtures.h"
+
+namespace fc::eval {
+namespace {
+
+const sim::Study& Study() { return testfx::SmallStudy(); }
+
+// ---------------------------------------------------------------------------
+// Replay protocol
+
+// A predictor that always predicts the true next tile (from a trace copy).
+class OraclePredictor : public TilePredictor {
+ public:
+  explicit OraclePredictor(const core::Trace& trace) : trace_(trace) {}
+  std::string_view name() const override { return "oracle"; }
+  void StartSession() override { index_ = 0; }
+  Result<core::RankedTiles> OnRequest(const core::TraceRecord&) override {
+    core::RankedTiles out;
+    if (index_ + 1 < trace_.records.size()) {
+      out.push_back(trace_.records[index_ + 1].request.tile);
+    }
+    ++index_;
+    return out;
+  }
+
+ private:
+  core::Trace trace_;
+  std::size_t index_ = 0;
+};
+
+// A predictor that never predicts anything.
+class EmptyPredictor : public TilePredictor {
+ public:
+  std::string_view name() const override { return "empty"; }
+  void StartSession() override {}
+  Result<core::RankedTiles> OnRequest(const core::TraceRecord&) override {
+    return core::RankedTiles{};
+  }
+};
+
+TEST(ReplayTest, OracleGetsPerfectAccuracy) {
+  const auto& trace = Study().traces.front();
+  OraclePredictor oracle(trace);
+  auto report = ReplayTrace(&oracle, trace, 1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->overall.total, trace.records.size() - 1);
+  EXPECT_EQ(report->overall.hits, report->overall.total);
+  EXPECT_DOUBLE_EQ(report->overall.Rate(), 1.0);
+}
+
+TEST(ReplayTest, EmptyPredictorGetsZero) {
+  const auto& trace = Study().traces.front();
+  EmptyPredictor empty;
+  auto report = ReplayTrace(&empty, trace, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->overall.hits, 0u);
+  EXPECT_GT(report->overall.total, 0u);
+}
+
+TEST(ReplayTest, PerPhaseTotalsSumToOverall) {
+  const auto& trace = Study().traces.front();
+  OraclePredictor oracle(trace);
+  auto report = ReplayTrace(&oracle, trace, 1);
+  ASSERT_TRUE(report.ok());
+  std::size_t sum = 0;
+  for (const auto& phase : report->per_phase) sum += phase.total;
+  EXPECT_EQ(sum, report->overall.total);
+}
+
+TEST(ReplayTest, MergeAccumulates) {
+  AccuracyReport a;
+  a.overall.hits = 3;
+  a.overall.total = 4;
+  a.per_phase[0].hits = 3;
+  a.per_phase[0].total = 4;
+  AccuracyReport b;
+  b.overall.hits = 1;
+  b.overall.total = 6;
+  b.per_phase[2].hits = 1;
+  b.per_phase[2].total = 6;
+  a.Merge(b);
+  EXPECT_EQ(a.overall.hits, 4u);
+  EXPECT_EQ(a.overall.total, 10u);
+  EXPECT_DOUBLE_EQ(a.overall.Rate(), 0.4);
+  EXPECT_EQ(a.per_phase[2].total, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Predictor factory + accuracy ordering
+
+TEST(PredictorFactoryTest, BuildsEveryKind) {
+  const auto& study = Study();
+  PredictorFactory factory(study.dataset.pyramid.get(),
+                           study.dataset.toolbox.get());
+  auto training = study.TracesExcludingUser("user01");
+  for (auto kind :
+       {PredictorConfig::Kind::kMomentum, PredictorConfig::Kind::kHotspot,
+        PredictorConfig::Kind::kAb, PredictorConfig::Kind::kSb,
+        PredictorConfig::Kind::kHybridEngine,
+        PredictorConfig::Kind::kPhaseEngine}) {
+    PredictorConfig config;
+    config.kind = kind;
+    config.classifier.max_training_rows = 200;
+    auto predictor = factory.Build(config, training);
+    ASSERT_TRUE(predictor.ok()) << config.DisplayName();
+    // Must produce predictions for a basic request.
+    (*predictor)->StartSession();
+    core::TraceRecord record;
+    record.request.tile = {0, 0, 0};
+    auto ranked = (*predictor)->OnRequest(record);
+    ASSERT_TRUE(ranked.ok()) << config.DisplayName();
+    EXPECT_FALSE(ranked->empty()) << config.DisplayName();
+  }
+}
+
+TEST(PredictorConfigTest, DisplayNames) {
+  PredictorConfig c;
+  c.kind = PredictorConfig::Kind::kAb;
+  c.ab_history_length = 5;
+  EXPECT_EQ(c.DisplayName(), "markov5");
+  c.kind = PredictorConfig::Kind::kSb;
+  EXPECT_EQ(c.DisplayName(), "sb-sift");
+  c.sb_weights = {{vision::SignatureKind::kHistogram, 1.0}};
+  EXPECT_EQ(c.DisplayName(), "sb-histogram");
+  c.kind = PredictorConfig::Kind::kHybridEngine;
+  c.phase_source = PredictorConfig::PhaseSource::kOracle;
+  EXPECT_EQ(c.DisplayName(), "hybrid+oracle");
+}
+
+TEST(AccuracyOrderingTest, MoreBudgetNeverHurtsAb) {
+  // Accuracy must be monotone non-decreasing in k for a fixed ranking model.
+  const auto& study = Study();
+  PredictorConfig ab;
+  ab.kind = PredictorConfig::Kind::kAb;
+  double prev = -1.0;
+  for (std::size_t k : {1, 3, 5, 9}) {
+    auto result = RunLoocvAccuracy(study, ab, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->merged.overall.Rate(), prev - 1e-12) << "k=" << k;
+    prev = result->merged.overall.Rate();
+  }
+  // At k = 9 every candidate fits: accuracy must be 1 (paper 5.2.2).
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(AccuracyOrderingTest, AbBeatsMomentumOnNavigation) {
+  // The headline claim of Figure 10a, on the small study.
+  const auto& study = Study();
+  PredictorConfig ab;
+  ab.kind = PredictorConfig::Kind::kAb;
+  PredictorConfig momentum;
+  momentum.kind = PredictorConfig::Kind::kMomentum;
+  auto ab_result = RunLoocvAccuracy(study, ab, 2);
+  auto mo_result = RunLoocvAccuracy(study, momentum, 2);
+  ASSERT_TRUE(ab_result.ok() && mo_result.ok());
+  double ab_nav =
+      ab_result->merged.ForPhase(core::AnalysisPhase::kNavigation).Rate();
+  double mo_nav =
+      mo_result->merged.ForPhase(core::AnalysisPhase::kNavigation).Rate();
+  EXPECT_GT(ab_nav, mo_nav);
+}
+
+TEST(LoocvTest, PerUserReportsCoverAllUsers) {
+  const auto& study = Study();
+  PredictorConfig momentum;
+  momentum.kind = PredictorConfig::Kind::kMomentum;
+  auto result = RunLoocvAccuracy(study, momentum, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->per_user.size(), study.UserIds().size());
+  std::size_t total = 0;
+  for (const auto& [user, report] : result->per_user) total += report.overall.total;
+  EXPECT_EQ(total, result->merged.overall.total);
+}
+
+TEST(LoocvClassifierTest, BetterThanChance) {
+  const auto& study = Study();
+  core::PhaseClassifierOptions options;
+  options.max_training_rows = 300;
+  auto result = RunLoocvClassifier(study, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->overall_accuracy, 1.0 / 3.0);
+  EXPECT_GE(result->best_user_accuracy, result->overall_accuracy);
+  EXPECT_EQ(result->per_user.size(), study.UserIds().size());
+}
+
+// ---------------------------------------------------------------------------
+// Latency replay
+
+TEST(LatencyTest, NoPrefetchMatchesMissCost) {
+  const auto& study = Study();
+  LatencyReplayOptions options;
+  options.prefetching_enabled = false;
+  auto report = ReplayLatencyLoocv(study, options);
+  ASSERT_TRUE(report.ok());
+  // 32x32 tiles: expected miss ≈ 984 ms (some jitter averaged out).
+  EXPECT_NEAR(report->average_ms, 984.0, 25.0);
+  EXPECT_LT(report->hit_rate, 0.05);
+  EXPECT_EQ(report->per_request_ms.size(), report->requests);
+}
+
+TEST(LatencyTest, PrefetchingReducesLatency) {
+  const auto& study = Study();
+  LatencyReplayOptions options;
+  options.predictor.kind = PredictorConfig::Kind::kHybridEngine;
+  options.predictor.k = 5;
+  options.predictor.classifier.max_training_rows = 300;
+  auto with = ReplayLatencyLoocv(study, options);
+  ASSERT_TRUE(with.ok());
+
+  LatencyReplayOptions off;
+  off.prefetching_enabled = false;
+  auto without = ReplayLatencyLoocv(study, off);
+  ASSERT_TRUE(without.ok());
+
+  EXPECT_LT(with->average_ms, without->average_ms * 0.7);
+  EXPECT_GT(with->hit_rate, 0.4);
+}
+
+TEST(LatencyTest, LatencyTracksAccuracyLinearly) {
+  // Figure 12's relationship, verified in miniature: avg latency ≈
+  // hit*acc + miss*(1-acc).
+  const auto& study = Study();
+  LatencyReplayOptions options;
+  options.predictor.kind = PredictorConfig::Kind::kAb;
+  options.predictor.k = 4;
+  auto report = ReplayLatencyLoocv(study, options);
+  ASSERT_TRUE(report.ok());
+  double predicted = 19.5 * report->hit_rate + 984.0 * (1.0 - report->hit_rate);
+  EXPECT_NEAR(report->average_ms, predicted, 30.0);
+}
+
+TEST(LatencyReportTest, MergeWeightsByRequests) {
+  LatencyReport a;
+  a.average_ms = 100.0;
+  a.hit_rate = 1.0;
+  a.requests = 10;
+  LatencyReport b;
+  b.average_ms = 200.0;
+  b.hit_rate = 0.0;
+  b.requests = 30;
+  a.Merge(b);
+  EXPECT_EQ(a.requests, 40u);
+  EXPECT_DOUBLE_EQ(a.average_ms, 175.0);
+  EXPECT_DOUBLE_EQ(a.hit_rate, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Trace statistics
+
+TEST(TraceStatsTest, MoveDistributionSumsToOne) {
+  const auto& study = Study();
+  auto dist = ComputeMoveDistribution(study.traces);
+  EXPECT_GT(dist.total_moves, 0u);
+  EXPECT_NEAR(dist.pan + dist.zoom_in + dist.zoom_out, 1.0, 1e-9);
+}
+
+TEST(TraceStatsTest, PhaseDistributionSumsToOne) {
+  const auto& study = Study();
+  auto dist = ComputePhaseDistribution(study.traces);
+  EXPECT_NEAR(dist[0] + dist[1] + dist[2], 1.0, 1e-9);
+  for (double d : dist) EXPECT_GT(d, 0.0);
+}
+
+TEST(TraceStatsTest, PerUserDistributions) {
+  const auto& study = Study();
+  auto users = ComputePerUserMoveDistributions(study.traces);
+  EXPECT_EQ(users.size(), study.UserIds().size());
+}
+
+TEST(TraceStatsTest, ZoomSeriesMatchesTrace) {
+  const auto& trace = Study().traces.front();
+  auto series = ZoomLevelSeries(trace);
+  ASSERT_EQ(series.size(), trace.records.size());
+  EXPECT_EQ(series[0], 0);  // sessions start at the root
+}
+
+TEST(TraceStatsTest, SawtoothDetection) {
+  core::Trace trace;
+  auto add_level = [&](int level) {
+    core::TraceRecord rec;
+    rec.request.tile = {level, 0, 0};
+    trace.records.push_back(rec);
+  };
+  // shallow -> deep -> shallow -> deep -> shallow: 2 cycles.
+  for (int level : {0, 1, 2, 3, 4, 3, 2, 1, 2, 3, 4, 4, 2, 1}) add_level(level);
+  EXPECT_TRUE(ExhibitsSawtooth(trace, /*shallow=*/1, /*deep=*/4, 2));
+  // One descent only.
+  core::Trace once;
+  trace.records.clear();
+  for (int level : {0, 1, 2, 3, 4}) {
+    core::TraceRecord rec;
+    rec.request.tile = {level, 0, 0};
+    once.records.push_back(rec);
+  }
+  EXPECT_FALSE(ExhibitsSawtooth(once, 1, 4, 2));
+}
+
+TEST(TraceStatsTest, SawtoothSummaryCountsUsers) {
+  const auto& study = Study();
+  auto summary =
+      SummarizeSawtooth(study.traces, 2, study.tasks[0].target_level);
+  EXPECT_EQ(summary.users_total, 6);
+  EXPECT_GE(summary.users_two_plus_tasks, summary.users_all_tasks);
+  EXPECT_GT(summary.total_requests, 0u);
+  // The behavioral model describes most requests (paper: 57/1390 ≈ 4%).
+  EXPECT_LT(static_cast<double>(summary.model_violations) /
+                static_cast<double>(summary.total_requests),
+            0.15);
+}
+
+TEST(TraceStatsTest, AverageRequests) {
+  EXPECT_DOUBLE_EQ(AverageRequestsPerTrace({}), 0.0);
+  const auto& study = Study();
+  EXPECT_GT(AverageRequestsPerTrace(study.traces), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"A", "LongHeader"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"yyyy", "2"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("LongHeader"), std::string::npos);
+  EXPECT_NE(out.find("yyyy"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace fc::eval

@@ -1,0 +1,215 @@
+// Unit tests for the n-gram / Kneser-Ney substrate and the Markov chain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/markov_chain.h"
+#include "markov/ngram_model.h"
+
+namespace fc::markov {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NGramModel construction
+
+TEST(NGramModelTest, ValidatesParameters) {
+  EXPECT_FALSE(NGramModel::Make(0, 3).ok());
+  EXPECT_FALSE(NGramModel::Make(40, 3).ok());
+  EXPECT_FALSE(NGramModel::Make(9, 0).ok());
+  EXPECT_FALSE(NGramModel::Make(9, 13).ok());
+  EXPECT_FALSE(NGramModel::Make(9, 3, 0.0).ok());
+  EXPECT_FALSE(NGramModel::Make(9, 3, 1.0).ok());
+  EXPECT_TRUE(NGramModel::Make(9, 3).ok());
+}
+
+TEST(NGramModelTest, RejectsOutOfVocabSymbols) {
+  auto model = NGramModel::Make(3, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->ObserveSequence({0, 1, 3}).ok());
+  EXPECT_FALSE(model->ObserveSequence({-1}).ok());
+}
+
+TEST(NGramModelTest, CountsGrams) {
+  auto model = NGramModel::Make(3, 2);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->ObserveSequence({0, 1, 0, 1, 2}).ok());
+  model->Finalize();
+  EXPECT_EQ(model->RawCount({0, 1}), 2u);
+  EXPECT_EQ(model->RawCount({1, 0}), 1u);
+  EXPECT_EQ(model->RawCount({1, 2}), 1u);
+  EXPECT_EQ(model->RawCount({2, 2}), 0u);
+  EXPECT_EQ(model->RawCount({0}), 2u);
+  EXPECT_EQ(model->DistinctGrams(2), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Probabilities
+
+TEST(NGramModelTest, DistributionSumsToOne) {
+  auto model = NGramModel::Make(4, 3);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->ObserveSequence({0, 1, 2, 3, 0, 1, 2, 0, 1}).ok());
+  model->Finalize();
+  for (const std::vector<int>& ctx :
+       {std::vector<int>{}, {0}, {0, 1}, {3, 3}, {2, 1, 0}}) {
+    auto dist = model->Distribution(ctx);
+    double sum = 0.0;
+    for (double p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (double p : dist) EXPECT_GT(p, 0.0);  // smoothing: no zero mass
+  }
+}
+
+TEST(NGramModelTest, LearnsStrongPattern) {
+  auto model = NGramModel::Make(4, 3);
+  ASSERT_TRUE(model.ok());
+  // Deterministic cycle 0 -> 1 -> 2 -> 0.
+  std::vector<int> cycle;
+  for (int i = 0; i < 60; ++i) cycle.push_back(i % 3);
+  ASSERT_TRUE(model->ObserveSequence(cycle).ok());
+  model->Finalize();
+  // After (0, 1) the continuation is always 2.
+  double p2 = model->Probability({0, 1}, 2);
+  EXPECT_GT(p2, 0.8);
+  EXPECT_GT(p2, model->Probability({0, 1}, 0));
+  EXPECT_GT(p2, model->Probability({0, 1}, 3));
+}
+
+TEST(NGramModelTest, UnseenContextBacksOff) {
+  auto model = NGramModel::Make(4, 3);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->ObserveSequence({0, 1, 0, 1, 0, 1}).ok());
+  model->Finalize();
+  // Context (3, 3) never occurs; probabilities fall back to lower orders
+  // and still form a distribution favoring frequent symbols.
+  double p0 = model->Probability({3, 3}, 0);
+  double p3 = model->Probability({3, 3}, 3);
+  EXPECT_GT(p0, p3);
+}
+
+TEST(NGramModelTest, EmptyModelIsUniform) {
+  auto model = NGramModel::Make(5, 2);
+  ASSERT_TRUE(model.ok());
+  model->Finalize();
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_NEAR(model->Probability({}, s), 0.2, 1e-9);
+  }
+}
+
+TEST(NGramModelTest, KneserNeyContinuationEffect) {
+  // Classic KN behavior: a symbol that appears often but only after one
+  // context ("Francisco" after "San") gets a LOWER unigram-backoff weight
+  // than a symbol appearing in many contexts.
+  auto model = NGramModel::Make(6, 2);
+  ASSERT_TRUE(model.ok());
+  // Symbol 1 occurs 8 times, always after 0. Symbol 2 occurs 4 times after
+  // 4 different predecessors (3, 4, 5, 0).
+  ASSERT_TRUE(model->ObserveSequence({0, 1, 0, 1, 0, 1, 0, 1,
+                                      0, 1, 0, 1, 0, 1, 0, 1,
+                                      3, 2, 4, 2, 5, 2, 0, 2}).ok());
+  model->Finalize();
+  // Under an unseen context, continuation counts dominate: symbol 2
+  // (diverse contexts) should outrank symbol 1 (one context) even though
+  // symbol 1 is twice as frequent.
+  double p1 = model->Probability({5}, 1);  // context (5) never precedes 1
+  double p2 = model->Probability({3}, 2);  // context (3) precedes 2 once
+  (void)p2;
+  double cont1 = model->Probability({2}, 1);  // (2) precedes nothing
+  double cont2 = model->Probability({2}, 2);
+  EXPECT_GT(cont2, cont1);
+  EXPECT_GT(p1, 0.0);
+}
+
+TEST(NGramModelTest, LongerContextUsesSuffix) {
+  auto model = NGramModel::Make(3, 2);  // order 2: context of 1 symbol
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->ObserveSequence({0, 1, 0, 1, 0, 2}).ok());
+  model->Finalize();
+  // Passing a longer history must use only the last symbol.
+  EXPECT_DOUBLE_EQ(model->Probability({2, 2, 2, 0}, 1),
+                   model->Probability({0}, 1));
+}
+
+// ---------------------------------------------------------------------------
+// MarkovChain (Algorithm 2 wrapper)
+
+TEST(MarkovChainTest, HistoryLengthMapsToOrder) {
+  auto chain = MarkovChain::Make(9, 3);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->history_length(), 3u);
+  EXPECT_EQ(chain->model().order(), 4u);
+}
+
+TEST(MarkovChainTest, TrainOnTraces) {
+  auto chain = MarkovChain::Make(4, 2);
+  ASSERT_TRUE(chain.ok());
+  std::vector<std::vector<int>> traces = {
+      {0, 0, 1, 0, 0, 1}, {0, 0, 1, 0, 0, 1}, {2, 2, 3}};
+  ASSERT_TRUE(chain->Train(traces).ok());
+  // After (0, 0), next is always 1 in training.
+  auto dist = chain->NextMoveDistribution({0, 0});
+  EXPECT_GT(dist[1], dist[0]);
+  EXPECT_GT(dist[1], 0.5);
+  EXPECT_GT(chain->ObservedStates(), 0u);
+}
+
+TEST(MarkovChainTest, MomentumLikePatternLearned) {
+  // "pan right three times -> pan right again" (paper's example).
+  auto chain = MarkovChain::Make(9, 3);
+  ASSERT_TRUE(chain.ok());
+  std::vector<int> repeat_right(40, 1);  // move 1 = pan right
+  ASSERT_TRUE(chain->Train({repeat_right}).ok());
+  EXPECT_GT(chain->TransitionProbability({1, 1, 1}, 1), 0.9);
+}
+
+TEST(MarkovChainTest, DistributionAlwaysNormalized) {
+  auto chain = MarkovChain::Make(9, 3);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(chain->Train({{0, 4, 5, 8, 2, 3, 1}}).ok());
+  for (const std::vector<int>& ctx :
+       {std::vector<int>{}, {0}, {8, 8, 8}, {4, 5, 8}}) {
+    auto dist = chain->NextMoveDistribution(ctx);
+    double sum = 0.0;
+    for (double p : dist) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovChainTest, IncrementalObserveThenFinalize) {
+  auto chain = MarkovChain::Make(3, 2);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_TRUE(chain->Observe({0, 1, 0, 1}).ok());
+  ASSERT_TRUE(chain->Observe({0, 1, 0, 1}).ok());
+  chain->Finalize();
+  EXPECT_GT(chain->TransitionProbability({1, 0}, 1), 0.5);
+}
+
+// Parameterized: every order n in 1..10 yields valid distributions (the
+// paper sweeps Markov2..Markov10 in section 5.4.2).
+class MarkovOrderTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MarkovOrderTest, ValidDistributionsAtAllOrders) {
+  auto chain = MarkovChain::Make(9, GetParam());
+  ASSERT_TRUE(chain.ok());
+  std::vector<int> trace;
+  for (int i = 0; i < 100; ++i) trace.push_back((i * 7 + i / 3) % 9);
+  ASSERT_TRUE(chain->Train({trace}).ok());
+  std::vector<int> ctx;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    ctx.push_back(static_cast<int>(i % 9));
+  }
+  auto dist = chain->NextMoveDistribution(ctx);
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MarkovOrderTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace fc::markov

@@ -1,0 +1,373 @@
+// Property-based tests: parameterized sweeps over randomized inputs that
+// check invariants rather than point values.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/move.h"
+#include "core/prediction_engine.h"
+#include "core/recommender.h"
+#include "core/roi_tracker.h"
+#include "core/tile_cache.h"
+#include "markov/ngram_model.h"
+#include "storage/tile_codec.h"
+#include "tiles/tile_key.h"
+#include "vision/histogram.h"
+#include "vision/raster.h"
+
+namespace fc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pyramid geometry properties across many specs
+
+struct SpecParams {
+  int levels;
+  std::int64_t tile;
+  std::int64_t base_w;
+  std::int64_t base_h;
+};
+
+class PyramidPropertyTest : public ::testing::TestWithParam<SpecParams> {
+ protected:
+  tiles::PyramidSpec Spec() const {
+    tiles::PyramidSpec spec;
+    spec.num_levels = GetParam().levels;
+    spec.tile_width = GetParam().tile;
+    spec.tile_height = GetParam().tile;
+    spec.base_width = GetParam().base_w;
+    spec.base_height = GetParam().base_h;
+    return spec;
+  }
+};
+
+TEST_P(PyramidPropertyTest, TileCountsConsistent) {
+  auto spec = Spec();
+  ASSERT_TRUE(spec.Validate().ok());
+  EXPECT_EQ(spec.AllKeys().size(), static_cast<std::size_t>(spec.TotalTiles()));
+  for (int l = 0; l < spec.num_levels; ++l) {
+    EXPECT_EQ(spec.KeysAtLevel(l).size(),
+              static_cast<std::size_t>(spec.TilesX(l) * spec.TilesY(l)));
+  }
+}
+
+TEST_P(PyramidPropertyTest, EveryChildMapsToItsParent) {
+  auto spec = Spec();
+  for (int l = 1; l < spec.num_levels; ++l) {
+    for (const auto& key : spec.KeysAtLevel(l)) {
+      auto parent = key.Parent();
+      EXPECT_TRUE(spec.Valid(parent)) << key.ToString();
+      EXPECT_EQ(parent.Child(key.QuadrantInParent()), key);
+    }
+  }
+}
+
+TEST_P(PyramidPropertyTest, MovesAreInvertible) {
+  auto spec = Spec();
+  for (const auto& key : spec.AllKeys()) {
+    for (core::Move m : core::ValidMoves(key, spec)) {
+      auto to = core::ApplyMove(key, m, spec);
+      ASSERT_TRUE(to.has_value());
+      EXPECT_TRUE(spec.Valid(*to));
+      // Every move has an inverse move leading back.
+      auto back = core::MoveBetween(*to, key);
+      EXPECT_TRUE(back.has_value())
+          << key.ToString() << " -> " << to->ToString();
+    }
+  }
+}
+
+TEST_P(PyramidPropertyTest, CandidatesAreExactlyOneMoveAway) {
+  auto spec = Spec();
+  for (const auto& key : spec.AllKeys()) {
+    auto candidates = core::CandidateTiles(key, spec);
+    EXPECT_EQ(candidates.size(), core::ValidMoves(key, spec).size());
+    std::set<tiles::TileKey> unique(candidates.begin(), candidates.end());
+    EXPECT_EQ(unique.size(), candidates.size());  // no duplicates
+    for (const auto& c : candidates) {
+      EXPECT_TRUE(core::MoveBetween(key, c).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, PyramidPropertyTest,
+    ::testing::Values(SpecParams{1, 8, 8, 8}, SpecParams{3, 8, 64, 64},
+                      SpecParams{4, 16, 128, 128}, SpecParams{3, 8, 50, 30},
+                      SpecParams{5, 32, 512, 256}, SpecParams{2, 8, 9, 9}));
+
+// ---------------------------------------------------------------------------
+// Manhattan distance: identity, symmetry, non-negativity everywhere; the
+// triangle inequality holds within a level (cross-level comparisons project
+// pairwise, which is a penalty function, not a full metric — all the SB
+// recommender requires).
+
+TEST(TileDistancePropertyTest, MetricAxioms) {
+  Rng rng(61);
+  std::vector<tiles::TileKey> keys;
+  for (int i = 0; i < 24; ++i) {
+    int level = rng.UniformInt(0, 3);
+    keys.push_back(tiles::TileKey{level, rng.UniformInt(0, (1 << level) - 1),
+                                  rng.UniformInt(0, (1 << level) - 1)});
+  }
+  for (const auto& a : keys) {
+    EXPECT_EQ(tiles::TileKey::ManhattanDistance(a, a), 0);
+    for (const auto& b : keys) {
+      auto dab = tiles::TileKey::ManhattanDistance(a, b);
+      EXPECT_EQ(dab, tiles::TileKey::ManhattanDistance(b, a));  // symmetry
+      EXPECT_GE(dab, 0);
+      // Distinct tiles are at positive distance.
+      if (!(a == b)) EXPECT_GT(dab, 0);
+      for (const auto& c : keys) {
+        if (a.level == b.level && b.level == c.level) {
+          EXPECT_LE(tiles::TileKey::ManhattanDistance(a, c),
+                    dab + tiles::TileKey::ManhattanDistance(b, c))
+              << "same-level triangle inequality";
+        }
+      }
+    }
+  }
+}
+
+TEST(TileDistancePropertyTest, SameLevelMatchesGridManhattan) {
+  Rng rng(62);
+  for (int trial = 0; trial < 100; ++trial) {
+    int level = rng.UniformInt(0, 5);
+    tiles::TileKey a{level, rng.UniformInt(0, 20), rng.UniformInt(0, 20)};
+    tiles::TileKey b{level, rng.UniformInt(0, 20), rng.UniformInt(0, 20)};
+    EXPECT_EQ(tiles::TileKey::ManhattanDistance(a, b),
+              std::abs(a.x - b.x) + std::abs(a.y - b.y));
+  }
+}
+
+TEST(TileDistancePropertyTest, ParentChildAdjacency) {
+  // A tile and any of its children are within 3 units (1 level + <=2 grid).
+  Rng rng(63);
+  for (int trial = 0; trial < 50; ++trial) {
+    tiles::TileKey parent{rng.UniformInt(0, 4), rng.UniformInt(0, 10),
+                          rng.UniformInt(0, 10)};
+    for (int q = 0; q < 4; ++q) {
+      auto child = parent.Child(q);
+      auto d = tiles::TileKey::ManhattanDistance(parent, child);
+      EXPECT_GE(d, 1);
+      EXPECT_LE(d, 3);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kneser-Ney: distributions sum to 1 under random training data
+
+class KneserNeyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(KneserNeyPropertyTest, RandomTrainingYieldsProperDistributions) {
+  auto [vocab, order] = GetParam();
+  auto model = markov::NGramModel::Make(vocab, order);
+  ASSERT_TRUE(model.ok());
+  Rng rng(CombineSeeds(vocab, order));
+  for (int t = 0; t < 5; ++t) {
+    std::vector<int> seq;
+    for (int i = 0; i < 80; ++i) {
+      seq.push_back(static_cast<int>(rng.UniformUint32(static_cast<std::uint32_t>(vocab))));
+    }
+    ASSERT_TRUE(model->ObserveSequence(seq).ok());
+  }
+  model->Finalize();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> ctx;
+    std::size_t len = rng.UniformUint32(static_cast<std::uint32_t>(order));
+    for (std::size_t i = 0; i < len; ++i) {
+      ctx.push_back(static_cast<int>(rng.UniformUint32(static_cast<std::uint32_t>(vocab))));
+    }
+    auto dist = model->Distribution(ctx);
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GT(p, 0.0);  // smoothing leaves no zero
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VocabOrders, KneserNeyPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 9),
+                       ::testing::Values<std::size_t>(1, 2, 4, 6)));
+
+// ---------------------------------------------------------------------------
+// Tile codec: random tiles round-trip exactly
+
+TEST(CodecPropertyTest, RandomTilesRoundTrip) {
+  Rng rng(67);
+  for (int trial = 0; trial < 25; ++trial) {
+    int level = rng.UniformInt(0, 8);
+    auto w = static_cast<std::int64_t>(rng.UniformInt(1, 24));
+    auto h = static_cast<std::int64_t>(rng.UniformInt(1, 24));
+    std::size_t nattr = static_cast<std::size_t>(rng.UniformInt(1, 4));
+    std::vector<std::string> names;
+    for (std::size_t a = 0; a < nattr; ++a) names.push_back("attr" + std::to_string(a));
+    auto tile = tiles::Tile::Make(
+        tiles::TileKey{level, rng.UniformInt(0, 100), rng.UniformInt(0, 100)},
+        w, h, names);
+    ASSERT_TRUE(tile.ok());
+    for (std::size_t a = 0; a < nattr; ++a) {
+      for (auto& v : tile->MutableAttrData(a)) v = rng.Gaussian(0, 100);
+    }
+    auto bytes = storage::EncodeTile(*tile);
+    auto back = storage::DecodeTile(bytes);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->key(), tile->key());
+    EXPECT_EQ(back->attr_names(), tile->attr_names());
+    for (std::size_t a = 0; a < nattr; ++a) {
+      EXPECT_EQ(back->AttrData(a), tile->AttrData(a));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LRU cache: never exceeds capacity; most-recent survives
+
+TEST(LruPropertyTest, CapacityInvariantUnderRandomWorkload) {
+  Rng rng(71);
+  for (std::size_t capacity : {1u, 3u, 8u}) {
+    core::LruTileCache cache(capacity);
+    std::vector<tiles::TileKey> recent;
+    for (int op = 0; op < 500; ++op) {
+      tiles::TileKey key{0, rng.UniformInt(0, 15), rng.UniformInt(0, 15)};
+      if (rng.Bernoulli(0.6)) {
+        auto tile = tiles::Tile::Make(key, 2, 2, {"v"});
+        cache.Put(key, std::make_shared<const tiles::Tile>(std::move(*tile)));
+        recent.push_back(key);
+      } else {
+        (void)cache.Get(key);
+      }
+      ASSERT_LE(cache.size(), capacity);
+      // The most recently put key is always resident.
+      if (!recent.empty()) {
+        EXPECT_TRUE(cache.Contains(recent.back()));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ROI tracker: ROI only ever contains tiles that were requested
+
+TEST(RoiPropertyTest, RoiSubsetOfRequests) {
+  Rng rng(73);
+  tiles::PyramidSpec spec;
+  spec.num_levels = 4;
+  spec.tile_width = 8;
+  spec.tile_height = 8;
+  spec.base_width = 64;
+  spec.base_height = 64;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    core::RoiTracker tracker;
+    std::set<tiles::TileKey> requested;
+    tiles::TileKey current{0, 0, 0};
+    requested.insert(current);
+    core::TileRequest first;
+    first.tile = current;
+    tracker.Update(first);
+    for (int step = 0; step < 60; ++step) {
+      auto moves = core::ValidMoves(current, spec);
+      auto move = moves[rng.UniformUint32(static_cast<std::uint32_t>(moves.size()))];
+      current = *core::ApplyMove(current, move, spec);
+      requested.insert(current);
+      core::TileRequest req;
+      req.tile = current;
+      req.move = move;
+      tracker.Update(req);
+      for (const auto& roi_tile : tracker.roi()) {
+        EXPECT_TRUE(requested.count(roi_tile) > 0)
+            << roi_tile.ToString() << " in ROI but never requested";
+      }
+      // Temp ROI is only collecting after a zoom-in.
+      if (tracker.collecting()) {
+        EXPECT_FALSE(tracker.temp_roi().empty());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms: totals preserved, normalization sums to 1
+
+TEST(HistogramPropertyTest, RandomDataInvariant) {
+  Rng rng(79);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t bins = static_cast<std::size_t>(rng.UniformInt(1, 64));
+    auto h = vision::Histogram1D::Make(bins, -2.0, 2.0);
+    ASSERT_TRUE(h.ok());
+    std::size_t n = static_cast<std::size_t>(rng.UniformInt(1, 500));
+    for (std::size_t i = 0; i < n; ++i) h->Add(rng.Gaussian(0, 2));
+    EXPECT_EQ(h->total(), n);
+    double count_sum = 0.0;
+    for (double c : h->counts()) count_sum += c;
+    EXPECT_DOUBLE_EQ(count_sum, static_cast<double>(n));
+    double norm_sum = 0.0;
+    for (double c : h->Normalized()) norm_sum += c;
+    EXPECT_NEAR(norm_sum, 1.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Merge: output always unique, bounded by k, and drawn from the inputs
+
+TEST(MergePropertyTest, RandomizedMergeInvariants) {
+  Rng rng(83);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto random_list = [&](std::size_t n) {
+      core::RankedTiles list;
+      for (std::size_t i = 0; i < n; ++i) {
+        list.push_back(tiles::TileKey{1, rng.UniformInt(0, 5), rng.UniformInt(0, 5)});
+      }
+      return list;
+    };
+    auto ab = random_list(static_cast<std::size_t>(rng.UniformInt(0, 9)));
+    auto sb = random_list(static_cast<std::size_t>(rng.UniformInt(0, 9)));
+    core::Allocation alloc;
+    std::size_t k = static_cast<std::size_t>(rng.UniformInt(1, 9));
+    alloc.ab_slots = static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(k)));
+    alloc.sb_slots = k - alloc.ab_slots;
+    alloc.ab_first = rng.Bernoulli(0.5);
+    auto merged = core::MergeRankedLists(ab, sb, alloc, k);
+    EXPECT_LE(merged.size(), k);
+    std::set<tiles::TileKey> unique(merged.begin(), merged.end());
+    EXPECT_EQ(unique.size(), merged.size());
+    for (const auto& key : merged) {
+      bool from_ab = std::find(ab.begin(), ab.end(), key) != ab.end();
+      bool from_sb = std::find(sb.begin(), sb.end(), key) != sb.end();
+      EXPECT_TRUE(from_ab || from_sb);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raster: blur/downsample keep values within the input range
+
+TEST(RasterPropertyTest, SmoothingStaysInRange) {
+  Rng rng(89);
+  for (int trial = 0; trial < 10; ++trial) {
+    vision::Raster img(24, 24);
+    for (auto& v : img.mutable_data()) v = rng.UniformDouble(-3.0, 5.0);
+    auto [lo, hi] = img.MinMax();
+    for (double sigma : {0.5, 1.5, 3.0}) {
+      auto blurred = vision::GaussianBlur(img, sigma);
+      auto [blo, bhi] = blurred.MinMax();
+      EXPECT_GE(blo, lo - 1e-9);
+      EXPECT_LE(bhi, hi + 1e-9);
+    }
+    auto down = vision::Downsample2x(img);
+    auto [dlo, dhi] = down.MinMax();
+    EXPECT_GE(dlo, lo - 1e-9);
+    EXPECT_LE(dhi, hi + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fc

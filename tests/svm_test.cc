@@ -1,0 +1,213 @@
+// Unit tests for the SVM substrate: kernels, scaler, SMO training,
+// multiclass voting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "svm/kernel.h"
+#include "svm/scaler.h"
+#include "svm/svm.h"
+
+namespace fc::svm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+TEST(KernelTest, Linear) {
+  KernelParams params;
+  params.kind = KernelKind::kLinear;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(params, {1, 2}, {3, 4}), 11.0);
+}
+
+TEST(KernelTest, RbfIdenticalIsOne) {
+  KernelParams params;
+  params.kind = KernelKind::kRbf;
+  params.gamma = 0.5;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(params, {1, 2}, {1, 2}), 1.0);
+  // Decays with distance.
+  double near = EvaluateKernel(params, {0, 0}, {0.1, 0});
+  double far = EvaluateKernel(params, {0, 0}, {3, 0});
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(far, std::exp(-0.5 * 9.0), 1e-12);
+}
+
+TEST(KernelTest, Poly) {
+  KernelParams params;
+  params.kind = KernelKind::kPoly;
+  params.gamma = 1.0;
+  params.coef0 = 1.0;
+  params.degree = 2;
+  EXPECT_DOUBLE_EQ(EvaluateKernel(params, {1, 0}, {1, 0}), 4.0);  // (1+1)^2
+}
+
+// ---------------------------------------------------------------------------
+// Scaler
+
+TEST(ScalerTest, StandardizesColumns) {
+  FeatureScaler scaler;
+  ASSERT_TRUE(scaler.Fit({{0.0, 10.0}, {2.0, 10.0}, {4.0, 10.0}}).ok());
+  auto t = scaler.Transform({2.0, 10.0});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 0.0, 1e-12);  // constant column -> 0
+  auto hi = scaler.Transform({4.0, 10.0});
+  EXPECT_GT(hi[0], 1.0);
+}
+
+TEST(ScalerTest, RejectsBadInput) {
+  FeatureScaler scaler;
+  EXPECT_FALSE(scaler.Fit({}).ok());
+  EXPECT_FALSE(scaler.Fit({{1.0}, {1.0, 2.0}}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// BinarySvm
+
+TEST(BinarySvmTest, ValidatesInput) {
+  SvmOptions options;
+  EXPECT_FALSE(BinarySvm::Train({}, {}, options).ok());
+  EXPECT_FALSE(BinarySvm::Train({{1.0}}, {2}, options).ok());       // bad label
+  EXPECT_FALSE(BinarySvm::Train({{1.0}}, {1}, options).ok());       // one class
+  EXPECT_FALSE(BinarySvm::Train({{1.0}, {2.0}}, {1}, options).ok());  // sizes
+}
+
+TEST(BinarySvmTest, LinearlySeparable) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    x.push_back({rng.Gaussian(-2.0, 0.3), rng.Gaussian(-2.0, 0.3)});
+    y.push_back(-1);
+    x.push_back({rng.Gaussian(2.0, 0.3), rng.Gaussian(2.0, 0.3)});
+    y.push_back(1);
+  }
+  // Linear kernel: the margin extends to arbitrarily far points (RBF decision
+  // values decay back toward the bias away from the support vectors).
+  SvmOptions options;
+  options.kernel.kind = KernelKind::kLinear;
+  auto model = BinarySvm::Train(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->num_support_vectors(), 0u);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (model->Predict(x[i]) == y[i]) ++correct;
+  }
+  EXPECT_GE(correct, static_cast<int>(x.size()) - 2);
+  // Far-away points classified confidently.
+  EXPECT_EQ(model->Predict({-5.0, -5.0}), -1);
+  EXPECT_EQ(model->Predict({5.0, 5.0}), 1);
+  EXPECT_GT(model->DecisionValue({5.0, 5.0}), 0.5);
+}
+
+TEST(BinarySvmTest, RbfSolvesXor) {
+  // XOR is not linearly separable; the RBF kernel must handle it.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(43);
+  for (int i = 0; i < 30; ++i) {
+    double jx = rng.Gaussian(0.0, 0.08);
+    double jy = rng.Gaussian(0.0, 0.08);
+    x.push_back({0.0 + jx, 0.0 + jy});
+    y.push_back(1);
+    x.push_back({1.0 + jx, 1.0 + jy});
+    y.push_back(1);
+    x.push_back({0.0 + jx, 1.0 + jy});
+    y.push_back(-1);
+    x.push_back({1.0 + jx, 0.0 + jy});
+    y.push_back(-1);
+  }
+  SvmOptions options;
+  options.kernel.gamma = 2.0;
+  options.c = 10.0;
+  auto model = BinarySvm::Train(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict({0.0, 0.0}), 1);
+  EXPECT_EQ(model->Predict({1.0, 1.0}), 1);
+  EXPECT_EQ(model->Predict({0.0, 1.0}), -1);
+  EXPECT_EQ(model->Predict({1.0, 0.0}), -1);
+}
+
+TEST(BinarySvmTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(47);
+  for (int i = 0; i < 30; ++i) {
+    x.push_back({rng.Gaussian(-1, 0.5)});
+    y.push_back(-1);
+    x.push_back({rng.Gaussian(1, 0.5)});
+    y.push_back(1);
+  }
+  SvmOptions options;
+  auto a = BinarySvm::Train(x, y, options);
+  auto b = BinarySvm::Train(x, y, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->bias(), b->bias());
+  EXPECT_EQ(a->num_support_vectors(), b->num_support_vectors());
+  EXPECT_DOUBLE_EQ(a->DecisionValue({0.3}), b->DecisionValue({0.3}));
+}
+
+// ---------------------------------------------------------------------------
+// MulticlassSvm
+
+TEST(MulticlassSvmTest, ThreeGaussianBlobs) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(53);
+  const std::vector<std::pair<double, double>> centers = {
+      {0.0, 0.0}, {4.0, 0.0}, {2.0, 3.5}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      x.push_back({rng.Gaussian(centers[c].first, 0.4),
+                   rng.Gaussian(centers[c].second, 0.4)});
+      y.push_back(c);
+    }
+  }
+  SvmOptions options;
+  options.kernel.gamma = 1.0;
+  auto model = MulticlassSvm::Train(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->classes().size(), 3u);
+  EXPECT_EQ(model->num_machines(), 3u);  // 3 choose 2
+  EXPECT_EQ(model->Predict({0.0, 0.0}), 0);
+  EXPECT_EQ(model->Predict({4.0, 0.0}), 1);
+  EXPECT_EQ(model->Predict({2.0, 3.5}), 2);
+  EXPECT_GT(ClassificationAccuracy(*model, x, y), 0.95);
+}
+
+TEST(MulticlassSvmTest, ArbitraryLabelValues) {
+  std::vector<std::vector<double>> x = {{0.0}, {0.1}, {5.0}, {5.1}};
+  std::vector<int> y = {-7, -7, 42, 42};
+  SvmOptions options;
+  auto model = MulticlassSvm::Train(x, y, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict({0.05}), -7);
+  EXPECT_EQ(model->Predict({5.05}), 42);
+}
+
+TEST(MulticlassSvmTest, RequiresTwoClasses) {
+  SvmOptions options;
+  EXPECT_FALSE(MulticlassSvm::Train({{1.0}, {2.0}}, {3, 3}, options).ok());
+}
+
+TEST(MulticlassSvmTest, VotesExposed) {
+  std::vector<std::vector<double>> x = {{0.0}, {0.2}, {5.0}, {5.2}, {10.0}, {10.2}};
+  std::vector<int> y = {0, 0, 1, 1, 2, 2};
+  SvmOptions options;
+  auto model = MulticlassSvm::Train(x, y, options);
+  ASSERT_TRUE(model.ok());
+  auto votes = model->Votes({0.1});
+  int total = 0;
+  for (const auto& [cls, count] : votes) total += count;
+  EXPECT_EQ(total, 3);  // one vote per pairwise machine
+  EXPECT_EQ(votes[0], 2);  // class 0 wins both of its pairings
+}
+
+TEST(MulticlassSvmTest, AccuracyHelperHandlesEmpty) {
+  MulticlassSvm model;
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy(model, {}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace fc::svm

@@ -1,0 +1,32 @@
+// Shared fixtures: a small study dataset built once per test binary.
+
+#ifndef FORECACHE_TESTS_TEST_FIXTURES_H_
+#define FORECACHE_TESTS_TEST_FIXTURES_H_
+
+#include "common/logging.h"
+#include "sim/study.h"
+
+namespace fc::testfx {
+
+/// A reduced-but-complete study: 256x256 terrain, 4 levels, 6 users x 3
+/// tasks. Built lazily, shared by every test in the binary.
+inline const sim::Study& SmallStudy() {
+  static const sim::Study study = [] {
+    sim::ModisDatasetOptions dataset = sim::DefaultStudyDataset();
+    dataset.terrain.width = 256;
+    dataset.terrain.height = 256;
+    dataset.num_levels = 4;  // 256 = 32 * 2^3
+    dataset.tile_size = 32;
+    dataset.codebook_training_tiles = 24;
+    sim::StudyOptions options;
+    options.num_users = 6;
+    auto result = sim::RunStudy(dataset, options);
+    FC_CHECK_MSG(result.ok(), result.status().ToString());
+    return std::move(result).value();
+  }();
+  return study;
+}
+
+}  // namespace fc::testfx
+
+#endif  // FORECACHE_TESTS_TEST_FIXTURES_H_

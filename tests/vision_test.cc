@@ -1,0 +1,455 @@
+// Unit tests for the vision substrate: rasters, Gaussian ops, SIFT,
+// k-means, codebooks, histograms, signatures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "vision/codebook.h"
+#include "vision/histogram.h"
+#include "vision/kmeans.h"
+#include "vision/raster.h"
+#include "vision/signature.h"
+#include "vision/sift.h"
+
+namespace fc::vision {
+namespace {
+
+// A raster with a bright square blob centered at (cx, cy).
+Raster BlobRaster(std::size_t size, std::size_t cx, std::size_t cy,
+                  std::size_t radius, double intensity = 1.0) {
+  Raster r(size, size, 0.0);
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      std::size_t dx = x > cx ? x - cx : cx - x;
+      std::size_t dy = y > cy ? y - cy : cy - y;
+      if (dx <= radius && dy <= radius) r.At(x, y) = intensity;
+    }
+  }
+  return r;
+}
+
+Raster NoiseRaster(std::size_t size, std::uint64_t seed) {
+  Raster r(size, size);
+  Rng rng(seed);
+  for (auto& v : r.mutable_data()) v = rng.UniformDouble();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Raster
+
+TEST(RasterTest, FromDataValidatesSize) {
+  EXPECT_TRUE(Raster::FromData(2, 2, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(Raster::FromData(2, 2, {1, 2, 3}).ok());
+}
+
+TEST(RasterTest, ClampedAccess) {
+  Raster r(2, 2);
+  r.At(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(r.AtClamped(-3, -3), 5.0);
+  r.At(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(r.AtClamped(10, 10), 7.0);
+}
+
+TEST(RasterTest, BilinearSample) {
+  Raster r(2, 2);
+  r.At(0, 0) = 0.0;
+  r.At(1, 0) = 1.0;
+  r.At(0, 1) = 2.0;
+  r.At(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(r.Sample(0.5, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(r.Sample(0.0, 0.0), 0.0);
+}
+
+TEST(RasterTest, NormalizeRange) {
+  Raster r(2, 1);
+  r.At(0, 0) = 10.0;
+  r.At(1, 0) = 30.0;
+  r.NormalizeRange();
+  EXPECT_DOUBLE_EQ(r.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.At(1, 0), 1.0);
+  Raster flat(3, 1, 2.0);
+  flat.NormalizeRange();  // no-op for flat images, no NaN
+  EXPECT_DOUBLE_EQ(flat.At(0, 0), 2.0);
+}
+
+TEST(RasterTest, GradientsOfLinearRamp) {
+  Raster r(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) r.At(x, y) = static_cast<double>(x);
+  }
+  auto g = ComputeGradients(r);
+  // Interior: central difference of a unit ramp = 1 in x, 0 in y.
+  EXPECT_DOUBLE_EQ(g.dx.At(4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(g.dy.At(4, 4), 0.0);
+}
+
+TEST(RasterTest, GaussianBlurPreservesMeanRoughly) {
+  auto r = NoiseRaster(32, 5);
+  double mean_before = 0.0;
+  for (double v : r.data()) mean_before += v;
+  auto blurred = GaussianBlur(r, 2.0);
+  double mean_after = 0.0;
+  for (double v : blurred.data()) mean_after += v;
+  EXPECT_NEAR(mean_before / r.data().size(), mean_after / blurred.data().size(),
+              0.02);
+}
+
+TEST(RasterTest, GaussianBlurReducesVariance) {
+  auto r = NoiseRaster(32, 6);
+  auto blurred = GaussianBlur(r, 2.0);
+  auto variance = [](const Raster& img) {
+    double mean = 0.0;
+    for (double v : img.data()) mean += v;
+    mean /= img.data().size();
+    double ss = 0.0;
+    for (double v : img.data()) ss += (v - mean) * (v - mean);
+    return ss / img.data().size();
+  };
+  EXPECT_LT(variance(blurred), variance(r) * 0.5);
+}
+
+TEST(RasterTest, DownsampleHalves) {
+  Raster r(8, 6);
+  auto d = Downsample2x(r);
+  EXPECT_EQ(d.width(), 4u);
+  EXPECT_EQ(d.height(), 3u);
+}
+
+TEST(RasterTest, UpsampleDoubles) {
+  Raster r(4, 4, 1.0);
+  auto u = Upsample2x(r);
+  EXPECT_EQ(u.width(), 8u);
+  EXPECT_DOUBLE_EQ(u.At(3, 3), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// SIFT
+
+TEST(SiftTest, DetectsBlobKeypoint) {
+  auto img = BlobRaster(64, 32, 32, 6);
+  SiftExtractor extractor;
+  auto keypoints = extractor.DetectKeypoints(img);
+  ASSERT_FALSE(keypoints.empty());
+  // At least one keypoint near the blob center.
+  bool near = false;
+  for (const auto& kp : keypoints) {
+    if (std::abs(kp.x - 32.0) < 8.0 && std::abs(kp.y - 32.0) < 8.0) near = true;
+  }
+  EXPECT_TRUE(near);
+}
+
+TEST(SiftTest, FlatImageHasNoKeypoints) {
+  Raster flat(64, 64, 0.5);
+  SiftExtractor extractor;
+  EXPECT_TRUE(extractor.DetectKeypoints(flat).empty());
+  EXPECT_TRUE(extractor.Extract(flat).empty());
+}
+
+TEST(SiftTest, TinyImageHandled) {
+  Raster tiny(8, 8, 0.5);
+  SiftExtractor extractor;
+  EXPECT_TRUE(extractor.Extract(tiny).empty());
+}
+
+TEST(SiftTest, DescriptorsAreNormalized128D) {
+  auto img = BlobRaster(64, 24, 40, 5);
+  SiftExtractor extractor;
+  auto features = extractor.Extract(img);
+  ASSERT_FALSE(features.empty());
+  for (const auto& f : features) {
+    ASSERT_EQ(f.descriptor.size(), kDescriptorDims);
+    double norm = 0.0;
+    for (double v : f.descriptor) {
+      // Values are clamped at 0.2 *before* the final renormalization, so the
+      // stored entries may exceed 0.2 but stay well below 1.
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      norm += v * v;
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-6);
+  }
+}
+
+TEST(SiftTest, MaxFeaturesRespected) {
+  auto img = NoiseRaster(96, 9);
+  SiftOptions options;
+  options.max_features = 5;
+  SiftExtractor extractor(options);
+  EXPECT_LE(extractor.Extract(img).size(), 5u);
+}
+
+TEST(SiftTest, SimilarImagesHaveSimilarDescriptors) {
+  auto a = BlobRaster(64, 32, 32, 6);
+  auto b = BlobRaster(64, 34, 30, 6);  // slightly shifted copy
+  auto c = NoiseRaster(64, 10);        // unrelated
+  SiftExtractor extractor;
+  auto fa = extractor.Extract(a);
+  auto fb = extractor.Extract(b);
+  auto fc_ = extractor.Extract(c);
+  ASSERT_FALSE(fa.empty());
+  ASSERT_FALSE(fb.empty());
+  ASSERT_FALSE(fc_.empty());
+  auto min_dist = [](const std::vector<SiftFeature>& xs,
+                     const std::vector<SiftFeature>& ys) {
+    double best = 1e18;
+    for (const auto& x : xs) {
+      for (const auto& y : ys) {
+        double ss = 0.0;
+        for (std::size_t i = 0; i < x.descriptor.size(); ++i) {
+          double d = x.descriptor[i] - y.descriptor[i];
+          ss += d * d;
+        }
+        best = std::min(best, ss);
+      }
+    }
+    return best;
+  };
+  EXPECT_LT(min_dist(fa, fb), min_dist(fa, fc_));
+}
+
+TEST(DenseSiftTest, CoversGrid) {
+  auto img = BlobRaster(64, 32, 32, 8);
+  DenseSiftExtractor extractor;
+  auto features = extractor.Extract(img);
+  // 64/8 = 8 grid steps per axis.
+  EXPECT_EQ(features.size(), 64u);
+  for (const auto& f : features) {
+    EXPECT_EQ(f.descriptor.size(), kDescriptorDims);
+    EXPECT_DOUBLE_EQ(f.keypoint.orientation, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KMeans / Codebook
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.Gaussian(0.0, 0.1), rng.Gaussian(0.0, 0.1)});
+    points.push_back({rng.Gaussian(10.0, 0.1), rng.Gaussian(10.0, 0.1)});
+  }
+  KMeansOptions options;
+  options.k = 2;
+  Rng seed_rng(3);
+  auto result = KMeans(points, options, &seed_rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centers.size(), 2u);
+  double c0 = result->centers[0][0] + result->centers[0][1];
+  double c1 = result->centers[1][0] + result->centers[1][1];
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 1.0);
+  EXPECT_NEAR(std::max(c0, c1), 20.0, 1.0);
+}
+
+TEST(KMeansTest, KLargerThanPointsShrinks) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  KMeansOptions options;
+  options.k = 10;
+  Rng rng(4);
+  auto result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centers.size(), 2u);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  Rng rng(5);
+  KMeansOptions options;
+  EXPECT_FALSE(KMeans({}, options, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, options, &rng).ok());
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> points;
+  Rng data_rng(6);
+  for (int i = 0; i < 64; ++i) {
+    points.push_back({data_rng.UniformDouble(), data_rng.UniformDouble()});
+  }
+  KMeansOptions options;
+  options.k = 4;
+  Rng r1(7);
+  Rng r2(7);
+  auto a = KMeans(points, options, &r1);
+  auto b = KMeans(points, options, &r2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(CodebookTest, QuantizeAndHistogram) {
+  std::vector<std::vector<double>> descriptors = {
+      {0.0, 0.0}, {0.1, 0.0}, {10.0, 10.0}, {10.1, 10.0}};
+  Rng rng(8);
+  auto cb = Codebook::Train(descriptors, 2, &rng);
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(cb->num_words(), 2u);
+  std::vector<SiftFeature> features(4);
+  for (std::size_t i = 0; i < 4; ++i) features[i].descriptor = descriptors[i];
+  auto hist = cb->BuildHistogram(features);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist[0] + hist[1], 1.0);
+  EXPECT_DOUBLE_EQ(hist[0], 0.5);
+}
+
+TEST(CodebookTest, FromCentersValidates) {
+  EXPECT_FALSE(Codebook::FromCenters({}).ok());
+  EXPECT_FALSE(Codebook::FromCenters({{1.0}, {1.0, 2.0}}).ok());
+  EXPECT_TRUE(Codebook::FromCenters({{1.0}, {2.0}}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BinsAndClamping) {
+  auto h = Histogram1D::Make(4, 0.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  h->Add(-5.0);  // clamps into bin 0
+  h->Add(0.1);
+  h->Add(0.9);
+  h->Add(5.0);  // clamps into last bin
+  EXPECT_EQ(h->total(), 4u);
+  EXPECT_DOUBLE_EQ(h->counts()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h->counts()[3], 2.0);
+}
+
+TEST(HistogramTest, NormalizedSumsToOne) {
+  auto h = Histogram1D::Make(8, -1.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  for (int i = 0; i < 100; ++i) h->Add(-1.0 + 0.02 * i);
+  double sum = 0.0;
+  for (double v : h->Normalized()) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, RejectsBadRange) {
+  EXPECT_FALSE(Histogram1D::Make(0, 0.0, 1.0).ok());
+  EXPECT_FALSE(Histogram1D::Make(4, 1.0, 1.0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Signatures
+
+TEST(SignatureTest, NormalDistMapsIntoUnitRange) {
+  NormalDistSignature sig(-1.0, 1.0);
+  Raster tile(16, 16, 0.0);  // all zeros: mean 0 -> 0.5 after mapping
+  auto v = sig.Compute(tile);
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 2u);
+  EXPECT_NEAR((*v)[0], 0.5, 1e-9);
+  EXPECT_NEAR((*v)[1], 0.0, 1e-9);
+}
+
+TEST(SignatureTest, HistogramSignatureSeparatesSnowFromBare) {
+  HistogramSignature sig(16, -1.0, 1.0);
+  Raster snowy(16, 16, 0.8);
+  Raster bare(16, 16, -0.4);
+  auto a = sig.Compute(snowy);
+  auto b = sig.Compute(bare);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(sig.Distance(*a, *b), 0.5);
+  EXPECT_NEAR(sig.Distance(*a, *a), 0.0, 1e-12);
+}
+
+TEST(SignatureTest, SiftSignatureRequiresTraining) {
+  SiftSignature sig(/*dense=*/false, 8);
+  Raster tile(32, 32, 0.5);
+  EXPECT_TRUE(sig.Compute(tile).status().IsFailedPrecondition());
+}
+
+TEST(SignatureTest, SiftSignatureTrainsAndComputes) {
+  SiftSignature sig(/*dense=*/false, 4);
+  std::vector<Raster> training;
+  for (std::size_t i = 0; i < 4; ++i) {
+    training.push_back(BlobRaster(64, 16 + 8 * i, 20 + 6 * i, 5));
+  }
+  Rng rng(30);
+  ASSERT_TRUE(sig.Train(training, &rng).ok());
+  auto v = sig.Compute(BlobRaster(64, 30, 30, 5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), sig.dims());
+  double sum = 0.0;
+  for (double x : *v) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SignatureTest, OutlierSignatureProfiles) {
+  OutlierSignature sig;
+  Raster flat(16, 16, 1.0);
+  auto v = sig.Compute(flat);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)[0], 1.0);  // flat tile: everything within 1 sigma
+
+  Raster spiky(16, 16, 0.0);
+  spiky.At(0, 0) = 100.0;  // one enormous outlier
+  auto w = sig.Compute(spiky);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT((*w)[3], 0.0);
+}
+
+TEST(SignatureTest, QuantileSignatureMonotone) {
+  QuantileSignature sig(0.0, 100.0);
+  Raster ramp(10, 10);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ramp.mutable_data()[i] = static_cast<double>(i);
+  }
+  auto v = sig.Compute(ramp);
+  ASSERT_TRUE(v.ok());
+  for (std::size_t i = 1; i < v->size(); ++i) {
+    EXPECT_GE((*v)[i], (*v)[i - 1]);
+  }
+}
+
+TEST(SignatureToolboxTest, DefaultHasPaperSignatures) {
+  auto tb = SignatureToolbox::MakeDefault();
+  auto kinds = tb.Kinds();
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_TRUE(tb.Get(SignatureKind::kSift).ok());
+  EXPECT_TRUE(tb.Get(SignatureKind::kDenseSift).ok());
+  EXPECT_FALSE(tb.Get(SignatureKind::kOutlier).ok());
+  EXPECT_FALSE(tb.FullyTrained());  // SIFT codebooks untrained
+}
+
+TEST(SignatureToolboxTest, ExtensionsIncluded) {
+  SignatureToolboxOptions options;
+  options.include_extensions = true;
+  auto tb = SignatureToolbox::MakeDefault(options);
+  EXPECT_EQ(tb.Kinds().size(), 6u);
+  EXPECT_TRUE(tb.Get(SignatureKind::kOutlier).ok());
+}
+
+TEST(SignatureToolboxTest, RejectsDuplicateRegistration) {
+  SignatureToolbox tb;
+  ASSERT_TRUE(tb.RegisterExtractor(std::make_unique<OutlierSignature>()).ok());
+  EXPECT_TRUE(tb.RegisterExtractor(std::make_unique<OutlierSignature>())
+                  .IsAlreadyExists());
+}
+
+TEST(SignatureToolboxTest, TrainAllThenComputeAll) {
+  auto tb = SignatureToolbox::MakeDefault();
+  std::vector<Raster> training;
+  for (std::size_t i = 0; i < 4; ++i) {
+    training.push_back(BlobRaster(64, 16 + 8 * i, 24 + 4 * i, 5));
+  }
+  Rng rng(31);
+  ASSERT_TRUE(tb.TrainAll(training, &rng).ok());
+  EXPECT_TRUE(tb.FullyTrained());
+  auto sigs = tb.ComputeAll(BlobRaster(64, 32, 32, 5));
+  ASSERT_TRUE(sigs.ok());
+  EXPECT_EQ(sigs->size(), 4u);
+}
+
+TEST(SignatureKindTest, StringRoundTrip) {
+  for (auto kind : {SignatureKind::kNormalDist, SignatureKind::kHistogram,
+                    SignatureKind::kSift, SignatureKind::kDenseSift,
+                    SignatureKind::kOutlier, SignatureKind::kQuantile}) {
+    auto back = SignatureKindFromString(SignatureKindToString(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(SignatureKindFromString("nope").ok());
+}
+
+}  // namespace
+}  // namespace fc::vision
