@@ -1,12 +1,16 @@
-// Multi-user middleware: several concurrent sessions over one shared
-// backing store (the setting paper section 6.2 raises as future work).
+// Multi-user middleware: many concurrent sessions over one shared backing
+// store (the setting paper section 6.2 raises as future work).
 //
-// Each session gets its own prediction-engine state and cache region; the
-// DBMS and trained model components are shared. The example replays three
-// different users' study traces interleaved round-robin — the access
-// pattern a real multi-user deployment would see.
+// The concurrent serving core in action: sessions run on a pool of real OS
+// threads, each with its own prediction-engine state and private cache
+// regions, all layered over one process-wide SharedTileCache. Prefetch
+// region fills run on a background executor, so they overlap user think
+// time instead of the request path, and concurrent DBMS fetches for the
+// same tile are collapsed by the single-flight store.
 
+#include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/ab_recommender.h"
 #include "core/allocation.h"
@@ -19,7 +23,7 @@
 using namespace fc;
 
 int main() {
-  std::cout << "=== ForeCache example: multi-user middleware ===\n";
+  std::cout << "=== ForeCache example: concurrent multi-user middleware ===\n";
   sim::ModisDatasetOptions options = sim::DefaultStudyDataset();
   options.terrain.width = 512;
   options.terrain.height = 512;
@@ -32,7 +36,7 @@ int main() {
     return 1;
   }
 
-  // Shared, immutable components trained once.
+  // Shared, immutable components trained once; safe for concurrent use.
   auto classifier = core::PhaseClassifier::Train(study->traces);
   auto ab = core::AbRecommender::Make();
   if (!classifier.ok() || !ab.ok()) return 1;
@@ -52,50 +56,74 @@ int main() {
   shared.strategy = &strategy;
   shared.engine_options.prefetch_k = 5;
 
-  server::SessionManager manager(&store, &clock, shared);
+  constexpr std::size_t kThreads = 8;
+  server::SessionManagerOptions manager_options;
+  manager_options.executor_threads = kThreads;  // background prefetch pool
+  manager_options.use_shared_cache = true;
+  manager_options.shared_cache.capacity = 512;
+  manager_options.shared_cache.num_shards = 16;
+  manager_options.single_flight = true;
+  server::SessionManager manager(&store, &clock, shared, manager_options);
 
-  // Three interleaved user sessions replaying task-2 traces.
+  // One session per study trace — every user's full browsing history
+  // replayed concurrently against the shared store.
   std::vector<const core::Trace*> live;
-  for (const auto& trace : study->traces) {
-    if (trace.task_id == 2 && live.size() < 3) live.push_back(&trace);
-  }
-  std::vector<server::BrowserSession*> sessions;
-  std::vector<std::size_t> cursor(live.size(), 1);  // 0 = the Open() request
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    auto* session = manager.GetOrCreate(live[i]->user_id);
-    if (!session->Open().ok()) return 1;
-    sessions.push_back(session);
-  }
+  for (const auto& trace : study->traces) live.push_back(&trace);
 
-  // Round-robin replay: one move per session per round.
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (std::size_t i = 0; i < sessions.size(); ++i) {
-      if (cursor[i] >= live[i]->records.size()) continue;
-      const auto& rec = live[i]->records[cursor[i]++];
-      if (!rec.request.move.has_value()) continue;
-      auto served = sessions[i]->ApplyMove(*rec.request.move);
-      (void)served;  // border rejections are fine during replay
-      progressed = true;
-    }
-  }
-
-  std::cout << "Replayed " << live.size()
-            << " interleaved sessions over one shared store.\n\n";
+  std::vector<server::SessionManager::SessionWorkload> workloads;
   for (const auto* trace : live) {
-    auto server = manager.ServerFor(trace->user_id);
-    if (!server.ok()) continue;
-    std::cout << "  session " << trace->user_id << ": "
-              << (*server)->latency_log().size() << " requests, avg "
-              << (*server)->AverageLatencyMs() << " ms, hit rate "
-              << (*server)->cache_manager().HitRate() * 100.0 << "%\n";
+    std::string id = trace->user_id + "/task" + std::to_string(trace->task_id);
+    workloads.push_back({id, [trace](server::BrowserSession* session) {
+      FC_RETURN_IF_ERROR(session->Open().status());
+      session->WaitForPrefetch();  // think time covers the fill
+      for (std::size_t i = 1; i < trace->records.size(); ++i) {
+        const auto& rec = trace->records[i];
+        if (!rec.request.move.has_value()) continue;
+        auto served = session->ApplyMove(*rec.request.move);
+        (void)served;  // border rejections are fine during replay
+        session->WaitForPrefetch();
+      }
+      return Status::OK();
+    }});
   }
-  std::cout << "\nActive sessions: " << manager.active_sessions()
-            << "; total DBMS fetches: " << store.fetch_count()
-            << "; simulated DBMS time: " << store.total_query_millis() / 1000.0
-            << " s\n"
-            << "Each session prefetches within its own cache allocation, so\n"
-            << "per-user hit rates hold even with interleaved access.\n";
+
+  auto status = manager.RunSessions(workloads, kThreads);
+  if (!status.ok()) {
+    std::cerr << "replay: " << status << "\n";
+    return 1;
+  }
+
+  std::cout << "Replayed " << workloads.size() << " concurrent sessions on "
+            << kThreads << " OS threads over one shared store.\n\n";
+  std::cout << std::fixed << std::setprecision(1);
+  for (const auto& workload : workloads) {
+    const auto& id = workload.session_id;
+    auto server = manager.ServerFor(id);
+    if (!server.ok()) continue;
+    const auto& cache = (*server)->cache_manager();
+    std::cout << "  session " << id << ": " << cache.requests()
+              << " requests, hit rate " << cache.HitRate() * 100.0
+              << "% (private " << cache.PrivateHitRate() * 100.0
+              << "%, shared +"
+              << (cache.HitRate() - cache.PrivateHitRate()) * 100.0 << "%)\n";
+  }
+
+  auto stats = manager.shared_cache()->Stats();
+  const auto* flight = manager.single_flight_store();
+  std::cout << "\nShared cache: " << manager.shared_cache()->size() << "/"
+            << manager.shared_cache()->capacity() << " tiles resident, "
+            << stats.hits << " hits / " << stats.misses << " misses ("
+            << stats.HitRate() * 100.0 << "%), " << stats.evictions
+            << " evictions\n"
+            << "Single-flight: " << flight->deduped_count() << " of "
+            << flight->fetch_count() << " fetches joined an in-flight query\n"
+            << "DBMS: " << store.fetch_count() << " queries, "
+            << store.total_query_millis() / 1000.0 << " s simulated\n"
+            << "Background prefetch tasks completed: "
+            << manager.executor()->tasks_completed() << " on "
+            << manager.executor()->num_threads() << " threads\n"
+            << "\nSessions exploring the same region reuse each other's\n"
+            << "fetched tiles: the DBMS sees each hot tile once, not once\n"
+            << "per session.\n";
   return 0;
 }

@@ -1,0 +1,64 @@
+// Executor: a fixed-size thread pool for background work.
+//
+// The serving stack uses it to move prefetch-region fills off the request
+// path (paper section 3: prefetching happens during user think time, so it
+// must not serialize with request handling). Tasks are plain closures; the
+// pool makes no ordering guarantee across tasks, only FIFO dispatch.
+
+#ifndef FORECACHE_COMMON_EXECUTOR_H_
+#define FORECACHE_COMMON_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fc {
+
+/// Fixed pool of worker threads draining a FIFO task queue. All methods are
+/// thread-safe. The destructor drains the queue, then joins every worker.
+class Executor {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit Executor(std::size_t num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues a task. Returns false (and drops the task) after Shutdown();
+  /// callers tracking pending work must only count accepted tasks.
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Tasks
+  /// submitted while waiting extend the wait.
+  void Wait();
+
+  /// Stops accepting work, drains outstanding tasks, joins the workers.
+  /// Idempotent; also called by the destructor.
+  void Shutdown();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Cumulative count of tasks that finished running.
+  std::uint64_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t running_ = 0;  ///< Tasks currently executing.
+  std::uint64_t completed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fc
+
+#endif  // FORECACHE_COMMON_EXECUTOR_H_

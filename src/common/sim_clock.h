@@ -8,35 +8,46 @@
 #ifndef FORECACHE_COMMON_SIM_CLOCK_H_
 #define FORECACHE_COMMON_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace fc {
 
 /// Monotonic virtual clock, microsecond resolution.
+///
+/// Thread-safe: concurrent sessions share one clock, and background prefetch
+/// tasks charge DBMS time to it while request threads read it. Advances are
+/// atomic, so no charged microsecond is ever lost; under concurrency the
+/// interleaving of advances (and hence any single thread's observed elapsed
+/// time) is of course schedule-dependent.
 class SimClock {
  public:
   SimClock() = default;
 
   /// Current virtual time in microseconds since construction.
-  std::int64_t NowMicros() const { return now_micros_; }
+  std::int64_t NowMicros() const {
+    return now_micros_.load(std::memory_order_relaxed);
+  }
 
   /// Current virtual time in (fractional) milliseconds.
-  double NowMillis() const { return static_cast<double>(now_micros_) / 1000.0; }
+  double NowMillis() const {
+    return static_cast<double>(NowMicros()) / 1000.0;
+  }
 
   /// Advances the clock. Negative durations are ignored.
   void AdvanceMicros(std::int64_t micros) {
-    if (micros > 0) now_micros_ += micros;
+    if (micros > 0) now_micros_.fetch_add(micros, std::memory_order_relaxed);
   }
 
   void AdvanceMillis(double millis) {
     AdvanceMicros(static_cast<std::int64_t>(millis * 1000.0));
   }
 
-  /// Resets to time zero.
-  void Reset() { now_micros_ = 0; }
+  /// Resets to time zero. Not safe to race with concurrent advances.
+  void Reset() { now_micros_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t now_micros_ = 0;
+  std::atomic<std::int64_t> now_micros_{0};
 };
 
 /// A scoped stopwatch over a SimClock: measures virtual elapsed time.

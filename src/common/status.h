@@ -80,6 +80,9 @@ class Status {
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards the status (fire-and-forget call sites).
+  void IgnoreError() const {}
+
   /// Prepends `context` to the message, preserving the code. No-op for OK.
   Status WithContext(std::string_view context) const;
 

@@ -2,68 +2,135 @@
 
 namespace fc::core {
 
-CacheManager::CacheManager(storage::TileStore* store, CacheManagerOptions options)
+CacheManager::CacheManager(storage::TileStore* store, CacheManagerOptions options,
+                           SharedTileCache* shared)
     : store_(store),
       options_(options),
+      shared_(shared),
       history_(options.history_capacity),
       prefetch_(options.prefetch_capacity) {}
 
+Result<tiles::TilePtr> CacheManager::FetchThrough(const tiles::TileKey& key) {
+  if (shared_ != nullptr) return shared_->GetOrFetch(key, store_);
+  return store_->Fetch(key);
+}
+
 Result<FetchOutcome> CacheManager::Request(const tiles::TileKey& key) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
   FetchOutcome outcome;
 
-  auto from_history = history_.Get(key);
-  if (from_history.ok()) {
-    outcome.tile = *from_history;
-    outcome.cache_hit = true;
-    ++cache_hits_;
-    return outcome;
-  }
-  auto from_prefetch = prefetch_.Get(key);
-  if (from_prefetch.ok()) {
-    outcome.tile = *from_prefetch;
-    outcome.cache_hit = true;
-    ++cache_hits_;
-    // Promote into the history region: the user actually viewed it.
-    history_.Put(key, outcome.tile);
-    return outcome;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto from_history = history_.Get(key);
+    if (from_history.ok()) {
+      outcome.tile = *from_history;
+      outcome.cache_hit = true;
+      private_hits_.fetch_add(1, std::memory_order_relaxed);
+      return outcome;
+    }
+    auto from_prefetch = prefetch_.Get(key);
+    if (from_prefetch.ok()) {
+      outcome.tile = *from_prefetch;
+      outcome.cache_hit = true;
+      private_hits_.fetch_add(1, std::memory_order_relaxed);
+      // Promote into the history region: the user actually viewed it.
+      history_.Put(key, outcome.tile);
+      return outcome;
+    }
   }
 
+  // Both private regions missed. Probe the shared cache — a hit there is
+  // still middleware memory (another session fetched it for us).
+  if (shared_ != nullptr) {
+    if (auto tile = shared_->Lookup(key)) {
+      outcome.tile = std::move(tile);
+      outcome.cache_hit = true;
+      outcome.shared_hit = true;
+      shared_hits_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      history_.Put(key, outcome.tile);
+      return outcome;
+    }
+  }
+
+  // Full miss: fetch outside the region lock (the DBMS query is slow) and
+  // publish the tile for other sessions. The shared cache was already
+  // probed above, so fetch the store directly rather than through
+  // GetOrFetch (which would re-probe and double-count the miss).
   FC_ASSIGN_OR_RETURN(outcome.tile, store_->Fetch(key));
+  if (shared_ != nullptr) shared_->Insert(key, outcome.tile);
   outcome.cache_hit = false;
+  std::lock_guard<std::mutex> lock(mu_);
   history_.Put(key, outcome.tile);
   return outcome;
 }
 
 Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions) {
-  prefetch_.Clear();
+  return Prefetch(predictions, [] { return false; });
+}
+
+Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
+                              const std::function<bool()>& cancelled) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A fill superseded before it even started must not touch the region:
+    // its successor may already have cleared and repopulated it.
+    if (cancelled()) return Status::OK();
+    prefetch_.Clear();
+  }
   std::size_t filled = 0;
   for (const auto& key : predictions) {
     if (filled >= options_.prefetch_capacity) break;
-    if (history_.Contains(key)) {
-      ++filled;  // already resident; the slot is effectively spent
+    if (cancelled()) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (history_.Contains(key)) {
+        ++filled;  // already resident; the slot is effectively spent
+        continue;
+      }
+    }
+    auto tile = FetchThrough(key);  // slow path — never under the lock
+    if (!tile.ok()) {
+      // Skip the bad tile and keep draining the ranked list: one missing
+      // tile must not starve every lower-ranked prediction.
+      prefetch_failures_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    FC_ASSIGN_OR_RETURN(auto tile, store_->Fetch(key));
-    prefetch_.Put(key, std::move(tile));
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the lock: if this fill is superseded now, a successor
+    // fill's Clear() has either run (we must not re-pollute its region) or
+    // will run after we release mu_ (and would erase anything we put).
+    // Checking and inserting under one lock hold closes the gap between.
+    if (cancelled()) break;
+    prefetch_.Put(key, std::move(*tile));
     ++filled;
   }
   return Status::OK();
 }
 
 bool CacheManager::Cached(const tiles::TileKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return history_.Contains(key) || prefetch_.Contains(key);
 }
 
 void CacheManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   history_.Clear();
   prefetch_.Clear();
 }
 
 double CacheManager::HitRate() const {
-  return requests_ == 0
-             ? 0.0
-             : static_cast<double>(cache_hits_) / static_cast<double>(requests_);
+  auto requests = requests_.load(std::memory_order_relaxed);
+  return requests == 0 ? 0.0
+                       : static_cast<double>(cache_hits()) /
+                             static_cast<double>(requests);
+}
+
+double CacheManager::PrivateHitRate() const {
+  auto requests = requests_.load(std::memory_order_relaxed);
+  return requests == 0 ? 0.0
+                       : static_cast<double>(private_hits()) /
+                             static_cast<double>(requests);
 }
 
 }  // namespace fc::core

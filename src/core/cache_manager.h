@@ -1,18 +1,34 @@
-// CacheManager: decides what lives in the middleware cache (paper section 3).
+// CacheManager: the per-session layer of the middleware cache (paper
+// section 3).
 //
-// Two regions back one user session:
+// Two private regions back one user session:
 //  * a history LRU holding the last n requested tiles, and
 //  * a prefetch region, re-filled after every request from the prediction
 //    engine's ranked list (each recommendation model's share of the region
 //    is the allocation strategy's decision, applied upstream by the engine
 //    when it merges the two ranked lists).
+//
+// Optionally the manager sits on top of a process-wide SharedTileCache: a
+// request missing both private regions probes the shared cache before the
+// backing store, and every tile fetched (on demand or by prefetch) is
+// published there for other sessions.
+//
+// Thread-safety: all methods may be called concurrently — in the async
+// serving stack the session thread calls Request while an executor worker
+// runs Prefetch. Region state is mutex-guarded; backing-store fetches happen
+// outside the lock so a slow DBMS query never blocks the session thread's
+// region lookups. Stats are atomics.
 
 #ifndef FORECACHE_CORE_CACHE_MANAGER_H_
 #define FORECACHE_CORE_CACHE_MANAGER_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "core/shared_tile_cache.h"
 #include "core/tile_cache.h"
 #include "storage/tile_store.h"
 
@@ -26,42 +42,78 @@ struct CacheManagerOptions {
 /// Outcome of serving one tile request.
 struct FetchOutcome {
   tiles::TilePtr tile;
-  bool cache_hit = false;  ///< Served from middleware memory (either region).
+  bool cache_hit = false;   ///< Served from middleware memory (any region).
+  bool shared_hit = false;  ///< The hit came from the shared cache, not a
+                            ///< private region (always false without one).
 };
 
 class CacheManager {
  public:
-  /// `store` must outlive the manager.
-  CacheManager(storage::TileStore* store, CacheManagerOptions options = {});
+  /// `store` (and `shared`, when given) must outlive the manager. With a
+  /// null `shared` the manager behaves exactly like the original
+  /// private-regions-only design.
+  CacheManager(storage::TileStore* store, CacheManagerOptions options = {},
+               SharedTileCache* shared = nullptr);
 
-  /// Serves a client tile request: cache lookup first, then the backing
-  /// store. The returned tile is retained in the history region.
+  /// Serves a client tile request: private regions, then the shared cache,
+  /// then the backing store. The returned tile is retained in the history
+  /// region (and published to the shared cache on a store fetch).
   Result<FetchOutcome> Request(const tiles::TileKey& key);
 
   /// Replaces the prefetch region with `predictions` (ranked, highest
-  /// priority first), fetching each tile from the backing store. Tiles
-  /// already cached are not re-fetched. Fetch failures abort the fill.
+  /// priority first), fetching each tile from the shared cache or backing
+  /// store. Tiles already in a private region are not re-fetched. A fetch
+  /// failure skips that tile (counted in prefetch_failures()) and continues
+  /// down the ranked list, so one bad tile cannot starve the rest.
   Status Prefetch(const std::vector<tiles::TileKey>& predictions);
 
-  /// True if either region holds the tile (no stats side effects).
+  /// As above, but polls `cancelled` between tiles and stops early when it
+  /// returns true — the async server cancels a fill superseded by a newer
+  /// request. Aborted fills leave the region partially updated.
+  Status Prefetch(const std::vector<tiles::TileKey>& predictions,
+                  const std::function<bool()>& cancelled);
+
+  /// True if a private region holds the tile (no stats side effects).
   bool Cached(const tiles::TileKey& key) const;
 
   void Clear();
 
   std::uint64_t requests() const { return requests_; }
-  std::uint64_t cache_hits() const { return cache_hits_; }
+  /// Hits from any middleware memory: private regions or shared cache.
+  std::uint64_t cache_hits() const { return private_hits_ + shared_hits_; }
+  /// Hits from this session's own history/prefetch regions only. Unlike
+  /// cache_hits(), this is deterministic for a given trace regardless of
+  /// what other sessions are doing (the shared cache's contents depend on
+  /// scheduling; the private regions do not).
+  std::uint64_t private_hits() const { return private_hits_; }
+  std::uint64_t shared_hits() const { return shared_hits_; }
+  /// Ranked-list entries dropped because their fetch failed.
+  std::uint64_t prefetch_failures() const { return prefetch_failures_; }
   double HitRate() const;
+  double PrivateHitRate() const;
 
+  /// Region accessors for inspection. Not synchronized: callers must
+  /// quiesce concurrent Request/Prefetch activity first (e.g. via
+  /// ForeCacheServer::WaitForPrefetch).
   const LruTileCache& history_cache() const { return history_; }
   const LruTileCache& prefetch_cache() const { return prefetch_; }
 
  private:
+  /// Fetches through the shared cache when present, else the store.
+  Result<tiles::TilePtr> FetchThrough(const tiles::TileKey& key);
+
   storage::TileStore* store_;
   CacheManagerOptions options_;
+  SharedTileCache* shared_;
+
+  mutable std::mutex mu_;  ///< Guards history_ and prefetch_.
   LruTileCache history_;
   LruTileCache prefetch_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t cache_hits_ = 0;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> private_hits_{0};
+  std::atomic<std::uint64_t> shared_hits_{0};
+  std::atomic<std::uint64_t> prefetch_failures_{0};
 };
 
 }  // namespace fc::core

@@ -1,0 +1,108 @@
+#include "core/shared_tile_cache.h"
+
+namespace fc::core {
+
+SharedTileCache::SharedTileCache(SharedTileCacheOptions options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.num_shards > options_.capacity) {
+    options_.num_shards = options_.capacity;
+  }
+  // Ceil division: shard capacities sum to >= capacity, so the cache never
+  // rejects a tile a uniform hash would admit.
+  shard_capacity_ =
+      (options_.capacity + options_.num_shards - 1) / options_.num_shards;
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SharedTileCache::Shard& SharedTileCache::ShardFor(const tiles::TileKey& key) {
+  return *shards_[tiles::TileKeyHash()(key) % shards_.size()];
+}
+
+const SharedTileCache::Shard& SharedTileCache::ShardFor(
+    const tiles::TileKey& key) const {
+  return *shards_[tiles::TileKeyHash()(key) % shards_.size()];
+}
+
+tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.eviction == EvictionPolicyKind::kLru) {
+    shard.order.splice(shard.order.end(), shard.order, it->second.order_it);
+  }
+  return it->second.tile;
+}
+
+void SharedTileCache::Insert(const tiles::TileKey& key, tiles::TilePtr tile) {
+  if (tile == nullptr) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second.tile = std::move(tile);
+    if (options_.eviction == EvictionPolicyKind::kLru) {
+      shard.order.splice(shard.order.end(), shard.order, it->second.order_it);
+    }
+    return;
+  }
+  while (shard.map.size() >= shard_capacity_ && !shard.order.empty()) {
+    shard.map.erase(shard.order.front());
+    shard.order.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto order_it = shard.order.insert(shard.order.end(), key);
+  shard.map.emplace(key, Entry{std::move(tile), order_it});
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<tiles::TilePtr> SharedTileCache::GetOrFetch(const tiles::TileKey& key,
+                                                   storage::TileStore* store) {
+  if (auto tile = Lookup(key)) return tile;
+  FC_ASSIGN_OR_RETURN(auto tile, store->Fetch(key));
+  Insert(key, tile);
+  return tile;
+}
+
+bool SharedTileCache::Contains(const tiles::TileKey& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(key) != shard.map.end();
+}
+
+void SharedTileCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->order.clear();
+  }
+}
+
+std::size_t SharedTileCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+SharedTileCacheStats SharedTileCache::Stats() const {
+  SharedTileCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace fc::core

@@ -1,0 +1,117 @@
+// SharedTileCache: the process-wide middleware tile cache.
+//
+// Paper section 6.2 leaves the multi-user setting as future work; this is
+// our answer to it. Every session keeps its small private history/prefetch
+// regions (CacheManager), but all sessions share one capacity-bounded tile
+// cache underneath, so a tile fetched for one user is a memory hit for every
+// other user exploring the same region — the DBMS sees each hot tile once,
+// not once per session.
+//
+// Concurrency: the key space is striped across shards, each with its own
+// mutex and eviction state, so sessions touching different regions never
+// contend. Stats are atomics aggregated across shards.
+
+#ifndef FORECACHE_CORE_SHARED_TILE_CACHE_H_
+#define FORECACHE_CORE_SHARED_TILE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/tile_store.h"
+#include "tiles/tile.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+/// How a full shard chooses a victim. kLru evicts the least-recently-touched
+/// tile; kFifo evicts in insertion order (cheaper: hits skip the bookkeeping
+/// write, at the price of keeping stale-but-recently-hot tiles no longer).
+enum class EvictionPolicyKind { kLru, kFifo };
+
+struct SharedTileCacheOptions {
+  std::size_t capacity = 1024;  ///< Total tiles across all shards.
+  std::size_t num_shards = 16;  ///< Lock stripes; rounded up to at least 1.
+  EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
+};
+
+/// Point-in-time counters. hits+misses == lookups; insertions-evictions ==
+/// resident tiles (modulo Clear).
+struct SharedTileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double HitRate() const {
+    auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Sharded, thread-safe tile cache with pluggable eviction.
+class SharedTileCache {
+ public:
+  explicit SharedTileCache(SharedTileCacheOptions options = {});
+
+  /// Returns the cached tile, or null. Counts a hit/miss and (for LRU)
+  /// freshens the entry.
+  tiles::TilePtr Lookup(const tiles::TileKey& key);
+
+  /// Inserts (or refreshes) a tile, evicting per policy if the shard is at
+  /// capacity. Null tiles are ignored.
+  void Insert(const tiles::TileKey& key, tiles::TilePtr tile);
+
+  /// Cache-through fetch: Lookup, and on a miss fetch from `store` and
+  /// Insert. Concurrent misses on the same key may each fetch unless `store`
+  /// is a SingleFlightTileStore (the SessionManager wires one in).
+  Result<tiles::TilePtr> GetOrFetch(const tiles::TileKey& key,
+                                    storage::TileStore* store);
+
+  /// Lookup without stats or recency side effects.
+  bool Contains(const tiles::TileKey& key) const;
+
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return options_.capacity; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  SharedTileCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    tiles::TilePtr tile;
+    /// Position in Shard::order (eviction queue).
+    std::list<tiles::TileKey>::iterator order_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<tiles::TileKey, Entry, tiles::TileKeyHash> map;
+    /// Eviction queue, front = next victim. LRU moves entries to the back on
+    /// every hit; FIFO leaves them where insertion put them.
+    std::list<tiles::TileKey> order;
+  };
+
+  Shard& ShardFor(const tiles::TileKey& key);
+  const Shard& ShardFor(const tiles::TileKey& key) const;
+
+  SharedTileCacheOptions options_;
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_SHARED_TILE_CACHE_H_

@@ -1,5 +1,7 @@
 #include "server/forecache_server.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/math_utils.h"
 
@@ -7,44 +9,107 @@ namespace fc::server {
 
 ForeCacheServer::ForeCacheServer(storage::TileStore* store,
                                  core::PredictionEngine* engine, SimClock* clock,
-                                 ServerOptions options)
+                                 ServerOptions options, Executor* executor,
+                                 core::SharedTileCache* shared)
     : store_(store),
       engine_(engine),
       clock_(clock),
       options_(options),
-      cache_manager_(store, options.cache) {
+      executor_(executor),
+      cache_manager_(store, options.cache, shared) {
   FC_CHECK_MSG(engine_ != nullptr || !options_.prefetching_enabled,
                "prefetching requires a prediction engine");
 }
 
+ForeCacheServer::~ForeCacheServer() { CancelAndWaitForPrefetch(); }
+
 void ForeCacheServer::StartSession() {
+  CancelAndWaitForPrefetch();
   cache_manager_.Clear();
   if (engine_ != nullptr) engine_->Reset();
+}
+
+void ForeCacheServer::WaitForPrefetch() {
+  if (executor_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [this] { return pending_prefetches_ == 0; });
+}
+
+void ForeCacheServer::CancelAndWaitForPrefetch() {
+  // Supersede any in-flight fill so it aborts at its next per-tile poll
+  // instead of draining its whole ranked list into a doomed region.
+  prefetch_generation_.fetch_add(1, std::memory_order_release);
+  WaitForPrefetch();
+}
+
+void ForeCacheServer::FinishPendingPrefetch() {
+  // Notify under the lock: the destructor may tear the server down the
+  // instant the count reaches zero, so the cv must not be touched after
+  // the mutex is released.
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  --pending_prefetches_;
+  pending_cv_.notify_all();
+}
+
+void ForeCacheServer::SchedulePrefetch(core::RankedTiles tiles) {
+  std::uint64_t generation = prefetch_generation_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_prefetches_;
+  }
+  bool accepted = executor_->Submit([this, generation, tiles = std::move(tiles)] {
+    auto superseded = [this, generation] {
+      return prefetch_generation_.load(std::memory_order_acquire) != generation;
+    };
+    // Failures are skipped inside Prefetch (counted per session); the
+    // fill itself cannot return an error worth surfacing here.
+    cache_manager_.Prefetch(tiles, superseded).IgnoreError();
+    FinishPendingPrefetch();
+  });
+  if (!accepted) {
+    // Executor already shut down: undo the reservation so WaitForPrefetch
+    // and the destructor don't wait for a task that will never run.
+    FinishPendingPrefetch();
+  }
 }
 
 Result<ServedRequest> ForeCacheServer::HandleRequest(
     const core::TileRequest& request) {
   ServedRequest served;
 
+  // Supersede any fill still running for the previous request: the region
+  // is about to be re-planned around this newer position anyway.
+  prefetch_generation_.fetch_add(1, std::memory_order_release);
+
   // Step 1: serve the tile, measuring user-perceived latency on the
-  // virtual clock. A cache hit costs the middleware service time; a miss
-  // runs a DBMS query (SimulatedDbmsStore advances the clock itself).
+  // virtual clock. A cache hit costs exactly the middleware service time
+  // (logged as such — a clock delta would absorb other sessions' DBMS
+  // charges under concurrency); a miss runs a DBMS query and logs the
+  // clock delta, which in the concurrent configuration is an upper bound
+  // when other sessions charge the shared clock inside the window.
   std::int64_t t0 = clock_->NowMicros();
   FC_ASSIGN_OR_RETURN(auto outcome, cache_manager_.Request(request.tile));
-  if (outcome.cache_hit) {
-    clock_->AdvanceMillis(options_.cache_hit_service_ms);
-  }
   served.tile = outcome.tile;
   served.cache_hit = outcome.cache_hit;
-  served.latency_ms =
-      static_cast<double>(clock_->NowMicros() - t0) / 1000.0;
+  if (outcome.cache_hit) {
+    clock_->AdvanceMillis(options_.cache_hit_service_ms);
+    served.latency_ms = options_.cache_hit_service_ms;
+  } else {
+    served.latency_ms =
+        static_cast<double>(clock_->NowMicros() - t0) / 1000.0;
+  }
   latency_log_.push_back(served.latency_ms);
 
-  // Steps 2-3: predict and prefetch during the user's think time (not
-  // charged to this request's latency).
+  // Steps 2-3: predict, then prefetch during the user's think time (not
+  // charged to this request's latency). With an executor the fill runs in
+  // the background and this request returns immediately.
   if (options_.prefetching_enabled) {
     FC_ASSIGN_OR_RETURN(served.prediction, engine_->OnRequest(request));
-    FC_RETURN_IF_ERROR(cache_manager_.Prefetch(served.prediction.tiles));
+    if (executor_ != nullptr) {
+      SchedulePrefetch(served.prediction.tiles);
+    } else {
+      FC_RETURN_IF_ERROR(cache_manager_.Prefetch(served.prediction.tiles));
+    }
   }
   return served;
 }

@@ -5,17 +5,33 @@
 // the prediction engine; (3) refill the prefetch region with the engine's
 // ranked list. Prefetching happens during the user's think time, so only
 // step (1) counts toward response latency.
+//
+// With an Executor attached, step (3) runs as a background task and
+// HandleRequest returns right after steps (1)-(2) — the fill genuinely
+// overlaps think time instead of serializing with the response. A newer
+// request supersedes any still-running fill (generation check), mirroring
+// the paper's "re-filled after every request" semantics without double work.
+//
+// Thread-safety: one server backs one session. HandleRequest and the
+// accessors must be called from that session's thread; the background fill
+// only touches the (internally synchronized) CacheManager, shared cache,
+// store, and clock.
 
 #ifndef FORECACHE_SERVER_FORECACHE_SERVER_H_
 #define FORECACHE_SERVER_FORECACHE_SERVER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "array/cost_model.h"
+#include "common/executor.h"
 #include "common/sim_clock.h"
 #include "core/cache_manager.h"
 #include "core/prediction_engine.h"
+#include "core/shared_tile_cache.h"
 #include "storage/tile_store.h"
 
 namespace fc::server {
@@ -41,14 +57,35 @@ class ForeCacheServer {
  public:
   /// `store`, `engine`, and `clock` must outlive the server. `engine` may be
   /// null only when options.prefetching_enabled is false.
+  ///
+  /// `executor` (optional) makes prefetch fills asynchronous; `shared`
+  /// (optional) layers the session cache over a process-wide tile cache.
+  /// Both must outlive the server.
   ForeCacheServer(storage::TileStore* store, core::PredictionEngine* engine,
-                  SimClock* clock, ServerOptions options = {});
+                  SimClock* clock, ServerOptions options = {},
+                  Executor* executor = nullptr,
+                  core::SharedTileCache* shared = nullptr);
 
-  /// Serves one client request end to end.
+  /// Joins any in-flight prefetch task before destruction.
+  ~ForeCacheServer();
+
+  ForeCacheServer(const ForeCacheServer&) = delete;
+  ForeCacheServer& operator=(const ForeCacheServer&) = delete;
+
+  /// Serves one client request end to end. With an executor, returns as
+  /// soon as the tile is served and the prediction made; the region fill
+  /// proceeds in the background.
   Result<ServedRequest> HandleRequest(const core::TileRequest& request);
+
+  /// Blocks until no prefetch fill is in flight. Replay harnesses call this
+  /// between moves to model think time fully covering the fill (and to make
+  /// replays deterministic). No-op for synchronous servers.
+  void WaitForPrefetch();
 
   /// Resets per-session state (cache + engine history) for a new session.
   void StartSession();
+
+  bool async() const { return executor_ != nullptr; }
 
   const core::CacheManager& cache_manager() const { return cache_manager_; }
   core::CacheManager* mutable_cache_manager() { return &cache_manager_; }
@@ -61,12 +98,27 @@ class ForeCacheServer {
   double AverageLatencyMs() const;
 
  private:
+  void SchedulePrefetch(core::RankedTiles tiles);
+  /// Supersedes any in-flight fill, then waits for it to settle (session
+  /// reset/teardown: the region is about to be discarded anyway).
+  void CancelAndWaitForPrefetch();
+  /// Decrements the pending-fill count and wakes waiters.
+  void FinishPendingPrefetch();
+
   storage::TileStore* store_;
   core::PredictionEngine* engine_;
   SimClock* clock_;
   ServerOptions options_;
+  Executor* executor_;
   core::CacheManager cache_manager_;
   std::vector<double> latency_log_;
+
+  /// Monotonic id of the latest request; a background fill aborts once a
+  /// newer request has superseded it.
+  std::atomic<std::uint64_t> prefetch_generation_{0};
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_prefetches_ = 0;  ///< Guarded by pending_mu_.
 };
 
 }  // namespace fc::server

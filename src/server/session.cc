@@ -1,5 +1,9 @@
 #include "server/session.h"
 
+#include <atomic>
+#include <set>
+#include <thread>
+
 namespace fc::server {
 
 BrowserSession::BrowserSession(ForeCacheServer* server) : server_(server) {}
@@ -41,9 +45,36 @@ Result<ServedRequest> BrowserSession::ApplyMove(core::Move move) {
 SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
                                SharedPredictionComponents shared,
                                ServerOptions options)
-    : store_(store), clock_(clock), shared_(shared), options_(options) {}
+    : SessionManager(store, clock, shared, [&] {
+        // Legacy setup: fully private sessions, synchronous prefetch.
+        SessionManagerOptions manager_options;
+        manager_options.server = options;
+        manager_options.executor_threads = 0;
+        manager_options.use_shared_cache = false;
+        manager_options.single_flight = false;
+        return manager_options;
+      }()) {}
+
+SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
+                               SharedPredictionComponents shared,
+                               SessionManagerOptions options)
+    : store_(store), clock_(clock), shared_(shared), options_(options) {
+  if (options_.executor_threads > 0) {
+    executor_ = std::make_unique<Executor>(options_.executor_threads);
+  }
+  if (options_.use_shared_cache) {
+    shared_cache_ = std::make_unique<core::SharedTileCache>(options_.shared_cache);
+  }
+  if (options_.single_flight) {
+    single_flight_ = std::make_unique<storage::SingleFlightTileStore>(store);
+    store_ = single_flight_.get();
+  }
+}
+
+SessionManager::~SessionManager() = default;
 
 BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session_id);
   if (it != sessions_.end()) return it->second.browser.get();
 
@@ -51,25 +82,74 @@ BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
   state.engine = std::make_unique<core::PredictionEngine>(
       &store_->spec(), shared_.classifier, shared_.ab, shared_.sb,
       shared_.strategy, shared_.engine_options);
-  state.server = std::make_unique<ForeCacheServer>(store_, state.engine.get(),
-                                                   clock_, options_);
+  state.server = std::make_unique<ForeCacheServer>(
+      store_, state.engine.get(), clock_, options_.server, executor_.get(),
+      shared_cache_.get());
   state.browser = std::make_unique<BrowserSession>(state.server.get());
   auto [inserted, _] = sessions_.emplace(session_id, std::move(state));
   return inserted->second.browser.get();
 }
 
 Status SessionManager::Close(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.erase(session_id) == 0) {
     return Status::NotFound("no session: " + session_id);
   }
   return Status::OK();
 }
 
+std::size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
 Result<const ForeCacheServer*> SessionManager::ServerFor(
     const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return Status::NotFound("no session: " + session_id);
   return it->second.server.get();
+}
+
+Status SessionManager::RunSessions(std::vector<SessionWorkload> workloads,
+                                   std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  {
+    std::set<std::string> ids;
+    for (const auto& workload : workloads) {
+      if (!ids.insert(workload.session_id).second) {
+        return Status::InvalidArgument(
+            "duplicate session id in workloads: " + workload.session_id +
+            " (a session must be driven by exactly one thread)");
+      }
+    }
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  Status first_error;  // OK until a workload fails
+
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= workloads.size()) return;
+      BrowserSession* session = GetOrCreate(workloads[i].session_id);
+      Status status = workloads[i].run(session);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) {
+          first_error =
+              status.WithContext("session " + workloads[i].session_id);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return first_error;
 }
 
 }  // namespace fc::server

@@ -2,19 +2,32 @@
 //
 // BrowserSession is the headless stand-in for the paper's web front end: it
 // tracks the user's current tile and translates pans/zooms into tile
-// requests against a ForeCacheServer. SessionManager hosts many independent
-// sessions over one shared tile store (paper section 6.2 discusses the
-// multi-user setting as future work; a per-session-cache version is
-// implemented here).
+// requests against a ForeCacheServer. SessionManager hosts many concurrent
+// sessions over one shared tile store (paper section 6.2 raises the
+// multi-user setting as future work): it owns the background prefetch
+// executor, a process-wide SharedTileCache every session layers over, and a
+// single-flight store wrapper deduplicating concurrent DBMS fetches — and it
+// can drive session workloads from a pool of real OS threads.
+//
+// Concurrency model: SessionManager's own methods are thread-safe. Each
+// BrowserSession (and its ForeCacheServer) is confined to the one thread
+// driving it; cross-session state underneath (shared cache, stores, clock,
+// executor) is internally synchronized.
 
 #ifndef FORECACHE_SERVER_SESSION_H_
 #define FORECACHE_SERVER_SESSION_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/executor.h"
 #include "core/prediction_engine.h"
+#include "core/shared_tile_cache.h"
 #include "server/forecache_server.h"
 
 namespace fc::server {
@@ -32,6 +45,10 @@ class BrowserSession {
   /// leaves the pyramid.
   Result<ServedRequest> ApplyMove(core::Move move);
 
+  /// Blocks until the session's background prefetch (if any) has settled —
+  /// the "think time is over, region is full" point in the paper's model.
+  void WaitForPrefetch() { server_->WaitForPrefetch(); }
+
   const tiles::TileKey& current_tile() const { return current_; }
   std::size_t requests_made() const { return requests_made_; }
 
@@ -45,6 +62,8 @@ class BrowserSession {
 };
 
 /// Shared prediction components a SessionManager wires into every session.
+/// All components must be safe for concurrent const use (they are immutable
+/// after training).
 struct SharedPredictionComponents {
   const core::PhaseClassifier* classifier = nullptr;
   const core::Recommender* ab = nullptr;
@@ -53,24 +72,80 @@ struct SharedPredictionComponents {
   core::PredictionEngineOptions engine_options;
 };
 
-/// Hosts independent per-user sessions over one backing store. Each session
-/// gets its own cache manager, prediction-engine state, and latency log.
+/// Configuration of the concurrent serving core.
+struct SessionManagerOptions {
+  ServerOptions server;
+
+  /// Size of the background prefetch pool. 0 disables async prefetch
+  /// (fills run synchronously on the request path, the pre-refactor
+  /// behavior).
+  std::size_t executor_threads = 8;
+
+  /// When true, sessions layer over one process-wide SharedTileCache so
+  /// they reuse each other's fetched tiles.
+  bool use_shared_cache = true;
+  core::SharedTileCacheOptions shared_cache;
+
+  /// When true, concurrent fetches of the same key are collapsed into one
+  /// upstream query (SingleFlightTileStore).
+  bool single_flight = true;
+};
+
+/// Hosts concurrent per-user sessions over one backing store. Each session
+/// gets its own cache regions, prediction-engine state, and latency log.
 class SessionManager {
  public:
-  /// `store` and everything in `shared` must outlive the manager.
+  /// Legacy single-threaded setup: no executor, no shared cache — every
+  /// session is fully private and prefetch is synchronous. `store` and
+  /// everything in `shared` must outlive the manager.
   SessionManager(storage::TileStore* store, SimClock* clock,
                  SharedPredictionComponents shared, ServerOptions options = {});
 
+  /// Concurrent serving core per `options`.
+  SessionManager(storage::TileStore* store, SimClock* clock,
+                 SharedPredictionComponents shared,
+                 SessionManagerOptions options);
+
+  ~SessionManager();
+
   /// Creates (or returns the existing) session for `session_id`.
+  /// Thread-safe; the returned session must then be driven by one thread.
   BrowserSession* GetOrCreate(const std::string& session_id);
 
-  /// Ends a session, releasing its cache. NotFound if absent.
+  /// Ends a session, releasing its cache. NotFound if absent. The caller
+  /// must ensure no thread is still driving the session: Close destroys
+  /// its server immediately, so closing a session mid-request is a
+  /// use-after-free, not a graceful shutdown.
   Status Close(const std::string& session_id);
 
-  std::size_t active_sessions() const { return sessions_.size(); }
+  std::size_t active_sessions() const;
 
   /// The server backing `session_id` (for latency inspection), or NotFound.
   Result<const ForeCacheServer*> ServerFor(const std::string& session_id) const;
+
+  /// One unit of session work: runs on a pool thread against the named
+  /// session (created on demand).
+  struct SessionWorkload {
+    std::string session_id;
+    std::function<Status(BrowserSession*)> run;
+  };
+
+  /// Drives `workloads` to completion on `num_threads` OS threads (each
+  /// workload runs on exactly one thread; threads pull workloads from a
+  /// shared queue). Session ids must be distinct — two workloads naming
+  /// the same session would drive one thread-confined BrowserSession from
+  /// two threads, so duplicates are rejected up front (InvalidArgument).
+  /// Returns the first non-OK workload status otherwise.
+  Status RunSessions(std::vector<SessionWorkload> workloads,
+                     std::size_t num_threads);
+
+  /// Null when the manager was built without a shared cache.
+  const core::SharedTileCache* shared_cache() const { return shared_cache_.get(); }
+  /// Null when single-flight dedup is disabled.
+  const storage::SingleFlightTileStore* single_flight_store() const {
+    return single_flight_.get();
+  }
+  Executor* executor() { return executor_.get(); }
 
  private:
   struct SessionState {
@@ -79,10 +154,20 @@ class SessionManager {
     std::unique_ptr<BrowserSession> browser;
   };
 
-  storage::TileStore* store_;
+  storage::TileStore* store_;  ///< The store sessions fetch through
+                               ///< (single-flight wrapper when enabled).
   SimClock* clock_;
   SharedPredictionComponents shared_;
-  ServerOptions options_;
+  SessionManagerOptions options_;
+
+  // Destruction order matters: sessions_ (declared last, destroyed first)
+  // joins in-flight prefetch tasks, which run on executor_ and touch
+  // shared_cache_ and single_flight_ — so those must still be alive.
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<core::SharedTileCache> shared_cache_;
+  std::unique_ptr<storage::SingleFlightTileStore> single_flight_;
+
+  mutable std::mutex mu_;  ///< Guards sessions_.
   std::map<std::string, SessionState> sessions_;
 };
 

@@ -39,8 +39,12 @@ Result<tiles::TilePtr> SimulatedDbmsStore::Fetch(const tiles::TileKey& key) {
   if (!tile.ok()) return tile;
   // Each tile is one storage chunk in the materialized view (section 2.3);
   // the query scans the tile's cells.
-  double ms = cost_model_.QueryMillis(/*chunks=*/1, (*tile)->cell_count());
-  total_query_millis_ += ms;
+  double ms;
+  {
+    std::lock_guard<std::mutex> lock(charge_mu_);
+    ms = cost_model_.QueryMillis(/*chunks=*/1, (*tile)->cell_count());
+    total_query_millis_ += ms;
+  }
   clock_->AdvanceMillis(ms);
   return tile;
 }
@@ -112,6 +116,46 @@ Result<tiles::TilePtr> DiskTileStore::Fetch(const tiles::TileKey& key) {
 
 bool DiskTileStore::Contains(const tiles::TileKey& key) const {
   return std::filesystem::exists(PathFor(key));
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlightTileStore
+
+SingleFlightTileStore::SingleFlightTileStore(TileStore* inner) : inner_(inner) {}
+
+Result<tiles::TilePtr> SingleFlightTileStore::Fetch(const tiles::TileKey& key) {
+  ++fetches_;
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      // Someone else is already fetching this key: join their flight.
+      ++deduped_;
+      flight = it->second;
+      flight->landed.wait(lock, [&] { return flight->done; });
+      return flight->result;
+    }
+    flight = std::make_shared<Flight>();
+    flights_.emplace(key, flight);
+  }
+
+  auto result = inner_->Fetch(key);
+  {
+    // Notify under the lock: once `done` is observable the last joiner may
+    // drop the final reference, so the cv must not be touched after the
+    // mutex is released.
+    std::lock_guard<std::mutex> lock(mu_);
+    flight->result = result;
+    flight->done = true;
+    flights_.erase(key);
+    flight->landed.notify_all();
+  }
+  return result;
+}
+
+bool SingleFlightTileStore::Contains(const tiles::TileKey& key) const {
+  return inner_->Contains(key);
 }
 
 }  // namespace fc::storage

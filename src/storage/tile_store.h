@@ -1,17 +1,26 @@
 // TileStore: where the middleware fetches tiles from when the cache misses.
 //
-// Three backends:
+// Four backends:
 //  * MemoryTileStore     — pyramid held in RAM, no simulated cost (the user
 //                          study served everything from memory, section 5.3);
 //  * SimulatedDbmsStore  — pyramid + query cost model + virtual clock; every
 //                          fetch charges the calibrated SciDB latency;
-//  * DiskTileStore       — tiles serialized to files, real I/O.
+//  * DiskTileStore       — tiles serialized to files, real I/O;
+//  * SingleFlightTileStore — decorator deduplicating concurrent fetches of
+//                          the same key across sessions/threads.
+//
+// All backends are thread-safe: fetch counters are atomic and cost/clock
+// charging is mutex-guarded, so concurrent sessions may share one store.
 
 #ifndef FORECACHE_STORAGE_TILE_STORE_H_
 #define FORECACHE_STORAGE_TILE_STORE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "array/cost_model.h"
 #include "common/result.h"
@@ -23,6 +32,7 @@
 namespace fc::storage {
 
 /// Abstract tile source. Fetch may be expensive; Contains must be cheap.
+/// Implementations must tolerate concurrent calls from multiple threads.
 class TileStore {
  public:
   virtual ~TileStore() = default;
@@ -47,7 +57,7 @@ class MemoryTileStore : public TileStore {
 
  private:
   std::shared_ptr<const tiles::TilePyramid> pyramid_;
-  std::uint64_t fetches_ = 0;
+  std::atomic<std::uint64_t> fetches_{0};
 };
 
 /// Serves from an in-memory pyramid while charging DBMS query cost to a
@@ -64,15 +74,23 @@ class SimulatedDbmsStore : public TileStore {
   std::uint64_t fetch_count() const override { return fetches_; }
 
   /// Total simulated milliseconds charged across all fetches.
-  double total_query_millis() const { return total_query_millis_; }
+  double total_query_millis() const {
+    std::lock_guard<std::mutex> lock(charge_mu_);
+    return total_query_millis_;
+  }
 
+  /// The cost model mutates RNG state on every query; callers touching it
+  /// directly must not race with concurrent Fetch calls.
   array::QueryCostModel* cost_model() { return &cost_model_; }
 
  private:
   std::shared_ptr<const tiles::TilePyramid> pyramid_;
   array::QueryCostModel cost_model_;
   SimClock* clock_;
-  std::uint64_t fetches_ = 0;
+  std::atomic<std::uint64_t> fetches_{0};
+  /// Guards cost_model_ (its jitter RNG advances per query) and the
+  /// total-millis accumulator while charging the clock.
+  mutable std::mutex charge_mu_;
   double total_query_millis_ = 0.0;
 };
 
@@ -102,7 +120,45 @@ class DiskTileStore : public TileStore {
 
   std::string directory_;
   tiles::PyramidSpec spec_;
-  std::uint64_t fetches_ = 0;
+  std::atomic<std::uint64_t> fetches_{0};
+};
+
+/// Decorator that collapses concurrent fetches of the same key into one
+/// upstream query ("single flight"). The first thread to request a key runs
+/// the real fetch; threads arriving while it is in flight block and receive
+/// the same result. Distinct keys proceed in parallel.
+///
+/// This is what keeps N sessions panning over the same region from issuing N
+/// identical DBMS queries back to back during a prefetch storm.
+class SingleFlightTileStore : public TileStore {
+ public:
+  /// `inner` must outlive this store.
+  explicit SingleFlightTileStore(TileStore* inner);
+
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+  bool Contains(const tiles::TileKey& key) const override;
+  const tiles::PyramidSpec& spec() const override { return inner_->spec(); }
+  /// Counts every Fetch call, including ones served by joining a flight.
+  std::uint64_t fetch_count() const override { return fetches_; }
+
+  /// Fetches that joined an in-flight request instead of querying upstream.
+  std::uint64_t deduped_count() const { return deduped_; }
+
+ private:
+  struct Flight {
+    bool done = false;
+    Result<tiles::TilePtr> result = Status::Internal("flight not landed");
+    /// Per-flight so a landing wakes only its own joiners, not every
+    /// waiter on every key. Joiners keep the Flight alive via shared_ptr.
+    std::condition_variable landed;
+  };
+
+  TileStore* inner_;
+  std::mutex mu_;
+  std::unordered_map<tiles::TileKey, std::shared_ptr<Flight>, tiles::TileKeyHash>
+      flights_;
+  std::atomic<std::uint64_t> fetches_{0};
+  std::atomic<std::uint64_t> deduped_{0};
 };
 
 }  // namespace fc::storage

@@ -1,0 +1,364 @@
+// Concurrency tests for the multi-session serving core: the executor, the
+// single-flight store decorator, the atomic SimClock, and a deterministic
+// N-threads x M-sessions stress test asserting that concurrent replays lose
+// no stat updates and reproduce the single-threaded per-session hit rates.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "core/ab_recommender.h"
+#include "core/allocation.h"
+#include "server/session.h"
+#include "storage/tile_store.h"
+#include "tiles/pyramid.h"
+
+namespace fc::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Executor
+
+TEST(ExecutorTest, RunsEveryTask) {
+  Executor executor(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 500;
+  for (int i = 0; i < kTasks; ++i) {
+    executor.Submit([&counter] { counter.fetch_add(1); });
+  }
+  executor.Wait();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_GE(executor.tasks_completed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ExecutorTest, WaitWithNoWorkReturnsImmediately) {
+  Executor executor(2);
+  executor.Wait();
+  EXPECT_EQ(executor.tasks_completed(), 0u);
+}
+
+TEST(ExecutorTest, ShutdownDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    Executor executor(2);
+    for (int i = 0; i < 100; ++i) {
+      executor.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains + joins
+  EXPECT_EQ(counter.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// SimClock under concurrent advancement
+
+TEST(SimClockConcurrencyTest, NoChargedMicrosecondLost) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kAdvancesPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kAdvancesPerThread; ++i) clock.AdvanceMicros(3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.NowMicros(), 3LL * kThreads * kAdvancesPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlightTileStore
+
+std::shared_ptr<tiles::TilePyramid> SmallPyramid(int levels = 4) {
+  auto schema = array::ArraySchema::Make(
+      "base",
+      {array::Dimension{"y", 0, 8 << (levels - 1), 8},
+       array::Dimension{"x", 0, 8 << (levels - 1), 8}},
+      {array::Attribute{"v"}});
+  array::DenseArray base(std::move(*schema));
+  for (std::int64_t y = 0; y < base.schema().dims()[0].length; ++y) {
+    for (std::int64_t x = 0; x < base.schema().dims()[1].length; ++x) {
+      base.SetLinear(base.LinearIndex({y, x}), 0, static_cast<double>(x + y));
+    }
+  }
+  tiles::PyramidBuildOptions options;
+  options.num_levels = levels;
+  options.tile_width = 8;
+  options.tile_height = 8;
+  tiles::TilePyramidBuilder builder(options);
+  auto pyramid = builder.Build(base);
+  EXPECT_TRUE(pyramid.ok());
+  return *pyramid;
+}
+
+/// A store whose fetches block until Release() — lets the test hold a fetch
+/// "in flight" while other threads pile onto the same key.
+class GatedStore : public storage::TileStore {
+ public:
+  explicit GatedStore(std::shared_ptr<const tiles::TilePyramid> pyramid)
+      : inner_(std::move(pyramid)) {}
+
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return open_; });
+    }
+    return inner_.Fetch(key);
+  }
+  bool Contains(const tiles::TileKey& key) const override {
+    return inner_.Contains(key);
+  }
+  const tiles::PyramidSpec& spec() const override { return inner_.spec(); }
+  std::uint64_t fetch_count() const override { return inner_.fetch_count(); }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  storage::MemoryTileStore inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(SingleFlightTileStoreTest, ConcurrentFetchesOfSameKeyCollapse) {
+  auto pyramid = SmallPyramid();
+  GatedStore gated(pyramid);
+  storage::SingleFlightTileStore store(&gated);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto tile = store.Fetch({0, 0, 0});
+      if (tile.ok() && *tile != nullptr) ok_count.fetch_add(1);
+    });
+  }
+  // All eight callers have arrived once fetch_count()==8: one leader (held
+  // at the gate) plus seven joiners blocked on its flight.
+  while (store.fetch_count() < kThreads ||
+         store.deduped_count() < kThreads - 1) {
+    std::this_thread::yield();
+  }
+  gated.Release();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kThreads);
+  EXPECT_EQ(gated.fetch_count(), 1u);  // one upstream query total
+  EXPECT_EQ(store.deduped_count(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(SingleFlightTileStoreTest, DistinctKeysDoNotBlockEachOther) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore inner(pyramid);
+  storage::SingleFlightTileStore store(&inner);
+  ASSERT_TRUE(store.Fetch({0, 0, 0}).ok());
+  ASSERT_TRUE(store.Fetch({1, 1, 1}).ok());
+  EXPECT_EQ(inner.fetch_count(), 2u);
+  EXPECT_EQ(store.deduped_count(), 0u);
+  // Errors propagate to every caller.
+  EXPECT_TRUE(store.Fetch({9, 9, 9}).status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic multi-threaded stress test: M sessions replaying fixed-seed
+// random walks on N OS threads, checked against a single-threaded replay.
+
+struct EngineParts {
+  core::AbRecommender ab;
+  core::FixedAllocationStrategy strategy{"all-ab", 1.0};
+
+  static EngineParts Make() {
+    auto ab = core::AbRecommender::Make();
+    EXPECT_TRUE(ab.ok());
+    EXPECT_TRUE(ab->Train({}).ok());
+    return EngineParts{std::move(*ab)};
+  }
+};
+
+/// The fixed-seed move tape for one session. Invalid (border) moves are
+/// attempted and rejected identically in every replay.
+std::vector<core::Move> MoveTape(std::uint64_t seed, std::size_t length) {
+  Rng rng(seed, /*stream=*/17);
+  std::vector<core::Move> tape;
+  tape.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    tape.push_back(static_cast<core::Move>(rng.UniformInt(0, core::kNumMoves - 1)));
+  }
+  return tape;
+}
+
+Status ReplayTape(BrowserSession* session, const std::vector<core::Move>& tape) {
+  FC_RETURN_IF_ERROR(session->Open().status());
+  session->WaitForPrefetch();
+  for (core::Move move : tape) {
+    auto served = session->ApplyMove(move);
+    if (!served.ok() && !served.status().IsInvalidArgument()) {
+      return served.status();  // border rejections are expected; others not
+    }
+    // Think time fully covers the background fill — the paper's model, and
+    // what makes the replay deterministic.
+    session->WaitForPrefetch();
+  }
+  return Status::OK();
+}
+
+TEST(MultiSessionStressTest, ConcurrentReplayMatchesSingleThreaded) {
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kMovesPerSession = 60;
+
+  auto pyramid = SmallPyramid();
+  auto parts = EngineParts::Make();
+  SharedPredictionComponents shared;
+  shared.ab = &parts.ab;
+  shared.strategy = &parts.strategy;
+  shared.engine_options.prefetch_k = 5;
+
+  std::vector<std::vector<core::Move>> tapes;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    tapes.push_back(MoveTape(/*seed=*/1000 + s, kMovesPerSession));
+  }
+
+  // Reference: single-threaded, fully private sessions (legacy setup).
+  storage::MemoryTileStore reference_store(pyramid);
+  SimClock reference_clock;
+  SessionManager reference(&reference_store, &reference_clock, shared);
+  std::vector<std::uint64_t> expected_requests(kSessions);
+  std::vector<std::uint64_t> expected_private_hits(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    std::string id = "user" + std::to_string(s);
+    ASSERT_TRUE(ReplayTape(reference.GetOrCreate(id), tapes[s]).ok());
+    auto server = reference.ServerFor(id);
+    ASSERT_TRUE(server.ok());
+    expected_requests[s] = (*server)->cache_manager().requests();
+    expected_private_hits[s] = (*server)->cache_manager().cache_hits();
+  }
+
+  // Concurrent: shared cache + async prefetch + single-flight, driven from
+  // kThreads OS threads.
+  storage::MemoryTileStore concurrent_store(pyramid);
+  SimClock concurrent_clock;
+  SessionManagerOptions options;
+  options.executor_threads = kThreads;
+  options.use_shared_cache = true;
+  options.shared_cache.capacity = 4096;  // no evictions during the test
+  options.single_flight = true;
+  SessionManager manager(&concurrent_store, &concurrent_clock, shared, options);
+
+  std::vector<SessionManager::SessionWorkload> workloads;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    workloads.push_back({"user" + std::to_string(s),
+                         [&, s](BrowserSession* session) {
+                           return ReplayTape(session, tapes[s]);
+                         }});
+  }
+  ASSERT_TRUE(manager.RunSessions(std::move(workloads), kThreads).ok());
+
+  // Per-session stats must match the single-threaded replay exactly: no
+  // lost counter updates, and private-region behavior independent of the
+  // interleaving (the shared cache only adds hits on top).
+  std::uint64_t total_requests = 0;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    std::string id = "user" + std::to_string(s);
+    auto server = manager.ServerFor(id);
+    ASSERT_TRUE(server.ok());
+    const auto& cache = (*server)->cache_manager();
+    EXPECT_EQ(cache.requests(), expected_requests[s]) << id;
+    EXPECT_EQ(cache.private_hits(), expected_private_hits[s]) << id;
+    EXPECT_GE(cache.cache_hits(), cache.private_hits()) << id;
+    EXPECT_EQ(cache.prefetch_failures(), 0u) << id;
+    total_requests += cache.requests();
+  }
+
+  std::uint64_t expected_total = 0;
+  for (auto r : expected_requests) expected_total += r;
+  EXPECT_EQ(total_requests, expected_total);
+
+  // Sharing must not increase upstream load: with no evictions, every tile
+  // crosses the store boundary at most once overall, so the concurrent run
+  // fetches no more than the per-session-private reference.
+  EXPECT_LE(concurrent_store.fetch_count(), reference_store.fetch_count());
+
+  // Shared-cache bookkeeping is conserved.
+  const auto* shared_cache = manager.shared_cache();
+  ASSERT_NE(shared_cache, nullptr);
+  auto stats = shared_cache->Stats();
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(shared_cache->size()));
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+/// Aggregate effect test: overlapping traces through the shared cache must
+/// produce a strictly better aggregate hit rate than private-only sessions.
+TEST(MultiSessionStressTest, SharedCacheBeatsPrivateOnOverlappingTraces) {
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kMovesPerSession = 60;
+
+  auto pyramid = SmallPyramid();
+  auto parts = EngineParts::Make();
+  SharedPredictionComponents shared;
+  shared.ab = &parts.ab;
+  shared.strategy = &parts.strategy;
+  shared.engine_options.prefetch_k = 5;
+
+  // Every pair of sessions shares a tape seed: maximal overlap, the
+  // multi-user workload the shared cache is for.
+  std::vector<std::vector<core::Move>> tapes;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    tapes.push_back(MoveTape(/*seed=*/500 + s / 2, kMovesPerSession));
+  }
+
+  auto aggregate_hit_rate = [&](SessionManager& manager) {
+    std::uint64_t requests = 0, hits = 0;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      auto server = manager.ServerFor("user" + std::to_string(s));
+      EXPECT_TRUE(server.ok());
+      requests += (*server)->cache_manager().requests();
+      hits += (*server)->cache_manager().cache_hits();
+    }
+    return static_cast<double>(hits) / static_cast<double>(requests);
+  };
+
+  auto run = [&](bool use_shared_cache, storage::TileStore* store) {
+    SimClock clock;
+    SessionManagerOptions options;
+    options.executor_threads = 4;
+    options.use_shared_cache = use_shared_cache;
+    options.shared_cache.capacity = 4096;
+    options.single_flight = true;
+    auto manager =
+        std::make_unique<SessionManager>(store, &clock, shared, options);
+    std::vector<SessionManager::SessionWorkload> workloads;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      workloads.push_back({"user" + std::to_string(s),
+                           [&, s](BrowserSession* session) {
+                             return ReplayTape(session, tapes[s]);
+                           }});
+    }
+    EXPECT_TRUE(manager->RunSessions(std::move(workloads), 4).ok());
+    return manager;
+  };
+
+  storage::MemoryTileStore private_store(pyramid);
+  auto private_manager = run(/*use_shared_cache=*/false, &private_store);
+  storage::MemoryTileStore shared_store(pyramid);
+  auto shared_manager = run(/*use_shared_cache=*/true, &shared_store);
+
+  EXPECT_GT(aggregate_hit_rate(*shared_manager),
+            aggregate_hit_rate(*private_manager));
+  EXPECT_LT(shared_store.fetch_count(), private_store.fetch_count());
+}
+
+}  // namespace
+}  // namespace fc::server

@@ -338,7 +338,40 @@ TEST(CacheManagerTest, MissingTilePropagatesNotFound) {
   storage::MemoryTileStore store(pyramid);
   CacheManager manager(&store);
   EXPECT_TRUE(manager.Request({9, 9, 9}).status().IsNotFound());
-  EXPECT_FALSE(manager.Prefetch({{9, 9, 9}}).ok());
+}
+
+TEST(CacheManagerTest, PrefetchSkipsFailedTilesAndContinues) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  CacheManager manager(&store);
+  // A bad tile mid-list must not starve the lower-ranked predictions.
+  ASSERT_TRUE(manager.Prefetch({{1, 0, 0}, {9, 9, 9}, {1, 1, 0}}).ok());
+  EXPECT_TRUE(manager.Cached({1, 0, 0}));
+  EXPECT_TRUE(manager.Cached({1, 1, 0}));
+  EXPECT_EQ(manager.prefetch_failures(), 1u);
+}
+
+TEST(CacheManagerTest, SharedCacheServesOtherSessionsFetches) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache shared;
+  CacheManager alice(&store, {}, &shared);
+  CacheManager bob(&store, {}, &shared);
+
+  ASSERT_TRUE(alice.Request({1, 0, 0}).ok());  // store fetch, published
+  auto fetches_before = store.fetch_count();
+  auto served = bob.Request({1, 0, 0});
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->cache_hit);
+  EXPECT_TRUE(served->shared_hit);
+  EXPECT_EQ(store.fetch_count(), fetches_before);  // no second DBMS query
+  EXPECT_EQ(bob.shared_hits(), 1u);
+  EXPECT_EQ(bob.private_hits(), 0u);
+  // The tile was promoted into bob's history: now a private hit.
+  auto again = bob.Request({1, 0, 0});
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->shared_hit);
+  EXPECT_EQ(bob.private_hits(), 1u);
 }
 
 TEST(CacheManagerTest, ClearDropsEverything) {

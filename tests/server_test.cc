@@ -150,6 +150,55 @@ TEST(ForeCacheServerTest, MissingTileIsError) {
                   .IsNotFound());
 }
 
+TEST(ForeCacheServerTest, AsyncPrefetchFillsDuringThinkTime) {
+  auto pyramid = SmallPyramid();
+  SimClock clock;
+  storage::SimulatedDbmsStore store(pyramid, NoJitterCosts(), &clock);
+  auto parts = EngineParts::Make();
+  core::PredictionEngineOptions engine_options;
+  engine_options.prefetch_k = 9;  // prefetch every neighbor
+  core::PredictionEngine engine(&pyramid->spec(), nullptr, &parts.ab, nullptr,
+                                &parts.strategy, engine_options);
+  ServerOptions options;
+  options.cache.prefetch_capacity = 9;
+  Executor executor(2);  // outlives the server (joined prefetch tasks)
+  ForeCacheServer server(&store, &engine, &clock, options, &executor);
+  ASSERT_TRUE(server.async());
+  server.StartSession();
+
+  ASSERT_TRUE(server.HandleRequest(Req({0, 0, 0}, std::nullopt)).ok());
+  // Think time: the background fill completes before the next move.
+  server.WaitForPrefetch();
+  auto zoomed = server.HandleRequest(Req({1, 0, 0}, core::Move::kZoomInNW));
+  ASSERT_TRUE(zoomed.ok());
+  EXPECT_TRUE(zoomed->cache_hit);
+  EXPECT_NEAR(zoomed->latency_ms, 19.5, 0.1);
+}
+
+TEST(ForeCacheServerTest, SharedCacheHitCostsMiddlewareTime) {
+  auto pyramid = SmallPyramid();
+  SimClock clock;
+  storage::SimulatedDbmsStore store(pyramid, NoJitterCosts(), &clock);
+  core::SharedTileCache shared_cache;
+  ServerOptions options;
+  options.prefetching_enabled = false;
+  ForeCacheServer warmer(&store, nullptr, &clock, options, nullptr,
+                         &shared_cache);
+  ForeCacheServer server(&store, nullptr, &clock, options, nullptr,
+                         &shared_cache);
+  warmer.StartSession();
+  server.StartSession();
+
+  // The first session's miss publishes the tile to the shared cache; the
+  // second session's request is then a (fast) middleware hit.
+  ASSERT_TRUE(warmer.HandleRequest(Req({0, 0, 0}, std::nullopt)).ok());
+  auto served = server.HandleRequest(Req({0, 0, 0}, std::nullopt));
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->cache_hit);
+  EXPECT_NEAR(served->latency_ms, 19.5, 0.1);
+  EXPECT_EQ(server.cache_manager().shared_hits(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // BrowserSession
 

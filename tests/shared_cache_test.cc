@@ -1,0 +1,157 @@
+// Unit tests for the process-wide SharedTileCache: sharding, capacity,
+// LRU/FIFO eviction, cache-through fetch, and stat conservation.
+
+#include <gtest/gtest.h>
+
+#include "core/shared_tile_cache.h"
+#include "storage/tile_store.h"
+#include "tiles/pyramid.h"
+
+namespace fc::core {
+namespace {
+
+std::shared_ptr<tiles::TilePyramid> SmallPyramid(int levels = 4) {
+  auto schema = array::ArraySchema::Make(
+      "base",
+      {array::Dimension{"y", 0, 8 << (levels - 1), 8},
+       array::Dimension{"x", 0, 8 << (levels - 1), 8}},
+      {array::Attribute{"v"}});
+  array::DenseArray base(std::move(*schema));
+  tiles::PyramidBuildOptions options;
+  options.num_levels = levels;
+  options.tile_width = 8;
+  options.tile_height = 8;
+  tiles::TilePyramidBuilder builder(options);
+  auto pyramid = builder.Build(base);
+  EXPECT_TRUE(pyramid.ok());
+  return *pyramid;
+}
+
+tiles::TilePtr FetchTile(storage::TileStore* store, const tiles::TileKey& key) {
+  auto tile = store->Fetch(key);
+  EXPECT_TRUE(tile.ok());
+  return *tile;
+}
+
+TEST(SharedTileCacheTest, LookupMissThenInsertThenHit) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache;
+
+  EXPECT_EQ(cache.Lookup({0, 0, 0}), nullptr);
+  cache.Insert({0, 0, 0}, FetchTile(&store, {0, 0, 0}));
+  EXPECT_NE(cache.Lookup({0, 0, 0}), nullptr);
+  EXPECT_TRUE(cache.Contains({0, 0, 0}));
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(SharedTileCacheTest, GetOrFetchPopulatesAndDedupsSequentially) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache;
+
+  ASSERT_TRUE(cache.GetOrFetch({1, 0, 0}, &store).ok());
+  EXPECT_EQ(store.fetch_count(), 1u);
+  ASSERT_TRUE(cache.GetOrFetch({1, 0, 0}, &store).ok());
+  EXPECT_EQ(store.fetch_count(), 1u);  // second call served from cache
+  EXPECT_TRUE(cache.GetOrFetch({9, 9, 9}, &store).status().IsNotFound());
+}
+
+TEST(SharedTileCacheTest, LruEvictsColdestInSingleShard) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.capacity = 2;
+  options.num_shards = 1;
+  options.eviction = EvictionPolicyKind::kLru;
+  SharedTileCache cache(options);
+
+  cache.Insert({1, 0, 0}, FetchTile(&store, {1, 0, 0}));
+  cache.Insert({1, 1, 0}, FetchTile(&store, {1, 1, 0}));
+  // Touch the older entry so the newer one becomes the LRU victim.
+  EXPECT_NE(cache.Lookup({1, 0, 0}), nullptr);
+  cache.Insert({1, 0, 1}, FetchTile(&store, {1, 0, 1}));
+
+  EXPECT_TRUE(cache.Contains({1, 0, 0}));   // freshened, survived
+  EXPECT_FALSE(cache.Contains({1, 1, 0}));  // evicted
+  EXPECT_TRUE(cache.Contains({1, 0, 1}));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(SharedTileCacheTest, FifoIgnoresRecency) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.capacity = 2;
+  options.num_shards = 1;
+  options.eviction = EvictionPolicyKind::kFifo;
+  SharedTileCache cache(options);
+
+  cache.Insert({1, 0, 0}, FetchTile(&store, {1, 0, 0}));
+  cache.Insert({1, 1, 0}, FetchTile(&store, {1, 1, 0}));
+  // Under FIFO this touch does not save the oldest entry.
+  EXPECT_NE(cache.Lookup({1, 0, 0}), nullptr);
+  cache.Insert({1, 0, 1}, FetchTile(&store, {1, 0, 1}));
+
+  EXPECT_FALSE(cache.Contains({1, 0, 0}));  // evicted despite the hit
+  EXPECT_TRUE(cache.Contains({1, 1, 0}));
+  EXPECT_TRUE(cache.Contains({1, 0, 1}));
+}
+
+TEST(SharedTileCacheTest, CapacitySpreadAcrossShards) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.capacity = 8;
+  options.num_shards = 4;
+  SharedTileCache cache(options);
+  EXPECT_EQ(cache.num_shards(), 4u);
+
+  for (const auto& key : pyramid->spec().KeysAtLevel(2)) {
+    cache.Insert(key, FetchTile(&store, key));
+  }
+  // 16 level-2 tiles through 8 slots: evictions happened, the resident set
+  // honors per-shard bounds, and bookkeeping is conserved.
+  EXPECT_LE(cache.size(), 8u);
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+}
+
+TEST(SharedTileCacheTest, MoreShardsThanCapacityClamped) {
+  SharedTileCacheOptions options;
+  options.capacity = 2;
+  options.num_shards = 64;
+  SharedTileCache cache(options);
+  EXPECT_EQ(cache.num_shards(), 2u);
+}
+
+TEST(SharedTileCacheTest, ClearEmptiesEveryShard) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache;
+  cache.Insert({0, 0, 0}, FetchTile(&store, {0, 0, 0}));
+  cache.Insert({1, 1, 1}, FetchTile(&store, {1, 1, 1}));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains({0, 0, 0}));
+}
+
+TEST(SharedTileCacheTest, InsertRefreshReplacesPayloadWithoutGrowth) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache;
+  cache.Insert({0, 0, 0}, FetchTile(&store, {0, 0, 0}));
+  cache.Insert({0, 0, 0}, FetchTile(&store, {0, 0, 0}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Stats().insertions, 1u);  // refresh is not an insertion
+}
+
+}  // namespace
+}  // namespace fc::core
