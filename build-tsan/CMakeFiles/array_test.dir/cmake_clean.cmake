@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_test.dir/tests/array_test.cc.o"
+  "CMakeFiles/array_test.dir/tests/array_test.cc.o.d"
+  "array_test"
+  "array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_allocation.dir/bench/ablation_allocation.cc.o"
+  "CMakeFiles/bench_ablation_allocation.dir/bench/ablation_allocation.cc.o.d"
+  "bench_ablation_allocation"
+  "bench_ablation_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

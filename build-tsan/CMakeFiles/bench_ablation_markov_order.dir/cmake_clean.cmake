@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_markov_order.dir/bench/ablation_markov_order.cc.o"
+  "CMakeFiles/bench_ablation_markov_order.dir/bench/ablation_markov_order.cc.o.d"
+  "bench_ablation_markov_order"
+  "bench_ablation_markov_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_markov_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tile_size.dir/bench/ablation_tile_size.cc.o"
+  "CMakeFiles/bench_ablation_tile_size.dir/bench/ablation_tile_size.cc.o.d"
+  "bench_ablation_tile_size"
+  "bench_ablation_tile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_ab_vs_baselines.dir/bench/fig10a_ab_vs_baselines.cc.o"
+  "CMakeFiles/bench_fig10a_ab_vs_baselines.dir/bench/fig10a_ab_vs_baselines.cc.o.d"
+  "bench_fig10a_ab_vs_baselines"
+  "bench_fig10a_ab_vs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_ab_vs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

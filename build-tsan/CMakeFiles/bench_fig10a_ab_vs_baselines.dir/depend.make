@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10a_ab_vs_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_signatures.dir/bench/fig10b_signatures.cc.o"
+  "CMakeFiles/bench_fig10b_signatures.dir/bench/fig10b_signatures.cc.o.d"
+  "bench_fig10b_signatures"
+  "bench_fig10b_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

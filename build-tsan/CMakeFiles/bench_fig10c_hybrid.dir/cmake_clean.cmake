@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_hybrid.dir/bench/fig10c_hybrid.cc.o"
+  "CMakeFiles/bench_fig10c_hybrid.dir/bench/fig10c_hybrid.cc.o.d"
+  "bench_fig10c_hybrid"
+  "bench_fig10c_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

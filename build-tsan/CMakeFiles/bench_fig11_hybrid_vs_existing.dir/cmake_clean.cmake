@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hybrid_vs_existing.dir/bench/fig11_hybrid_vs_existing.cc.o"
+  "CMakeFiles/bench_fig11_hybrid_vs_existing.dir/bench/fig11_hybrid_vs_existing.cc.o.d"
+  "bench_fig11_hybrid_vs_existing"
+  "bench_fig11_hybrid_vs_existing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hybrid_vs_existing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_latency_regression.dir/bench/fig12_latency_regression.cc.o"
+  "CMakeFiles/bench_fig12_latency_regression.dir/bench/fig12_latency_regression.cc.o.d"
+  "bench_fig12_latency_regression"
+  "bench_fig12_latency_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_latency_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

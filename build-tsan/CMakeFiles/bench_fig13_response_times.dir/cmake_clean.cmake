@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_response_times.dir/bench/fig13_response_times.cc.o"
+  "CMakeFiles/bench_fig13_response_times.dir/bench/fig13_response_times.cc.o.d"
+  "bench_fig13_response_times"
+  "bench_fig13_response_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_response_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

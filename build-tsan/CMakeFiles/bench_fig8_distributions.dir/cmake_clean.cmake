@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_distributions.dir/bench/fig8_distributions.cc.o"
+  "CMakeFiles/bench_fig8_distributions.dir/bench/fig8_distributions.cc.o.d"
+  "bench_fig8_distributions"
+  "bench_fig8_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_zoom_trace.dir/bench/fig9_zoom_trace.cc.o"
+  "CMakeFiles/bench_fig9_zoom_trace.dir/bench/fig9_zoom_trace.cc.o.d"
+  "bench_fig9_zoom_trace"
+  "bench_fig9_zoom_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_zoom_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

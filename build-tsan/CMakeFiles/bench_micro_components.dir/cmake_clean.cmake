@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_components.dir/bench/micro_components.cc.o"
+  "CMakeFiles/bench_micro_components.dir/bench/micro_components.cc.o.d"
+  "bench_micro_components"
+  "bench_micro_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

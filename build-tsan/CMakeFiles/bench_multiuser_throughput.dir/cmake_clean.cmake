@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiuser_throughput.dir/bench/multiuser_throughput.cc.o"
+  "CMakeFiles/bench_multiuser_throughput.dir/bench/multiuser_throughput.cc.o.d"
+  "bench_multiuser_throughput"
+  "bench_multiuser_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiuser_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

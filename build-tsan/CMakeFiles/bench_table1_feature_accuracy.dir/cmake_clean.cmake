@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_feature_accuracy.dir/bench/table1_feature_accuracy.cc.o"
+  "CMakeFiles/bench_table1_feature_accuracy.dir/bench/table1_feature_accuracy.cc.o.d"
+  "bench_table1_feature_accuracy"
+  "bench_table1_feature_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_feature_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

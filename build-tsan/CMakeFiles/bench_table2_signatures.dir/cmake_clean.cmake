@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_signatures.dir/bench/table2_signatures.cc.o"
+  "CMakeFiles/bench_table2_signatures.dir/bench/table2_signatures.cc.o.d"
+  "bench_table2_signatures"
+  "bench_table2_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

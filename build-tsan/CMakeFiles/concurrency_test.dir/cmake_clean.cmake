@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_test.dir/tests/concurrency_test.cc.o"
+  "CMakeFiles/concurrency_test.dir/tests/concurrency_test.cc.o.d"
+  "concurrency_test"
+  "concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

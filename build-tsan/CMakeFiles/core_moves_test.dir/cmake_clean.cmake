@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_moves_test.dir/tests/core_moves_test.cc.o"
+  "CMakeFiles/core_moves_test.dir/tests/core_moves_test.cc.o.d"
+  "core_moves_test"
+  "core_moves_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_moves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

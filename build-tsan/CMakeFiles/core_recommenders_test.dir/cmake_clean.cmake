@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recommenders_test.dir/tests/core_recommenders_test.cc.o"
+  "CMakeFiles/core_recommenders_test.dir/tests/core_recommenders_test.cc.o.d"
+  "core_recommenders_test"
+  "core_recommenders_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recommenders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array_store.cc" "CMakeFiles/fc_array.dir/src/array/array_store.cc.o" "gcc" "CMakeFiles/fc_array.dir/src/array/array_store.cc.o.d"
+  "/root/repo/src/array/cost_model.cc" "CMakeFiles/fc_array.dir/src/array/cost_model.cc.o" "gcc" "CMakeFiles/fc_array.dir/src/array/cost_model.cc.o.d"
+  "/root/repo/src/array/dense_array.cc" "CMakeFiles/fc_array.dir/src/array/dense_array.cc.o" "gcc" "CMakeFiles/fc_array.dir/src/array/dense_array.cc.o.d"
+  "/root/repo/src/array/ops.cc" "CMakeFiles/fc_array.dir/src/array/ops.cc.o" "gcc" "CMakeFiles/fc_array.dir/src/array/ops.cc.o.d"
+  "/root/repo/src/array/schema.cc" "CMakeFiles/fc_array.dir/src/array/schema.cc.o" "gcc" "CMakeFiles/fc_array.dir/src/array/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

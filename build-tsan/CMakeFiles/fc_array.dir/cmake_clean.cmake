@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_array.dir/src/array/array_store.cc.o"
+  "CMakeFiles/fc_array.dir/src/array/array_store.cc.o.d"
+  "CMakeFiles/fc_array.dir/src/array/cost_model.cc.o"
+  "CMakeFiles/fc_array.dir/src/array/cost_model.cc.o.d"
+  "CMakeFiles/fc_array.dir/src/array/dense_array.cc.o"
+  "CMakeFiles/fc_array.dir/src/array/dense_array.cc.o.d"
+  "CMakeFiles/fc_array.dir/src/array/ops.cc.o"
+  "CMakeFiles/fc_array.dir/src/array/ops.cc.o.d"
+  "CMakeFiles/fc_array.dir/src/array/schema.cc.o"
+  "CMakeFiles/fc_array.dir/src/array/schema.cc.o.d"
+  "libfc_array.a"
+  "libfc_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/fc_bench_common.dir/bench/bench_common.cc.o.d"
+  "libfc_bench_common.a"
+  "libfc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

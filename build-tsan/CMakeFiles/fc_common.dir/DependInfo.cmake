@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cc" "CMakeFiles/fc_common.dir/src/common/csv.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/csv.cc.o.d"
+  "/root/repo/src/common/executor.cc" "CMakeFiles/fc_common.dir/src/common/executor.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/executor.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/fc_common.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/math_utils.cc" "CMakeFiles/fc_common.dir/src/common/math_utils.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/math_utils.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/fc_common.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/fc_common.dir/src/common/status.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/string_utils.cc" "CMakeFiles/fc_common.dir/src/common/string_utils.cc.o" "gcc" "CMakeFiles/fc_common.dir/src/common/string_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_common.dir/src/common/csv.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/csv.cc.o.d"
+  "CMakeFiles/fc_common.dir/src/common/executor.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/executor.cc.o.d"
+  "CMakeFiles/fc_common.dir/src/common/logging.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/logging.cc.o.d"
+  "CMakeFiles/fc_common.dir/src/common/math_utils.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/math_utils.cc.o.d"
+  "CMakeFiles/fc_common.dir/src/common/rng.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/rng.cc.o.d"
+  "CMakeFiles/fc_common.dir/src/common/status.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/status.cc.o.d"
+  "CMakeFiles/fc_common.dir/src/common/string_utils.cc.o"
+  "CMakeFiles/fc_common.dir/src/common/string_utils.cc.o.d"
+  "libfc_common.a"
+  "libfc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ab_recommender.cc" "CMakeFiles/fc_core.dir/src/core/ab_recommender.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/ab_recommender.cc.o.d"
+  "/root/repo/src/core/allocation.cc" "CMakeFiles/fc_core.dir/src/core/allocation.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/allocation.cc.o.d"
+  "/root/repo/src/core/baseline_recommenders.cc" "CMakeFiles/fc_core.dir/src/core/baseline_recommenders.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/baseline_recommenders.cc.o.d"
+  "/root/repo/src/core/cache_manager.cc" "CMakeFiles/fc_core.dir/src/core/cache_manager.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/cache_manager.cc.o.d"
+  "/root/repo/src/core/move.cc" "CMakeFiles/fc_core.dir/src/core/move.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/move.cc.o.d"
+  "/root/repo/src/core/phase_classifier.cc" "CMakeFiles/fc_core.dir/src/core/phase_classifier.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/phase_classifier.cc.o.d"
+  "/root/repo/src/core/prediction_engine.cc" "CMakeFiles/fc_core.dir/src/core/prediction_engine.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/prediction_engine.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "CMakeFiles/fc_core.dir/src/core/recommender.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/recommender.cc.o.d"
+  "/root/repo/src/core/request.cc" "CMakeFiles/fc_core.dir/src/core/request.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/request.cc.o.d"
+  "/root/repo/src/core/roi_tracker.cc" "CMakeFiles/fc_core.dir/src/core/roi_tracker.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/roi_tracker.cc.o.d"
+  "/root/repo/src/core/sb_recommender.cc" "CMakeFiles/fc_core.dir/src/core/sb_recommender.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/sb_recommender.cc.o.d"
+  "/root/repo/src/core/shared_tile_cache.cc" "CMakeFiles/fc_core.dir/src/core/shared_tile_cache.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/shared_tile_cache.cc.o.d"
+  "/root/repo/src/core/tile_cache.cc" "CMakeFiles/fc_core.dir/src/core/tile_cache.cc.o" "gcc" "CMakeFiles/fc_core.dir/src/core/tile_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_markov.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_svm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_tiles.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_vision.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_array.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

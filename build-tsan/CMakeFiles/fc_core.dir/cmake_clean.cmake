@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_core.dir/src/core/ab_recommender.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/ab_recommender.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/allocation.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/allocation.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/baseline_recommenders.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/baseline_recommenders.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/cache_manager.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/cache_manager.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/move.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/move.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/phase_classifier.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/phase_classifier.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/prediction_engine.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/prediction_engine.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/recommender.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/recommender.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/request.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/request.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/roi_tracker.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/roi_tracker.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/sb_recommender.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/sb_recommender.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/shared_tile_cache.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/shared_tile_cache.cc.o.d"
+  "CMakeFiles/fc_core.dir/src/core/tile_cache.cc.o"
+  "CMakeFiles/fc_core.dir/src/core/tile_cache.cc.o.d"
+  "libfc_core.a"
+  "libfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_eval.dir/src/eval/latency.cc.o"
+  "CMakeFiles/fc_eval.dir/src/eval/latency.cc.o.d"
+  "CMakeFiles/fc_eval.dir/src/eval/loocv.cc.o"
+  "CMakeFiles/fc_eval.dir/src/eval/loocv.cc.o.d"
+  "CMakeFiles/fc_eval.dir/src/eval/predictor.cc.o"
+  "CMakeFiles/fc_eval.dir/src/eval/predictor.cc.o.d"
+  "CMakeFiles/fc_eval.dir/src/eval/replay.cc.o"
+  "CMakeFiles/fc_eval.dir/src/eval/replay.cc.o.d"
+  "CMakeFiles/fc_eval.dir/src/eval/table_printer.cc.o"
+  "CMakeFiles/fc_eval.dir/src/eval/table_printer.cc.o.d"
+  "CMakeFiles/fc_eval.dir/src/eval/trace_stats.cc.o"
+  "CMakeFiles/fc_eval.dir/src/eval/trace_stats.cc.o.d"
+  "libfc_eval.a"
+  "libfc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

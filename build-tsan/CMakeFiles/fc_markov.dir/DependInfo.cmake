@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/markov_chain.cc" "CMakeFiles/fc_markov.dir/src/markov/markov_chain.cc.o" "gcc" "CMakeFiles/fc_markov.dir/src/markov/markov_chain.cc.o.d"
+  "/root/repo/src/markov/ngram_model.cc" "CMakeFiles/fc_markov.dir/src/markov/ngram_model.cc.o" "gcc" "CMakeFiles/fc_markov.dir/src/markov/ngram_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_markov.dir/src/markov/markov_chain.cc.o"
+  "CMakeFiles/fc_markov.dir/src/markov/markov_chain.cc.o.d"
+  "CMakeFiles/fc_markov.dir/src/markov/ngram_model.cc.o"
+  "CMakeFiles/fc_markov.dir/src/markov/ngram_model.cc.o.d"
+  "libfc_markov.a"
+  "libfc_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_server.dir/src/server/forecache_server.cc.o"
+  "CMakeFiles/fc_server.dir/src/server/forecache_server.cc.o.d"
+  "CMakeFiles/fc_server.dir/src/server/session.cc.o"
+  "CMakeFiles/fc_server.dir/src/server/session.cc.o.d"
+  "libfc_server.a"
+  "libfc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

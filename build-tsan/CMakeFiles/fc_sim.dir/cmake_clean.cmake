@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_sim.dir/src/sim/modis_dataset.cc.o"
+  "CMakeFiles/fc_sim.dir/src/sim/modis_dataset.cc.o.d"
+  "CMakeFiles/fc_sim.dir/src/sim/study.cc.o"
+  "CMakeFiles/fc_sim.dir/src/sim/study.cc.o.d"
+  "CMakeFiles/fc_sim.dir/src/sim/task.cc.o"
+  "CMakeFiles/fc_sim.dir/src/sim/task.cc.o.d"
+  "CMakeFiles/fc_sim.dir/src/sim/terrain.cc.o"
+  "CMakeFiles/fc_sim.dir/src/sim/terrain.cc.o.d"
+  "CMakeFiles/fc_sim.dir/src/sim/user_agent.cc.o"
+  "CMakeFiles/fc_sim.dir/src/sim/user_agent.cc.o.d"
+  "libfc_sim.a"
+  "libfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/tile_codec.cc" "CMakeFiles/fc_storage.dir/src/storage/tile_codec.cc.o" "gcc" "CMakeFiles/fc_storage.dir/src/storage/tile_codec.cc.o.d"
+  "/root/repo/src/storage/tile_store.cc" "CMakeFiles/fc_storage.dir/src/storage/tile_store.cc.o" "gcc" "CMakeFiles/fc_storage.dir/src/storage/tile_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_array.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_tiles.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_vision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

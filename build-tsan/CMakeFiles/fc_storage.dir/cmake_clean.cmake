@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_storage.dir/src/storage/tile_codec.cc.o"
+  "CMakeFiles/fc_storage.dir/src/storage/tile_codec.cc.o.d"
+  "CMakeFiles/fc_storage.dir/src/storage/tile_store.cc.o"
+  "CMakeFiles/fc_storage.dir/src/storage/tile_store.cc.o.d"
+  "libfc_storage.a"
+  "libfc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

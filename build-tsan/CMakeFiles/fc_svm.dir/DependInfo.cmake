@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/kernel.cc" "CMakeFiles/fc_svm.dir/src/svm/kernel.cc.o" "gcc" "CMakeFiles/fc_svm.dir/src/svm/kernel.cc.o.d"
+  "/root/repo/src/svm/scaler.cc" "CMakeFiles/fc_svm.dir/src/svm/scaler.cc.o" "gcc" "CMakeFiles/fc_svm.dir/src/svm/scaler.cc.o.d"
+  "/root/repo/src/svm/svm.cc" "CMakeFiles/fc_svm.dir/src/svm/svm.cc.o" "gcc" "CMakeFiles/fc_svm.dir/src/svm/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

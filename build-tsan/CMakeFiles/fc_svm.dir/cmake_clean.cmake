@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_svm.dir/src/svm/kernel.cc.o"
+  "CMakeFiles/fc_svm.dir/src/svm/kernel.cc.o.d"
+  "CMakeFiles/fc_svm.dir/src/svm/scaler.cc.o"
+  "CMakeFiles/fc_svm.dir/src/svm/scaler.cc.o.d"
+  "CMakeFiles/fc_svm.dir/src/svm/svm.cc.o"
+  "CMakeFiles/fc_svm.dir/src/svm/svm.cc.o.d"
+  "libfc_svm.a"
+  "libfc_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

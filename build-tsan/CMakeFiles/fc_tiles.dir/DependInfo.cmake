@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tiles/metadata.cc" "CMakeFiles/fc_tiles.dir/src/tiles/metadata.cc.o" "gcc" "CMakeFiles/fc_tiles.dir/src/tiles/metadata.cc.o.d"
+  "/root/repo/src/tiles/pyramid.cc" "CMakeFiles/fc_tiles.dir/src/tiles/pyramid.cc.o" "gcc" "CMakeFiles/fc_tiles.dir/src/tiles/pyramid.cc.o.d"
+  "/root/repo/src/tiles/tile.cc" "CMakeFiles/fc_tiles.dir/src/tiles/tile.cc.o" "gcc" "CMakeFiles/fc_tiles.dir/src/tiles/tile.cc.o.d"
+  "/root/repo/src/tiles/tile_key.cc" "CMakeFiles/fc_tiles.dir/src/tiles/tile_key.cc.o" "gcc" "CMakeFiles/fc_tiles.dir/src/tiles/tile_key.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_array.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/fc_vision.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

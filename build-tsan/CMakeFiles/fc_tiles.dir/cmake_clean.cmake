@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_tiles.dir/src/tiles/metadata.cc.o"
+  "CMakeFiles/fc_tiles.dir/src/tiles/metadata.cc.o.d"
+  "CMakeFiles/fc_tiles.dir/src/tiles/pyramid.cc.o"
+  "CMakeFiles/fc_tiles.dir/src/tiles/pyramid.cc.o.d"
+  "CMakeFiles/fc_tiles.dir/src/tiles/tile.cc.o"
+  "CMakeFiles/fc_tiles.dir/src/tiles/tile.cc.o.d"
+  "CMakeFiles/fc_tiles.dir/src/tiles/tile_key.cc.o"
+  "CMakeFiles/fc_tiles.dir/src/tiles/tile_key.cc.o.d"
+  "libfc_tiles.a"
+  "libfc_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/codebook.cc" "CMakeFiles/fc_vision.dir/src/vision/codebook.cc.o" "gcc" "CMakeFiles/fc_vision.dir/src/vision/codebook.cc.o.d"
+  "/root/repo/src/vision/histogram.cc" "CMakeFiles/fc_vision.dir/src/vision/histogram.cc.o" "gcc" "CMakeFiles/fc_vision.dir/src/vision/histogram.cc.o.d"
+  "/root/repo/src/vision/kmeans.cc" "CMakeFiles/fc_vision.dir/src/vision/kmeans.cc.o" "gcc" "CMakeFiles/fc_vision.dir/src/vision/kmeans.cc.o.d"
+  "/root/repo/src/vision/raster.cc" "CMakeFiles/fc_vision.dir/src/vision/raster.cc.o" "gcc" "CMakeFiles/fc_vision.dir/src/vision/raster.cc.o.d"
+  "/root/repo/src/vision/sift.cc" "CMakeFiles/fc_vision.dir/src/vision/sift.cc.o" "gcc" "CMakeFiles/fc_vision.dir/src/vision/sift.cc.o.d"
+  "/root/repo/src/vision/signature.cc" "CMakeFiles/fc_vision.dir/src/vision/signature.cc.o" "gcc" "CMakeFiles/fc_vision.dir/src/vision/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

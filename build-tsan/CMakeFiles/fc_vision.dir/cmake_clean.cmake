@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_vision.dir/src/vision/codebook.cc.o"
+  "CMakeFiles/fc_vision.dir/src/vision/codebook.cc.o.d"
+  "CMakeFiles/fc_vision.dir/src/vision/histogram.cc.o"
+  "CMakeFiles/fc_vision.dir/src/vision/histogram.cc.o.d"
+  "CMakeFiles/fc_vision.dir/src/vision/kmeans.cc.o"
+  "CMakeFiles/fc_vision.dir/src/vision/kmeans.cc.o.d"
+  "CMakeFiles/fc_vision.dir/src/vision/raster.cc.o"
+  "CMakeFiles/fc_vision.dir/src/vision/raster.cc.o.d"
+  "CMakeFiles/fc_vision.dir/src/vision/sift.cc.o"
+  "CMakeFiles/fc_vision.dir/src/vision/sift.cc.o.d"
+  "CMakeFiles/fc_vision.dir/src/vision/signature.cc.o"
+  "CMakeFiles/fc_vision.dir/src/vision/signature.cc.o.d"
+  "libfc_vision.a"
+  "libfc_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

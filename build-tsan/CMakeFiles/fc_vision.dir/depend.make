@@ -1,0 +1,2 @@
+# Empty dependencies file for fc_vision.
+# This may be replaced when dependencies are built.

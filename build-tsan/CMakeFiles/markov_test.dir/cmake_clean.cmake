@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_test.dir/tests/markov_test.cc.o"
+  "CMakeFiles/markov_test.dir/tests/markov_test.cc.o.d"
+  "markov_test"
+  "markov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_server.dir/examples/multiuser_server.cpp.o"
+  "CMakeFiles/multiuser_server.dir/examples/multiuser_server.cpp.o.d"
+  "multiuser_server"
+  "multiuser_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cache_test.dir/tests/shared_cache_test.cc.o"
+  "CMakeFiles/shared_cache_test.dir/tests/shared_cache_test.cc.o.d"
+  "shared_cache_test"
+  "shared_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

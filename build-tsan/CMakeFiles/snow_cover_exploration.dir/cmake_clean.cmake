@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snow_cover_exploration.dir/examples/snow_cover_exploration.cpp.o"
+  "CMakeFiles/snow_cover_exploration.dir/examples/snow_cover_exploration.cpp.o.d"
+  "snow_cover_exploration"
+  "snow_cover_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snow_cover_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

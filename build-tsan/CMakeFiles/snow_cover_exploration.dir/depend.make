@@ -1,0 +1,2 @@
+# Empty dependencies file for snow_cover_exploration.
+# This may be replaced when dependencies are built.

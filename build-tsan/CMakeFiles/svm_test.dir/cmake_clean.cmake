@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_test.dir/tests/svm_test.cc.o"
+  "CMakeFiles/svm_test.dir/tests/svm_test.cc.o.d"
+  "svm_test"
+  "svm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiles_test.dir/tests/tiles_test.cc.o"
+  "CMakeFiles/tiles_test.dir/tests/tiles_test.cc.o.d"
+  "tiles_test"
+  "tiles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_browsing.dir/examples/timeseries_browsing.cpp.o"
+  "CMakeFiles/timeseries_browsing.dir/examples/timeseries_browsing.cpp.o.d"
+  "timeseries_browsing"
+  "timeseries_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timeseries_browsing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for timeseries_browsing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_test.dir/tests/vision_test.cc.o"
+  "CMakeFiles/vision_test.dir/tests/vision_test.cc.o.d"
+  "vision_test"
+  "vision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

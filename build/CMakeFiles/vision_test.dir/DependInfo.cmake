@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vision_test.cc" "CMakeFiles/vision_test.dir/tests/vision_test.cc.o" "gcc" "CMakeFiles/vision_test.dir/tests/vision_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/fc_server.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_core.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_markov.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_svm.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_tiles.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_array.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_vision.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/fc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
