@@ -8,12 +8,16 @@
 
 namespace fc::bench {
 
+bool FastBench() {
+  const char* fast = std::getenv("FORECACHE_FAST_BENCH");
+  return fast != nullptr && std::string(fast) == "1";
+}
+
 const sim::Study& GetStudy() {
   static const sim::Study study = [] {
     sim::ModisDatasetOptions dataset = sim::DefaultStudyDataset();
     sim::StudyOptions options;
-    const char* fast = std::getenv("FORECACHE_FAST_BENCH");
-    if (fast != nullptr && std::string(fast) == "1") {
+    if (FastBench()) {
       dataset.terrain.width = 512;
       dataset.terrain.height = 512;
       dataset.num_levels = 5;

@@ -23,6 +23,9 @@ const sim::Study& GetStudy();
 /// Convenience: "12.3%" formatting.
 std::string Pct(double fraction, int precision = 1);
 
+/// True when FORECACHE_FAST_BENCH=1 (CI smoke runs on shrunken datasets).
+bool FastBench();
+
 /// Phase names in report order (Foraging, Navigation, Sensemaking).
 const std::vector<core::AnalysisPhase>& ReportPhases();
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "core/ab_recommender.h"
 #include "core/allocation.h"
 #include "core/phase_classifier.h"
@@ -35,6 +36,7 @@ struct RunResult {
   double shared_cache_hit_rate = 0.0;  ///< 0 when no shared cache.
   std::uint64_t dbms_fetches = 0;
   std::uint64_t total_requests = 0;
+  core::SharedTileCacheStats shared_stats;  ///< Zeroed when no shared cache.
 };
 
 struct TrainedComponents {
@@ -61,7 +63,12 @@ RunResult RunSessions(const sim::Study& study, const TrainedComponents& trained,
   server::SessionManagerOptions options;
   options.executor_threads = kThreads;
   options.use_shared_cache = use_shared_cache;
-  options.shared_cache.capacity = 1024;
+  // Byte-governed two-tier shared cache: ~256 decoded study tiles hot,
+  // plus a compressed warm tier behind them.
+  options.shared_cache.l1_bytes =
+      256 * study.dataset.pyramid->NominalTileBytes();
+  options.shared_cache.l2_bytes =
+      64 * study.dataset.pyramid->NominalTileBytes();
   options.shared_cache.num_shards = 16;
   options.single_flight = true;
   server::SessionManager manager(&store, &clock, shared, options);
@@ -112,7 +119,8 @@ RunResult RunSessions(const sim::Study& study, const TrainedComponents& trained,
           : static_cast<double>(hits) /
                 static_cast<double>(result.total_requests);
   if (use_shared_cache) {
-    result.shared_cache_hit_rate = manager.shared_cache()->Stats().HitRate();
+    result.shared_stats = manager.shared_cache()->Stats();
+    result.shared_cache_hit_rate = result.shared_stats.HitRate();
   }
   result.dbms_fetches = store.fetch_count();
   return result;
@@ -143,6 +151,7 @@ int main() {
 
   eval::TablePrinter table({"Sessions", "Cache", "Requests", "Req/sec",
                             "Agg hit rate", "Shared-cache hits", "DBMS fetches"});
+  auto results = JsonValue::Array();
   bool shared_wins_everywhere = true;
   for (std::size_t sessions : {1u, 4u, 16u}) {
     auto private_only =
@@ -164,8 +173,40 @@ int main() {
         with_shared.aggregate_hit_rate <= private_only.aggregate_hit_rate) {
       shared_wins_everywhere = false;
     }
+    for (const auto* run : {&private_only, &with_shared}) {
+      auto row = JsonValue::Object();
+      row.Set("sessions", sessions);
+      row.Set("cache", run == &private_only ? "private" : "shared");
+      row.Set("total_requests", run->total_requests);
+      row.Set("requests_per_sec", run->requests_per_sec);
+      row.Set("aggregate_hit_rate", run->aggregate_hit_rate);
+      row.Set("dbms_fetches", run->dbms_fetches);
+      if (run == &with_shared) {
+        const auto& stats = run->shared_stats;
+        row.Set("shared_cache_hit_rate", run->shared_cache_hit_rate);
+        row.Set("l1_hits", stats.l1_hits);
+        row.Set("l2_hits", stats.l2_hits);
+        row.Set("demotions", stats.demotions);
+        row.Set("evictions", stats.evictions);
+        row.Set("decode_ns", stats.decode_ns);
+        row.Set("bytes_resident", stats.bytes_resident);
+      }
+      results.Push(std::move(row));
+    }
   }
   table.Print();
+
+  auto report = JsonValue::Object();
+  report.Set("bench", "multiuser_throughput");
+  report.Set("fast_mode", bench::FastBench());
+  report.Set("pass", shared_wins_everywhere);
+  report.Set("results", std::move(results));
+  const std::string json_path = "BENCH_multiuser.json";
+  if (auto status = WriteJsonFile(json_path, report); !status.ok()) {
+    std::cerr << "ERROR writing " << json_path << ": " << status << "\n";
+    return 1;
+  }
+  std::cout << "\nWrote " << json_path << "\n";
 
   std::cout << "\nWith overlapping traces the shared cache converts other\n"
             << "sessions' fetches into memory hits, so the aggregate hit\n"

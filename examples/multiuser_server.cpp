@@ -60,7 +60,11 @@ int main() {
   server::SessionManagerOptions manager_options;
   manager_options.executor_threads = kThreads;  // background prefetch pool
   manager_options.use_shared_cache = true;
-  manager_options.shared_cache.capacity = 512;
+  // Byte-governed two-tier shared cache: 128 decoded tiles hot (L1) plus a
+  // compressed warm tier (L2) that keeps demoted tiles off the DBMS.
+  const std::size_t tile_bytes = study->dataset.pyramid->NominalTileBytes();
+  manager_options.shared_cache.l1_bytes = 128 * tile_bytes;
+  manager_options.shared_cache.l2_bytes = 32 * tile_bytes;
   manager_options.shared_cache.num_shards = 16;
   manager_options.single_flight = true;
   server::SessionManager manager(&store, &clock, shared, manager_options);
@@ -110,10 +114,15 @@ int main() {
 
   auto stats = manager.shared_cache()->Stats();
   const auto* flight = manager.single_flight_store();
-  std::cout << "\nShared cache: " << manager.shared_cache()->size() << "/"
-            << manager.shared_cache()->capacity() << " tiles resident, "
+  std::cout << "\nShared cache: " << manager.shared_cache()->size()
+            << " tiles resident (" << manager.shared_cache()->l1_size()
+            << " decoded + " << manager.shared_cache()->l2_size()
+            << " compressed) in " << stats.bytes_resident << " bytes, "
             << stats.hits << " hits / " << stats.misses << " misses ("
-            << stats.HitRate() * 100.0 << "%), " << stats.evictions
+            << stats.HitRate() * 100.0 << "%; " << stats.l2_hits
+            << " decoded from L2 in "
+            << static_cast<double>(stats.decode_ns) / 1e6 << " ms), "
+            << stats.demotions << " demotions, " << stats.evictions
             << " evictions\n"
             << "Single-flight: " << flight->deduped_count() << " of "
             << flight->fetch_count() << " fetches joined an in-flight query\n"

@@ -1,0 +1,152 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_utils.h"
+
+namespace fc {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNewline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kNumber:
+      if (std::isfinite(num_)) {
+        *out += StrFormat("%.17g", num_);
+      } else {
+        *out += "null";  // JSON has no Inf/NaN
+      }
+      return;
+    case Kind::kString:
+      AppendEscaped(out, str_);
+      return;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendNewline(out, indent, depth + 1);
+        AppendEscaped(out, key);
+        *out += indent > 0 ? ": " : ":";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      AppendNewline(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const auto& value : elements_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendNewline(out, indent, depth + 1);
+        value.DumpTo(out, indent, depth + 1);
+      }
+      AppendNewline(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out << value.Dump();
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace fc

@@ -1,0 +1,67 @@
+// Minimal JSON emitter for machine-readable benchmark output (BENCH_*.json).
+//
+// Build a tree of JsonValue nodes and Dump() it. Object keys keep insertion
+// order so emitted files diff cleanly run to run. Write-only by design: the
+// repo consumes these files from CI tooling (python/jq), never parses them.
+
+#ifndef FORECACHE_COMMON_JSON_WRITER_H_
+#define FORECACHE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fc {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
+  JsonValue(std::uint64_t u) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  /// Sets (or replaces) an object member; keeps first-set ordering.
+  JsonValue& Set(const std::string& key, JsonValue value);
+
+  /// Appends an array element.
+  JsonValue& Push(JsonValue value);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Serializes the tree. `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kNumber, kString, kObject, kArray };
+
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  // object
+  std::vector<JsonValue> elements_;                         // array
+};
+
+/// Writes `value.Dump()` to `path` atomically enough for CI (tmp + rename).
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace fc
+
+#endif  // FORECACHE_COMMON_JSON_WRITER_H_

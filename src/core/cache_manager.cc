@@ -7,8 +7,8 @@ CacheManager::CacheManager(storage::TileStore* store, CacheManagerOptions option
     : store_(store),
       options_(options),
       shared_(shared),
-      history_(options.history_capacity),
-      prefetch_(options.prefetch_capacity) {}
+      history_(options.history_bytes),
+      prefetch_(options.prefetch_bytes) {}
 
 Result<tiles::TilePtr> CacheManager::FetchThrough(const tiles::TileKey& key) {
   if (shared_ != nullptr) return shared_->GetOrFetch(key, store_);
@@ -78,14 +78,17 @@ Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
     if (cancelled()) return Status::OK();
     prefetch_.Clear();
   }
-  std::size_t filled = 0;
+  std::size_t filled_bytes = 0;
+  const std::size_t budget = options_.prefetch_bytes;
   for (const auto& key : predictions) {
-    if (filled >= options_.prefetch_capacity) break;
+    if (filled_bytes >= budget) break;
     if (cancelled()) break;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (history_.Contains(key)) {
-        ++filled;  // already resident; the slot is effectively spent
+      if (auto resident = history_.Peek(key)) {
+        // Already resident; its bytes are effectively spent from the budget
+        // (the paper refills the region around what the user holds).
+        filled_bytes += resident->SizeBytes();
         continue;
       }
     }
@@ -96,6 +99,13 @@ Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
       prefetch_failures_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    std::size_t bytes = (*tile)->SizeBytes();
+    // The ranked list is priority-ordered: the first tile that no longer
+    // fits ends the fill rather than evicting higher-priority tiles. The
+    // overflow tile's own fetch is spent — its size is only knowable after
+    // the fetch (the store's spec has geometry but not attribute count) —
+    // but at most one fetch per fill is wasted, and only on truncation.
+    if (filled_bytes > 0 && filled_bytes + bytes > budget) break;
     std::lock_guard<std::mutex> lock(mu_);
     // Re-check under the lock: if this fill is superseded now, a successor
     // fill's Clear() has either run (we must not re-pollute its region) or
@@ -103,7 +113,7 @@ Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
     // Checking and inserting under one lock hold closes the gap between.
     if (cancelled()) break;
     prefetch_.Put(key, std::move(*tile));
-    ++filled;
+    filled_bytes += bytes;
   }
   return Status::OK();
 }

@@ -35,8 +35,12 @@
 namespace fc::core {
 
 struct CacheManagerOptions {
-  std::size_t history_capacity = 8;  ///< Last-n-requests region (tiles).
-  std::size_t prefetch_capacity = 8; ///< Upper bound on the prefetch region.
+  /// Byte budget of the last-n-requests region. To size for n nominal tiles
+  /// use n * tile_width * tile_height * num_attrs * sizeof(double).
+  std::size_t history_bytes = 256 * 1024;
+  /// Byte budget of the prefetch region (bounds how much of the ranked
+  /// prediction list is materialized).
+  std::size_t prefetch_bytes = 256 * 1024;
 };
 
 /// Outcome of serving one tile request.
@@ -62,9 +66,10 @@ class CacheManager {
 
   /// Replaces the prefetch region with `predictions` (ranked, highest
   /// priority first), fetching each tile from the shared cache or backing
-  /// store. Tiles already in a private region are not re-fetched. A fetch
-  /// failure skips that tile (counted in prefetch_failures()) and continues
-  /// down the ranked list, so one bad tile cannot starve the rest.
+  /// store until the region's byte budget is spent. Tiles already in a
+  /// private region are not re-fetched (but still charge the budget). A
+  /// fetch failure skips that tile (counted in prefetch_failures()) and
+  /// continues down the ranked list, so one bad tile cannot starve the rest.
   Status Prefetch(const std::vector<tiles::TileKey>& predictions);
 
   /// As above, but polls `cancelled` between tiles and stops early when it

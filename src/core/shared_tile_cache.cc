@@ -1,18 +1,39 @@
 #include "core/shared_tile_cache.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace fc::core {
 
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 SharedTileCache::SharedTileCache(SharedTileCacheOptions options)
-    : options_(options) {
-  if (options_.num_shards == 0) options_.num_shards = 1;
-  if (options_.capacity == 0) options_.capacity = 1;
-  if (options_.num_shards > options_.capacity) {
-    options_.num_shards = options_.capacity;
+    : options_(options), codec_(options.codec) {
+  if (options_.l1_bytes == 0) options_.l1_bytes = 1;
+  if (options_.num_shards == 0) {
+    // Auto stripe count: budgets are enforced strictly per shard, so more
+    // stripes than the budget can feed leaves each shard an uncacheable
+    // sliver. Cap stripes so every shard's L1 slice stays >= 4 MiB.
+    constexpr std::size_t kAutoShardMinL1Bytes = 4ull << 20;
+    std::size_t fed = options_.l1_bytes / kAutoShardMinL1Bytes;
+    options_.num_shards = std::clamp<std::size_t>(fed, 1, 16);
   }
-  // Ceil division: shard capacities sum to >= capacity, so the cache never
-  // rejects a tile a uniform hash would admit.
-  shard_capacity_ =
-      (options_.capacity + options_.num_shards - 1) / options_.num_shards;
+  // Ceil division: shard budgets sum to >= the global budget.
+  shard_l1_bytes_ =
+      (options_.l1_bytes + options_.num_shards - 1) / options_.num_shards;
+  shard_l2_bytes_ =
+      options_.l2_bytes == 0
+          ? 0
+          : (options_.l2_bytes + options_.num_shards - 1) / options_.num_shards;
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -28,41 +49,216 @@ const SharedTileCache::Shard& SharedTileCache::ShardFor(
   return *shards_[tiles::TileKeyHash()(key) % shards_.size()];
 }
 
+void SharedTileCache::EvictFromL2(Shard& shard) {
+  auto it = shard.l2.find(shard.l2_order.front());
+  shard.l2_bytes -= it->second.blob->size();
+  l2_bytes_resident_.fetch_sub(it->second.blob->size(),
+                               std::memory_order_relaxed);
+  shard.l2.erase(it);
+  shard.l2_order.pop_front();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SharedTileCache::CollectL1Overflow(Shard& shard,
+                                        std::vector<PendingDemotion>* pending) {
+  while (shard.l1_bytes > shard_l1_bytes_ && !shard.l1.empty()) {
+    const tiles::TileKey victim = shard.l1_order.front();
+    shard.l1_order.pop_front();
+    auto it = shard.l1.find(victim);
+    shard.l1_bytes -= it->second.bytes;
+    l1_bytes_resident_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    pending->push_back({victim, std::move(it->second.tile)});
+    shard.l1.erase(it);
+  }
+}
+
+bool SharedTileCache::AdmitToL1(Shard& shard, const tiles::TileKey& key,
+                                tiles::TilePtr tile,
+                                std::vector<PendingDemotion>* pending) {
+  std::size_t bytes = tile->SizeBytes();
+  if (bytes > shard_l1_bytes_) {
+    // Larger than the whole shard budget: serve it, never cache it —
+    // byte budgets are strict.
+    return false;
+  }
+  shard.l1_bytes += bytes;
+  l1_bytes_resident_.fetch_add(bytes, std::memory_order_relaxed);
+  auto order_it = shard.l1_order.insert(shard.l1_order.end(), key);
+  shard.l1.emplace(key, L1Entry{std::move(tile), bytes, order_it});
+  // Pop victims after inserting: the new entry is at the back of the order
+  // and within budget by itself, so it is never its own victim.
+  CollectL1Overflow(shard, pending);
+  return true;
+}
+
+void SharedTileCache::FinishDemotions(Shard& shard,
+                                      std::vector<PendingDemotion> pending) {
+  if (pending.empty()) return;
+  if (shard_l2_bytes_ == 0) {
+    // No warm tier: demotion is a true eviction, and nothing gets encoded.
+    evictions_.fetch_add(pending.size(), std::memory_order_relaxed);
+    return;
+  }
+  // Compress outside the lock — encoding is the expensive part of a
+  // demotion and must not block concurrent lookups on the shard.
+  std::vector<std::string> blobs;
+  blobs.reserve(pending.size());
+  std::uint64_t t0 = NowNs();
+  for (const auto& demotion : pending) {
+    blobs.push_back(codec_.Encode(*demotion.tile));
+  }
+  encode_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const tiles::TileKey& key = pending[i].key;
+    std::string& blob = blobs[i];
+    if (shard.l1.count(key) > 0 || shard.l2.count(key) > 0) {
+      // Re-fetched while in limbo: the newer copy owns the residency (and
+      // was counted as a fresh insertion), so this stale copy's departure
+      // is an eviction.
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (blob.size() > shard_l2_bytes_) {
+      // Oversized even alone: the tier cannot hold it.
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    while (shard.l2_bytes + blob.size() > shard_l2_bytes_ &&
+           !shard.l2.empty()) {
+      EvictFromL2(shard);
+    }
+    shard.l2_bytes += blob.size();
+    l2_bytes_resident_.fetch_add(blob.size(), std::memory_order_relaxed);
+    auto order_it = shard.l2_order.insert(shard.l2_order.end(), key);
+    shard.l2.emplace(
+        key, L2Entry{std::make_shared<const std::string>(std::move(blob)),
+                     order_it});
+    demotions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
+  std::shared_ptr<const std::string> blob;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.l1.find(key);
+    if (it != shard.l1.end()) {
+      l1_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.eviction == EvictionPolicyKind::kLru) {
+        shard.l1_order.splice(shard.l1_order.end(), shard.l1_order,
+                              it->second.order_it);
+      }
+      return it->second.tile;
+    }
+    auto l2_it = shard.l2.find(key);
+    if (l2_it == shard.l2.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    // Warm hit: grab a reference and decode outside the lock. The entry
+    // stays in L2 until the promotion lands, so concurrent lookups of this
+    // (hot) key keep hitting the tier instead of falling through to the
+    // DBMS.
+    blob = l2_it->second.blob;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.eviction == EvictionPolicyKind::kLru) {
-    shard.order.splice(shard.order.end(), shard.order, it->second.order_it);
+
+  std::uint64_t t0 = NowNs();
+  auto decoded = storage::TileCodec::Decode(*blob);
+  decode_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+
+  std::vector<PendingDemotion> pending;
+  tiles::TilePtr result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Drop the L2 entry (all concurrent decoders of the same blob fail or
+    // succeed alike, and a landed promotion supersedes it either way).
+    auto l2_it = shard.l2.find(key);
+    bool was_in_l2 = l2_it != shard.l2.end();
+    if (was_in_l2) {
+      shard.l2_bytes -= l2_it->second.blob->size();
+      l2_bytes_resident_.fetch_sub(l2_it->second.blob->size(),
+                                   std::memory_order_relaxed);
+      shard.l2_order.erase(l2_it->second.order_it);
+      shard.l2.erase(l2_it);
+    }
+
+    if (!decoded.ok()) {
+      // Checksum-guarded decode failure: the tile is simply gone and the
+      // caller falls back to the store.
+      if (was_in_l2) evictions_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    auto tile = std::make_shared<const tiles::Tile>(std::move(decoded).value());
+
+    auto it = shard.l1.find(key);
+    if (it != shard.l1.end()) {
+      // A concurrent promotion or insert landed first: the L1 copy owns
+      // the residency, so the L2 copy's departure is an eviction.
+      if (was_in_l2) evictions_.fetch_add(1, std::memory_order_relaxed);
+      result = it->second.tile;
+    } else if (AdmitToL1(shard, key, tile, &pending)) {
+      // The promotion re-uses the L2 copy's residency; a vanished entry
+      // (evicted under pressure mid-decode, eviction already counted)
+      // makes this a fresh admission instead.
+      if (!was_in_l2) insertions_.fetch_add(1, std::memory_order_relaxed);
+      result = std::move(tile);
+    } else {
+      // Too large to re-enter L1: served, but no longer resident.
+      if (was_in_l2) evictions_.fetch_add(1, std::memory_order_relaxed);
+      result = std::move(tile);
+    }
+    l2_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  return it->second.tile;
+  FinishDemotions(shard, std::move(pending));
+  return result;
 }
 
 void SharedTileCache::Insert(const tiles::TileKey& key, tiles::TilePtr tile) {
   if (tile == nullptr) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    it->second.tile = std::move(tile);
-    if (options_.eviction == EvictionPolicyKind::kLru) {
-      shard.order.splice(shard.order.end(), shard.order, it->second.order_it);
+  std::vector<PendingDemotion> pending;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.l1.find(key);
+    if (it != shard.l1.end()) {
+      // Refresh in place, then re-enforce the budget: the replacement
+      // payload may be larger than the one it displaced.
+      std::size_t bytes = tile->SizeBytes();
+      shard.l1_bytes = shard.l1_bytes - it->second.bytes + bytes;
+      if (bytes >= it->second.bytes) {
+        l1_bytes_resident_.fetch_add(bytes - it->second.bytes,
+                                     std::memory_order_relaxed);
+      } else {
+        l1_bytes_resident_.fetch_sub(it->second.bytes - bytes,
+                                     std::memory_order_relaxed);
+      }
+      it->second.tile = std::move(tile);
+      it->second.bytes = bytes;
+      if (options_.eviction == EvictionPolicyKind::kLru) {
+        shard.l1_order.splice(shard.l1_order.end(), shard.l1_order,
+                              it->second.order_it);
+      }
+      CollectL1Overflow(shard, &pending);
+    } else if (auto l2_it = shard.l2.find(key); l2_it != shard.l2.end()) {
+      // Fresh payload supersedes the compressed copy; the key stays
+      // resident (when it fits), so this is a refresh, not a new admission.
+      shard.l2_bytes -= l2_it->second.blob->size();
+      l2_bytes_resident_.fetch_sub(l2_it->second.blob->size(),
+                                   std::memory_order_relaxed);
+      shard.l2_order.erase(l2_it->second.order_it);
+      shard.l2.erase(l2_it);
+      if (!AdmitToL1(shard, key, std::move(tile), &pending)) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (AdmitToL1(shard, key, std::move(tile), &pending)) {
+      insertions_.fetch_add(1, std::memory_order_relaxed);
     }
-    return;
   }
-  while (shard.map.size() >= shard_capacity_ && !shard.order.empty()) {
-    shard.map.erase(shard.order.front());
-    shard.order.pop_front();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  auto order_it = shard.order.insert(shard.order.end(), key);
-  shard.map.emplace(key, Entry{std::move(tile), order_it});
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  FinishDemotions(shard, std::move(pending));
 }
 
 Result<tiles::TilePtr> SharedTileCache::GetOrFetch(const tiles::TileKey& key,
@@ -76,32 +272,58 @@ Result<tiles::TilePtr> SharedTileCache::GetOrFetch(const tiles::TileKey& key,
 bool SharedTileCache::Contains(const tiles::TileKey& key) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.map.find(key) != shard.map.end();
+  return shard.l1.count(key) > 0 || shard.l2.count(key) > 0;
 }
 
 void SharedTileCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    shard->map.clear();
-    shard->order.clear();
+    l1_bytes_resident_.fetch_sub(shard->l1_bytes, std::memory_order_relaxed);
+    l2_bytes_resident_.fetch_sub(shard->l2_bytes, std::memory_order_relaxed);
+    shard->l1.clear();
+    shard->l2.clear();
+    shard->l1_order.clear();
+    shard->l2_order.clear();
+    shard->l1_bytes = 0;
+    shard->l2_bytes = 0;
   }
 }
 
-std::size_t SharedTileCache::size() const {
+std::size_t SharedTileCache::size() const { return l1_size() + l2_size(); }
+
+std::size_t SharedTileCache::l1_size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->map.size();
+    total += shard->l1.size();
+  }
+  return total;
+}
+
+std::size_t SharedTileCache::l2_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->l2.size();
   }
   return total;
 }
 
 SharedTileCacheStats SharedTileCache::Stats() const {
   SharedTileCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.l1_hits = l1_hits_.load(std::memory_order_relaxed);
+  stats.l2_hits = l2_hits_.load(std::memory_order_relaxed);
+  stats.hits = stats.l1_hits + stats.l2_hits;
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.demotions = demotions_.load(std::memory_order_relaxed);
+  stats.promotions = stats.l2_hits;
+  stats.encode_ns = encode_ns_.load(std::memory_order_relaxed);
+  stats.decode_ns = decode_ns_.load(std::memory_order_relaxed);
+  stats.l1_bytes_resident = l1_bytes_resident_.load(std::memory_order_relaxed);
+  stats.l2_bytes_resident = l2_bytes_resident_.load(std::memory_order_relaxed);
+  stats.bytes_resident = stats.l1_bytes_resident + stats.l2_bytes_resident;
   return stats;
 }
 

@@ -2,14 +2,21 @@
 //
 // Paper section 6.2 leaves the multi-user setting as future work; this is
 // our answer to it. Every session keeps its small private history/prefetch
-// regions (CacheManager), but all sessions share one capacity-bounded tile
+// regions (CacheManager), but all sessions share one byte-budgeted tile
 // cache underneath, so a tile fetched for one user is a memory hit for every
 // other user exploring the same region — the DBMS sees each hot tile once,
 // not once per session.
 //
+// Memory governance is byte-accurate and two-tiered:
+//  * L1 holds decoded tiles ready to serve, bounded by `l1_bytes`.
+//  * L2 (optional) holds codec-compressed blobs of tiles demoted from L1,
+//    bounded by `l2_bytes`. An L2 hit decodes the blob, promotes the tile
+//    back into L1, and costs decode time instead of a DBMS query. Only when
+//    the L2 budget is exhausted is a tile truly evicted from the process.
+//
 // Concurrency: the key space is striped across shards, each with its own
-// mutex and eviction state, so sessions touching different regions never
-// contend. Stats are atomics aggregated across shards.
+// mutex and per-tier eviction state, so sessions touching different regions
+// never contend. Stats are atomics aggregated across shards.
 
 #ifndef FORECACHE_CORE_SHARED_TILE_CACHE_H_
 #define FORECACHE_CORE_SHARED_TILE_CACHE_H_
@@ -19,10 +26,12 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "storage/tile_codec.h"
 #include "storage/tile_store.h"
 #include "tiles/tile.h"
 #include "tiles/tile_key.h"
@@ -35,18 +44,46 @@ namespace fc::core {
 enum class EvictionPolicyKind { kLru, kFifo };
 
 struct SharedTileCacheOptions {
-  std::size_t capacity = 1024;  ///< Total tiles across all shards.
-  std::size_t num_shards = 16;  ///< Lock stripes; rounded up to at least 1.
+  /// Byte budget of the decoded (L1) tier, summed Tile::SizeBytes.
+  std::size_t l1_bytes = 64ull << 20;
+  /// Byte budget of the compressed (L2) tier, summed blob bytes. 0 disables
+  /// the tier: tiles demoted from L1 are evicted outright.
+  std::size_t l2_bytes = 0;
+  /// Lock stripes. 0 (the default) picks automatically: up to 16 shards,
+  /// but never so many that a shard's L1 slice drops below a few MiB — a
+  /// small budget degrades to fewer stripes, not to uncacheable slivers.
+  /// Explicit values are honored as-is. Budgets are ceil-divided across
+  /// shards and enforced strictly per shard: a tile larger than its
+  /// shard's slice is served but never cached, so when setting this
+  /// explicitly keep l1_bytes / num_shards comfortably above one tile.
+  std::size_t num_shards = 0;
   EvictionPolicyKind eviction = EvictionPolicyKind::kLru;
+  /// Encoding for L2 blobs. The default delta-varint quantization bounds
+  /// absolute error at quant_step/2 — set encoding = kRawF64 for a lossless
+  /// (but incompressible) warm tier.
+  storage::TileCodecOptions codec{storage::TileEncoding::kDeltaVarint, 1e-4};
 };
 
-/// Point-in-time counters. hits+misses == lookups; insertions-evictions ==
-/// resident tiles (modulo Clear).
+/// Point-in-time counters. hits == l1_hits + l2_hits; hits + misses ==
+/// lookups; insertions - evictions == resident tiles across both tiers
+/// (modulo Clear).
 struct SharedTileCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t evictions = 0;  ///< True drops out of the process.
+
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t demotions = 0;   ///< L1 -> L2 compactions.
+  std::uint64_t promotions = 0;  ///< L2 -> L1 decodes (== l2_hits).
+
+  std::uint64_t encode_ns = 0;  ///< Total time compressing demoted tiles.
+  std::uint64_t decode_ns = 0;  ///< Total time decoding L2 hits.
+
+  std::uint64_t l1_bytes_resident = 0;
+  std::uint64_t l2_bytes_resident = 0;
+  std::uint64_t bytes_resident = 0;  ///< Both tiers.
 
   double HitRate() const {
     auto total = hits + misses;
@@ -54,17 +91,17 @@ struct SharedTileCacheStats {
   }
 };
 
-/// Sharded, thread-safe tile cache with pluggable eviction.
+/// Sharded, thread-safe, byte-budgeted two-tier tile cache.
 class SharedTileCache {
  public:
   explicit SharedTileCache(SharedTileCacheOptions options = {});
 
-  /// Returns the cached tile, or null. Counts a hit/miss and (for LRU)
-  /// freshens the entry.
+  /// Returns the cached tile, or null. An L1 hit (for LRU) freshens the
+  /// entry; an L2 hit decodes the blob and promotes it back into L1.
   tiles::TilePtr Lookup(const tiles::TileKey& key);
 
-  /// Inserts (or refreshes) a tile, evicting per policy if the shard is at
-  /// capacity. Null tiles are ignored.
+  /// Inserts (or refreshes) a tile into L1, demoting/evicting per policy
+  /// until the byte budgets hold. Null tiles are ignored.
   void Insert(const tiles::TileKey& key, tiles::TilePtr tile);
 
   /// Cache-through fetch: Lookup, and on a miss fetch from `store` and
@@ -73,43 +110,98 @@ class SharedTileCache {
   Result<tiles::TilePtr> GetOrFetch(const tiles::TileKey& key,
                                     storage::TileStore* store);
 
-  /// Lookup without stats or recency side effects.
+  /// Lookup in either tier without stats, promotion, or recency effects.
   bool Contains(const tiles::TileKey& key) const;
 
   void Clear();
 
+  /// Resident tiles across both tiers.
   std::size_t size() const;
-  std::size_t capacity() const { return options_.capacity; }
+  std::size_t l1_size() const;
+  std::size_t l2_size() const;
+  std::size_t l1_budget_bytes() const { return options_.l1_bytes; }
+  std::size_t l2_budget_bytes() const { return options_.l2_bytes; }
   std::size_t num_shards() const { return shards_.size(); }
 
   SharedTileCacheStats Stats() const;
 
  private:
-  struct Entry {
+  struct L1Entry {
     tiles::TilePtr tile;
-    /// Position in Shard::order (eviction queue).
+    std::size_t bytes = 0;
+    /// Position in Shard::l1_order (eviction queue).
+    std::list<tiles::TileKey>::iterator order_it;
+  };
+
+  struct L2Entry {
+    /// Shared so a warm hit grabs a refcount under the shard lock and
+    /// decodes outside it — never an O(blob) copy behind the stripe.
+    std::shared_ptr<const std::string> blob;
+    /// Position in Shard::l2_order.
     std::list<tiles::TileKey>::iterator order_it;
   };
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<tiles::TileKey, Entry, tiles::TileKeyHash> map;
-    /// Eviction queue, front = next victim. LRU moves entries to the back on
-    /// every hit; FIFO leaves them where insertion put them.
-    std::list<tiles::TileKey> order;
+    std::unordered_map<tiles::TileKey, L1Entry, tiles::TileKeyHash> l1;
+    std::unordered_map<tiles::TileKey, L2Entry, tiles::TileKeyHash> l2;
+    /// Eviction queues, front = next victim. LRU moves L1 entries to the
+    /// back on every hit; FIFO leaves them where insertion put them. L2 is
+    /// ordered by demotion time under either policy.
+    std::list<tiles::TileKey> l1_order;
+    std::list<tiles::TileKey> l2_order;
+    std::size_t l1_bytes = 0;
+    std::size_t l2_bytes = 0;
+  };
+
+  /// A tile popped from L1 whose compression (and L2 insertion or eviction)
+  /// happens after the shard lock is released, so codec work never blocks
+  /// other threads' lookups on the shard.
+  struct PendingDemotion {
+    tiles::TileKey key;
+    tiles::TilePtr tile;
   };
 
   Shard& ShardFor(const tiles::TileKey& key);
   const Shard& ShardFor(const tiles::TileKey& key) const;
 
+  /// Places a decoded tile into a shard's L1, popping victims into
+  /// `pending` until the L1 byte budget holds. Returns false (caching
+  /// skipped) when the tile alone exceeds the shard budget. Caller holds
+  /// shard.mu and has ensured `key` is in neither tier; caller must pass
+  /// `pending` to FinishDemotions after releasing the lock.
+  bool AdmitToL1(Shard& shard, const tiles::TileKey& key, tiles::TilePtr tile,
+                 std::vector<PendingDemotion>* pending);
+
+  /// Pops L1 victims into `pending` while the shard is over its L1 budget.
+  /// Caller holds shard.mu.
+  void CollectL1Overflow(Shard& shard, std::vector<PendingDemotion>* pending);
+
+  /// Compresses pending victims (outside any lock), then re-acquires
+  /// shard.mu to land them in L2 or count their eviction. A victim whose
+  /// key re-entered the cache in the meantime is dropped as an eviction
+  /// (the newer copy owns the residency).
+  void FinishDemotions(Shard& shard, std::vector<PendingDemotion> pending);
+
+  /// Drops one L2 victim. Caller holds shard.mu; shard.l2 must be nonempty.
+  void EvictFromL2(Shard& shard);
+
   SharedTileCacheOptions options_;
-  std::size_t shard_capacity_;
+  storage::TileCodec codec_;
+  std::size_t shard_l1_bytes_;
+  std::size_t shard_l2_bytes_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> l1_hits_{0};
+  std::atomic<std::uint64_t> l2_hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> demotions_{0};
+  std::atomic<std::uint64_t> encode_ns_{0};
+  std::atomic<std::uint64_t> decode_ns_{0};
+  std::atomic<std::uint64_t> l1_bytes_resident_{0};
+  std::atomic<std::uint64_t> l2_bytes_resident_{0};
 };
 
 }  // namespace fc::core

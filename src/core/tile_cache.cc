@@ -2,19 +2,26 @@
 
 namespace fc::core {
 
-LruTileCache::LruTileCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+LruTileCache::LruTileCache(std::size_t max_bytes)
+    : max_bytes_(max_bytes == 0 ? 1 : max_bytes) {}
 
 void LruTileCache::Put(const tiles::TileKey& key, tiles::TilePtr tile) {
+  std::size_t bytes = tile == nullptr ? 0 : tile->SizeBytes();
   auto it = map_.find(key);
   if (it != map_.end()) {
+    bytes_resident_ = bytes_resident_ - it->second->bytes + bytes;
     it->second->tile = std::move(tile);
+    it->second->bytes = bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  } else {
+    lru_.push_front(Entry{key, std::move(tile), bytes});
+    map_[key] = lru_.begin();
+    bytes_resident_ += bytes;
   }
-  lru_.push_front(Entry{key, std::move(tile)});
-  map_[key] = lru_.begin();
-  while (map_.size() > capacity_) {
+  // Never evict the entry just touched: an oversized tile is held alone
+  // rather than thrashing the region empty.
+  while (bytes_resident_ > max_bytes_ && lru_.size() > 1) {
+    bytes_resident_ -= lru_.back().bytes;
     map_.erase(lru_.back().key);
     lru_.pop_back();
   }
@@ -31,6 +38,11 @@ Result<tiles::TilePtr> LruTileCache::Get(const tiles::TileKey& key) {
   return it->second->tile;
 }
 
+tiles::TilePtr LruTileCache::Peek(const tiles::TileKey& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second->tile;
+}
+
 bool LruTileCache::Contains(const tiles::TileKey& key) const {
   return map_.count(key) > 0;
 }
@@ -38,6 +50,7 @@ bool LruTileCache::Contains(const tiles::TileKey& key) const {
 void LruTileCache::Erase(const tiles::TileKey& key) {
   auto it = map_.find(key);
   if (it == map_.end()) return;
+  bytes_resident_ -= it->second->bytes;
   lru_.erase(it->second);
   map_.erase(it);
 }
@@ -45,6 +58,7 @@ void LruTileCache::Erase(const tiles::TileKey& key) {
 void LruTileCache::Clear() {
   lru_.clear();
   map_.clear();
+  bytes_resident_ = 0;
 }
 
 double LruTileCache::HitRate() const {

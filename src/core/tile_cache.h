@@ -1,6 +1,11 @@
 // Main-memory middleware tile cache (paper section 3): an LRU region for
 // the user's recently requested tiles plus a prefetch region refreshed from
 // the prediction engine's ranked list after every request.
+//
+// Regions are budgeted in BYTES, not tiles: memory is the binding resource
+// when one process serves many sessions, and tile payloads vary (edge tiles,
+// attribute counts). A region sized for n nominal tiles is budgeted as
+// n * width * height * num_attrs * sizeof(double).
 
 #ifndef FORECACHE_CORE_TILE_CACHE_H_
 #define FORECACHE_CORE_TILE_CACHE_H_
@@ -16,16 +21,23 @@
 
 namespace fc::core {
 
-/// Plain LRU cache of tile payloads with a fixed tile-count capacity.
+/// Plain LRU cache of tile payloads with a fixed byte budget.
 class LruTileCache {
  public:
-  explicit LruTileCache(std::size_t capacity);
+  /// `max_bytes` bounds the summed Tile::SizeBytes of resident tiles. A
+  /// single tile larger than the whole budget is still admitted (alone), so
+  /// the cache always makes progress.
+  explicit LruTileCache(std::size_t max_bytes);
 
-  /// Inserts/refreshes; evicts the least-recently-used tile when full.
+  /// Inserts/refreshes; evicts least-recently-used tiles until the budget
+  /// holds.
   void Put(const tiles::TileKey& key, tiles::TilePtr tile);
 
   /// Returns the tile and promotes it to most-recently-used; NotFound miss.
   Result<tiles::TilePtr> Get(const tiles::TileKey& key);
+
+  /// Lookup without LRU promotion or stats; null when absent.
+  tiles::TilePtr Peek(const tiles::TileKey& key) const;
 
   /// Lookup without LRU promotion or stats.
   bool Contains(const tiles::TileKey& key) const;
@@ -34,7 +46,9 @@ class LruTileCache {
   void Clear();
 
   std::size_t size() const { return map_.size(); }
-  std::size_t capacity() const { return capacity_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  /// Summed payload bytes of resident tiles.
+  std::size_t bytes_resident() const { return bytes_resident_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -47,9 +61,11 @@ class LruTileCache {
   struct Entry {
     tiles::TileKey key;
     tiles::TilePtr tile;
+    std::size_t bytes = 0;
   };
 
-  std::size_t capacity_;
+  std::size_t max_bytes_;
+  std::size_t bytes_resident_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<tiles::TileKey, std::list<Entry>::iterator, tiles::TileKeyHash>
       map_;

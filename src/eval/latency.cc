@@ -38,9 +38,12 @@ Result<LatencyReport> ReplayLatencyForUser(const sim::Study& study,
   array::QueryCostModel hit_model(options.costs, options.seed + 1);
   storage::SimulatedDbmsStore store(study.dataset.pyramid, miss_model, &clock);
 
+  // Region budgets are bytes; size them in units of this dataset's tiles so
+  // the replay matches the paper's tile-count semantics exactly.
+  const std::size_t tile_bytes = study.dataset.pyramid->NominalTileBytes();
   core::CacheManagerOptions cache_opts;
-  cache_opts.history_capacity = options.history_capacity;
-  cache_opts.prefetch_capacity = options.predictor.k;
+  cache_opts.history_bytes = options.history_tiles * tile_bytes;
+  cache_opts.prefetch_bytes = options.predictor.k * tile_bytes;
   core::CacheManager cache(&store, cache_opts);
 
   LatencyReport report;

@@ -20,10 +20,12 @@ struct LatencyReplayOptions {
 
   bool prefetching_enabled = true;
 
-  /// History-LRU capacity. The paper's latency measurements reflect
-  /// prefetch hits only (Figure 12's tight linearity), so the default keeps
-  /// just the tile being viewed; raise it to study revisit-caching effects.
-  std::size_t history_capacity = 1;
+  /// History-LRU size in nominal tiles (converted to the cache manager's
+  /// byte budget using the dataset's tile size). The paper's latency
+  /// measurements reflect prefetch hits only (Figure 12's tight linearity),
+  /// so the default keeps just the tile being viewed; raise it to study
+  /// revisit-caching effects.
+  std::size_t history_tiles = 1;
 
   array::CostModelOptions costs = array::CalibratedPaperCosts();
   std::uint64_t seed = 97;

@@ -1,13 +1,26 @@
 #include "storage/tile_codec.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
+#include <vector>
 
 namespace fc::storage {
 
 namespace {
 
 constexpr char kMagic[4] = {'F', 'C', 'T', 'L'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+
+// FNV-1a 64-bit over the blob contents; appended as the trailing 8 bytes.
+std::uint64_t Fnv1a(const char* data, std::size_t len) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 void AppendRaw(std::string* out, const void* data, std::size_t len) {
   out->append(static_cast<const char*>(data), len);
@@ -16,6 +29,36 @@ void AppendRaw(std::string* out, const void* data, std::size_t len) {
 template <typename T>
 void AppendValue(std::string* out, T value) {
   AppendRaw(out, &value, sizeof(T));
+}
+
+void AppendVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// Deltas between quanta are computed in uint64: two saturated quanta at
+// opposite lattice bounds differ by 2^63, which overflows int64 (UB) but
+// wraps cleanly in unsigned arithmetic — and the decode-side addition wraps
+// back by the same modulus, so round trips are exact.
+std::uint64_t WrappingDelta(std::int64_t q, std::int64_t prev) {
+  return static_cast<std::uint64_t>(q) - static_cast<std::uint64_t>(prev);
+}
+
+std::int64_t WrappingAdd(std::int64_t prev, std::int64_t delta) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(prev) +
+                                   static_cast<std::uint64_t>(delta));
 }
 
 class Reader {
@@ -46,6 +89,18 @@ class Reader {
     return s;
   }
 
+  Result<std::uint64_t> ReadVarint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= bytes_.size()) return Status::Corruption("varint truncated");
+      auto byte = static_cast<unsigned char>(bytes_[pos_++]);
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    return Status::Corruption("varint overlong");
+  }
+
+  std::size_t pos() const { return pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
  private:
@@ -53,13 +108,154 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+// Quantized value domain for kDeltaVarint: clamp before llround so extreme
+// values cannot overflow the int64 lattice (infinities saturate). NaN has
+// no lattice point and would be undefined behavior in llround; it maps to
+// 0 — kDeltaVarint is for finite rasters, use a lossless encoding when
+// non-finite cells must survive.
+constexpr double kMaxQuantum = 4.611686018427387904e18;  // 2^62
+
+std::int64_t Quantize(double v, double step) {
+  if (std::isnan(v)) return 0;
+  double q = v / step;
+  if (q > kMaxQuantum) q = kMaxQuantum;
+  if (q < -kMaxQuantum) q = -kMaxQuantum;
+  return std::llround(q);
+}
+
+// Finite doubles beyond float range must saturate explicitly: the bare
+// static_cast is undefined behavior for them ([conv.double]). NaN and the
+// infinities are representable in float and pass through.
+float ToFloatSaturating(double v) {
+  if (std::isfinite(v)) {
+    if (v > std::numeric_limits<float>::max()) {
+      return std::numeric_limits<float>::max();
+    }
+    if (v < std::numeric_limits<float>::lowest()) {
+      return std::numeric_limits<float>::lowest();
+    }
+  }
+  return static_cast<float>(v);
+}
+
+void EncodePayload(const tiles::Tile& tile, const TileCodecOptions& options,
+                   std::string* out) {
+  switch (options.encoding) {
+    case TileEncoding::kRawF64:
+      for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
+        const auto& data = tile.AttrData(a);
+        AppendRaw(out, data.data(), data.size() * sizeof(double));
+      }
+      return;
+    case TileEncoding::kFloat32:
+      for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
+        for (double v : tile.AttrData(a)) {
+          AppendValue(out, ToFloatSaturating(v));
+        }
+      }
+      return;
+    case TileEncoding::kDeltaVarint:
+      for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
+        std::string attr;
+        attr.reserve(tile.AttrData(a).size() * 2);
+        std::int64_t prev = 0;
+        for (double v : tile.AttrData(a)) {
+          std::int64_t q = Quantize(v, options.quant_step);
+          AppendVarint(&attr,
+                       ZigZag(static_cast<std::int64_t>(WrappingDelta(q, prev))));
+          prev = q;
+        }
+        AppendValue(out, static_cast<std::uint64_t>(attr.size()));
+        out->append(attr);
+      }
+      return;
+  }
+}
+
+Status DecodePayload(Reader* reader, TileEncoding encoding, double quant_step,
+                     tiles::Tile* tile) {
+  switch (encoding) {
+    case TileEncoding::kRawF64:
+      for (std::size_t a = 0; a < tile->num_attrs(); ++a) {
+        auto& buf = tile->MutableAttrData(a);
+        FC_RETURN_IF_ERROR(
+            reader->ReadRaw(buf.data(), buf.size() * sizeof(double)));
+      }
+      return Status::OK();
+    case TileEncoding::kFloat32:
+      for (std::size_t a = 0; a < tile->num_attrs(); ++a) {
+        for (auto& v : tile->MutableAttrData(a)) {
+          FC_ASSIGN_OR_RETURN(auto f, reader->ReadValue<float>());
+          v = static_cast<double>(f);
+        }
+      }
+      return Status::OK();
+    case TileEncoding::kDeltaVarint:
+      if (!(quant_step > 0.0)) {
+        return Status::Corruption("non-positive quantization step");
+      }
+      for (std::size_t a = 0; a < tile->num_attrs(); ++a) {
+        FC_ASSIGN_OR_RETURN(auto attr_len, reader->ReadValue<std::uint64_t>());
+        std::size_t attr_end = reader->pos() + attr_len;
+        std::int64_t prev = 0;
+        for (auto& v : tile->MutableAttrData(a)) {
+          FC_ASSIGN_OR_RETURN(auto z, reader->ReadVarint());
+          prev = WrappingAdd(prev, UnZigZag(z));
+          v = static_cast<double>(prev) * quant_step;
+        }
+        if (reader->pos() != attr_end) {
+          return Status::Corruption("delta-varint attribute length mismatch");
+        }
+      }
+      return Status::OK();
+  }
+  return Status::Corruption("unknown tile encoding");
+}
+
+/// Reads and validates magic | version | encoding. Checked before the
+/// checksum so a format-v1 blob fails as "unsupported tile version", not as
+/// phantom corruption.
+Result<TileEncoding> ReadHeaderPrefix(Reader* reader) {
+  char magic[4];
+  FC_RETURN_IF_ERROR(reader->ReadRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad tile magic");
+  }
+  FC_ASSIGN_OR_RETURN(auto version, reader->ReadValue<std::uint32_t>());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported tile version");
+  }
+  FC_ASSIGN_OR_RETURN(auto encoding, reader->ReadValue<std::uint8_t>());
+  if (encoding > static_cast<std::uint8_t>(TileEncoding::kDeltaVarint)) {
+    return Status::Corruption("unknown tile encoding");
+  }
+  return static_cast<TileEncoding>(encoding);
+}
+
 }  // namespace
 
-std::string EncodeTile(const tiles::Tile& tile) {
+const char* TileEncodingName(TileEncoding encoding) {
+  switch (encoding) {
+    case TileEncoding::kRawF64:
+      return "raw_f64";
+    case TileEncoding::kFloat32:
+      return "float32";
+    case TileEncoding::kDeltaVarint:
+      return "delta_varint";
+  }
+  return "unknown";
+}
+
+TileCodec::TileCodec(TileCodecOptions options) : options_(options) {
+  if (!(options_.quant_step > 0.0)) options_.quant_step = 1e-4;
+}
+
+std::string TileCodec::Encode(const tiles::Tile& tile) const {
   std::string out;
   out.reserve(64 + tile.SizeBytes());
   AppendRaw(&out, kMagic, sizeof(kMagic));
   AppendValue(&out, kVersion);
+  AppendValue(&out, static_cast<std::uint8_t>(options_.encoding));
   AppendValue(&out, static_cast<std::int32_t>(tile.key().level));
   AppendValue(&out, tile.key().x);
   AppendValue(&out, tile.key().y);
@@ -70,24 +266,36 @@ std::string EncodeTile(const tiles::Tile& tile) {
     AppendValue(&out, static_cast<std::uint32_t>(name.size()));
     AppendRaw(&out, name.data(), name.size());
   }
-  for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
-    const auto& data = tile.AttrData(a);
-    AppendRaw(&out, data.data(), data.size() * sizeof(double));
+  if (options_.encoding == TileEncoding::kDeltaVarint) {
+    AppendValue(&out, options_.quant_step);
   }
+  EncodePayload(tile, options_, &out);
+  AppendValue(&out, Fnv1a(out.data(), out.size()));
   return out;
 }
 
-Result<tiles::Tile> DecodeTile(const std::string& bytes) {
+Result<TileEncoding> TileCodec::PeekEncoding(const std::string& bytes) {
   Reader reader(bytes);
-  char magic[4];
-  FC_RETURN_IF_ERROR(reader.ReadRaw(magic, sizeof(magic)));
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad tile magic");
+  return ReadHeaderPrefix(&reader);
+}
+
+Result<tiles::Tile> TileCodec::Decode(const std::string& bytes) {
+  Reader reader(bytes);
+  FC_ASSIGN_OR_RETURN(auto encoding, ReadHeaderPrefix(&reader));
+
+  // With the format structurally identified, verify the trailing checksum
+  // before trusting the rest: it catches mid-blob corruption the field
+  // checks below would misparse.
+  if (bytes.size() < reader.pos() + sizeof(std::uint64_t)) {
+    return Status::Corruption("tile blob truncated");
   }
-  FC_ASSIGN_OR_RETURN(auto version, reader.ReadValue<std::uint32_t>());
-  if (version != kVersion) {
-    return Status::Corruption("unsupported tile version");
+  std::size_t body_len = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored;
+  std::memcpy(&stored, bytes.data() + body_len, sizeof(stored));
+  if (stored != Fnv1a(bytes.data(), body_len)) {
+    return Status::Corruption("tile checksum mismatch");
   }
+
   FC_ASSIGN_OR_RETURN(auto level, reader.ReadValue<std::int32_t>());
   FC_ASSIGN_OR_RETURN(auto x, reader.ReadValue<std::int64_t>());
   FC_ASSIGN_OR_RETURN(auto y, reader.ReadValue<std::int64_t>());
@@ -103,18 +311,29 @@ Result<tiles::Tile> DecodeTile(const std::string& bytes) {
     FC_ASSIGN_OR_RETURN(auto name, reader.ReadString());
     names.push_back(std::move(name));
   }
-  auto tile_result = tiles::Tile::Make(
-      tiles::TileKey{level, x, y}, width, height, std::move(names));
+  double quant_step = 0.0;
+  if (encoding == TileEncoding::kDeltaVarint) {
+    FC_ASSIGN_OR_RETURN(quant_step, reader.ReadValue<double>());
+  }
+  auto tile_result = tiles::Tile::Make(tiles::TileKey{level, x, y}, width,
+                                       height, std::move(names));
   if (!tile_result.ok()) {
     return tile_result.status().WithContext("decoding tile");
   }
   tiles::Tile tile = std::move(tile_result).value();
-  for (std::uint32_t a = 0; a < nattr; ++a) {
-    auto& buf = tile.MutableAttrData(a);
-    FC_RETURN_IF_ERROR(reader.ReadRaw(buf.data(), buf.size() * sizeof(double)));
+  FC_RETURN_IF_ERROR(DecodePayload(&reader, encoding, quant_step, &tile));
+  if (reader.pos() != body_len) {
+    return Status::Corruption("trailing bytes after tile payload");
   }
-  if (!reader.AtEnd()) return Status::Corruption("trailing bytes after tile");
   return tile;
+}
+
+std::string EncodeTile(const tiles::Tile& tile) {
+  return TileCodec({TileEncoding::kRawF64}).Encode(tile);
+}
+
+Result<tiles::Tile> DecodeTile(const std::string& bytes) {
+  return TileCodec::Decode(bytes);
 }
 
 }  // namespace fc::storage

@@ -1,13 +1,35 @@
-// Binary serialization for tiles (the on-disk format of DiskTileStore).
+// Tile serialization with pluggable payload encodings — the on-disk format
+// of DiskTileStore and the compression engine of the shared cache's L2 tier.
 //
-// Layout (little-endian):
-//   magic "FCTL" | u32 version | i32 level | i64 x | i64 y
-//   | i64 width | i64 height | u32 nattr
-//   | nattr x { u32 name_len | bytes } | nattr x (width*height) f64
+// Layout (little-endian), format version 2:
+//   magic "FCTL" | u32 version | u8 encoding
+//   | i32 level | i64 x | i64 y | i64 width | i64 height | u32 nattr
+//   | nattr x { u32 name_len | bytes }
+//   | [f64 quant_step when encoding == kDeltaVarint]
+//   | per-attribute payload (encoding-specific, see below)
+//   | u64 FNV-1a checksum over every preceding byte
+//
+// Payloads:
+//   kRawF64      — width*height f64 per attribute; lossless, bit-exact.
+//   kFloat32     — width*height f32 per attribute; halves the bytes, error
+//                  bounded by one double->float rounding. Finite values
+//                  beyond float range saturate at +/-FLT_MAX.
+//   kDeltaVarint — values quantized to multiples of quant_step, then
+//                  delta-coded and zigzag/LEB128 varint-packed per attribute
+//                  (u64 byte length prefix). Smooth rasters compress to a
+//                  byte or two per cell; absolute error <= quant_step / 2
+//                  within the representable range |v| <= 2^62 * quant_step.
+//                  Outside it values saturate to the lattice bounds, NaN
+//                  decodes as 0, and infinities saturate — use a lossless
+//                  encoding when any of that matters.
+//
+// The encoding is recorded in the blob, so Decode is self-describing: any
+// TileCodec (or the free DecodeTile) can read any encoding's output.
 
 #ifndef FORECACHE_STORAGE_TILE_CODEC_H_
 #define FORECACHE_STORAGE_TILE_CODEC_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -15,10 +37,58 @@
 
 namespace fc::storage {
 
-/// Serializes a tile to a byte string.
-std::string EncodeTile(const tiles::Tile& tile);
+enum class TileEncoding : std::uint8_t {
+  kRawF64 = 0,
+  kFloat32 = 1,
+  kDeltaVarint = 2,
+};
 
-/// Parses a byte string produced by EncodeTile. Corruption on any mismatch.
+const char* TileEncodingName(TileEncoding encoding);
+
+struct TileCodecOptions {
+  TileEncoding encoding = TileEncoding::kRawF64;
+
+  /// Quantization step for kDeltaVarint (ignored otherwise). Decoded values
+  /// land on multiples of this step, so it bounds the absolute error at
+  /// step/2. Must be > 0.
+  double quant_step = 1e-4;
+};
+
+/// Encodes tiles per the configured options; decodes blobs of any encoding.
+class TileCodec {
+ public:
+  explicit TileCodec(TileCodecOptions options = {});
+
+  const TileCodecOptions& options() const { return options_; }
+
+  /// True when Encode -> Decode reproduces every cell bit-exactly.
+  bool lossless() const { return options_.encoding == TileEncoding::kRawF64; }
+
+  /// Worst-case absolute per-cell error of this codec's quantized encoding
+  /// for values within kDeltaVarint's representable range (see the format
+  /// notes above; values beyond |v| <= 2^62 * quant_step saturate). 0 for
+  /// lossless; kFloat32 error is value-dependent and not covered.
+  double MaxAbsError() const {
+    return options_.encoding == TileEncoding::kDeltaVarint
+               ? options_.quant_step / 2.0
+               : 0.0;
+  }
+
+  std::string Encode(const tiles::Tile& tile) const;
+
+  /// Parses a blob produced by any TileCodec. Corruption on truncation,
+  /// header damage, or checksum mismatch.
+  static Result<tiles::Tile> Decode(const std::string& bytes);
+
+  /// The encoding recorded in a blob's header, without a full decode.
+  static Result<TileEncoding> PeekEncoding(const std::string& bytes);
+
+ private:
+  TileCodecOptions options_;
+};
+
+/// Back-compatible helpers: lossless raw-f64 encode, self-describing decode.
+std::string EncodeTile(const tiles::Tile& tile);
 Result<tiles::Tile> DecodeTile(const std::string& bytes);
 
 }  // namespace fc::storage

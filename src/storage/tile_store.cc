@@ -60,11 +60,13 @@ const tiles::PyramidSpec& SimulatedDbmsStore::spec() const {
 // ---------------------------------------------------------------------------
 // DiskTileStore
 
-DiskTileStore::DiskTileStore(std::string directory, tiles::PyramidSpec spec)
-    : directory_(std::move(directory)), spec_(spec) {}
+DiskTileStore::DiskTileStore(std::string directory, tiles::PyramidSpec spec,
+                             TileCodecOptions codec)
+    : directory_(std::move(directory)), spec_(spec), codec_(codec) {}
 
 Result<std::unique_ptr<DiskTileStore>> DiskTileStore::Open(std::string directory,
-                                                           tiles::PyramidSpec spec) {
+                                                           tiles::PyramidSpec spec,
+                                                           TileCodecOptions codec) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
@@ -72,7 +74,7 @@ Result<std::unique_ptr<DiskTileStore>> DiskTileStore::Open(std::string directory
                            ec.message());
   }
   return std::unique_ptr<DiskTileStore>(
-      new DiskTileStore(std::move(directory), spec));
+      new DiskTileStore(std::move(directory), spec, codec));
 }
 
 std::string DiskTileStore::PathFor(const tiles::TileKey& key) const {
@@ -84,7 +86,7 @@ Status DiskTileStore::Save(const tiles::Tile& tile) {
   std::string path = PathFor(tile.key());
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  std::string bytes = EncodeTile(tile);
+  std::string bytes = codec_.Encode(tile);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.flush();
   if (!out) return Status::IoError("write failed: " + path);

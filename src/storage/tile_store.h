@@ -25,6 +25,7 @@
 #include "array/cost_model.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
+#include "storage/tile_codec.h"
 #include "tiles/pyramid.h"
 #include "tiles/tile.h"
 #include "tiles/tile_key.h"
@@ -98,8 +99,11 @@ class SimulatedDbmsStore : public TileStore {
 class DiskTileStore : public TileStore {
  public:
   /// Creates the directory if needed; Save writes tiles, Fetch reads them.
+  /// `codec` picks the on-disk encoding for newly saved tiles; reads are
+  /// self-describing, so a store can hold a mix of encodings.
   static Result<std::unique_ptr<DiskTileStore>> Open(std::string directory,
-                                                     tiles::PyramidSpec spec);
+                                                     tiles::PyramidSpec spec,
+                                                     TileCodecOptions codec = {});
 
   /// Persists one tile (overwrites).
   Status Save(const tiles::Tile& tile);
@@ -116,10 +120,12 @@ class DiskTileStore : public TileStore {
   std::string PathFor(const tiles::TileKey& key) const;
 
  private:
-  DiskTileStore(std::string directory, tiles::PyramidSpec spec);
+  DiskTileStore(std::string directory, tiles::PyramidSpec spec,
+                TileCodecOptions codec);
 
   std::string directory_;
   tiles::PyramidSpec spec_;
+  TileCodec codec_;
   std::atomic<std::uint64_t> fetches_{0};
 };
 

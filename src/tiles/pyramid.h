@@ -42,6 +42,14 @@ class TilePyramid {
   /// Total bytes across tile payloads.
   std::size_t SizeBytes() const;
 
+  /// Payload bytes of one full-size (non-edge) tile — the unit for sizing
+  /// byte-budgeted caches in "number of nominal tiles".
+  std::size_t NominalTileBytes() const {
+    return static_cast<std::size_t>(spec_.tile_width) *
+           static_cast<std::size_t>(spec_.tile_height) * attr_names_.size() *
+           sizeof(double);
+  }
+
  private:
   friend class TilePyramidBuilder;
 

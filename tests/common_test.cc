@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <limits>
 #include <set>
 
 #include "common/csv.h"
+#include "common/json_writer.h"
 #include "common/math_utils.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -354,6 +357,55 @@ TEST(SeedTest, HashSeedMixes) {
 
 TEST(SeedTest, CombineOrderSensitive) {
   EXPECT_NE(CombineSeeds(1, 2), CombineSeeds(2, 1));
+}
+
+
+// ---------------------------------------------------------------------------
+// JSON writer
+
+TEST(JsonWriterTest, EmitsNestedStructures) {
+  auto root = JsonValue::Object();
+  root.Set("bench", "demo");
+  root.Set("count", std::size_t{3});
+  root.Set("rate", 0.25);
+  root.Set("ok", true);
+  root.Set("missing", JsonValue());
+  auto rows = JsonValue::Array();
+  rows.Push(JsonValue::Object().Set("k", 1).Set("v", "a"));
+  rows.Push(JsonValue::Object().Set("k", 2).Set("v", "b"));
+  root.Set("rows", std::move(rows));
+
+  std::string compact = root.Dump(/*indent=*/0);
+  EXPECT_EQ(compact,
+            "{\"bench\":\"demo\",\"count\":3,\"rate\":0.25,\"ok\":true,"
+            "\"missing\":null,\"rows\":[{\"k\":1,\"v\":\"a\"},"
+            "{\"k\":2,\"v\":\"b\"}]}");
+  // Pretty output keeps the same content plus whitespace.
+  EXPECT_NE(root.Dump().find("\"bench\": \"demo\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, EscapesStringsAndReplacesNonFinite) {
+  auto root = JsonValue::Object();
+  root.Set("quote", "a\"b\\c\nd");
+  root.Set("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(root.Dump(0), "{\"quote\":\"a\\\"b\\\\c\\nd\",\"inf\":null}");
+}
+
+TEST(JsonWriterTest, SetReplacesExistingKeyInPlace) {
+  auto root = JsonValue::Object();
+  root.Set("a", 1).Set("b", 2).Set("a", 3);
+  EXPECT_EQ(root.Dump(0), "{\"a\":3,\"b\":2}");
+}
+
+TEST(JsonWriterTest, WriteJsonFileRoundTrips) {
+  std::string path = testing::TempDir() + "/fc_json_writer_test.json";
+  auto root = JsonValue::Object();
+  root.Set("x", 42);
+  ASSERT_TRUE(WriteJsonFile(path, root).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "{\n  \"x\": 42\n}\n");
 }
 
 }  // namespace

@@ -252,7 +252,8 @@ TEST(MultiSessionStressTest, ConcurrentReplayMatchesSingleThreaded) {
   SessionManagerOptions options;
   options.executor_threads = kThreads;
   options.use_shared_cache = true;
-  options.shared_cache.capacity = 4096;  // no evictions during the test
+  // Effectively unbounded: no evictions or demotions during the test.
+  options.shared_cache.l1_bytes = 64ull << 20;
   options.single_flight = true;
   SessionManager manager(&concurrent_store, &concurrent_clock, shared, options);
 
@@ -299,6 +300,66 @@ TEST(MultiSessionStressTest, ConcurrentReplayMatchesSingleThreaded) {
   EXPECT_EQ(stats.evictions, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// L1/L2 tier churn under contention: many threads hammering a byte budget
+// small enough that every insert demotes and most hits promote. Run under
+// TSan in CI; here the checks are conservation invariants and payload
+// integrity after sustained concurrent demote/promote/evict churn.
+
+TEST(MultiSessionStressTest, TieredCacheSurvivesConcurrentPromotionChurn) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  core::SharedTileCacheOptions options;
+  // Room for only ~4 decoded and a few compressed tiles across 2 shards:
+  // constant demotion and promotion traffic.
+  options.l1_bytes = 4 * 8 * 8 * sizeof(double);
+  options.l2_bytes = 2 * 8 * 8 * sizeof(double);
+  options.num_shards = 2;
+  options.codec = {storage::TileEncoding::kDeltaVarint, 1e-6};
+  core::SharedTileCache cache(options);
+
+  const auto keys = pyramid->spec().AllKeys();  // working set >> budget
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> served{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(/*seed=*/900 + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto& key =
+            keys[rng.UniformUint32(static_cast<std::uint32_t>(keys.size()))];
+        auto tile = cache.GetOrFetch(key, &store);
+        ASSERT_TRUE(tile.ok());
+        ASSERT_NE(*tile, nullptr);
+        // Promotion decodes a compressed blob: the payload must still be
+        // the right tile, whatever interleaving produced it.
+        ASSERT_EQ((*tile)->key(), key);
+        ASSERT_EQ((*tile)->num_attrs(), 1u);
+        served.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(served.load(), static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  auto stats = cache.Stats();
+  // The budget is tiny, so the churn actually exercised both tiers.
+  EXPECT_GT(stats.demotions, 0u);
+  EXPECT_GT(stats.l2_hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  // Conservation across both tiers after the dust settles.
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+  EXPECT_EQ(stats.hits, stats.l1_hits + stats.l2_hits);
+  EXPECT_EQ(stats.hits + stats.misses, served.load());
+  // Byte accounting: resident bytes within the (per-shard ceil-divided)
+  // budgets, and zero only if the cache is empty.
+  EXPECT_LE(stats.l1_bytes_resident, options.l1_bytes + 8 * 8 * sizeof(double));
+  EXPECT_GT(stats.bytes_resident, 0u);
+}
+
 /// Aggregate effect test: overlapping traces through the shared cache must
 /// produce a strictly better aggregate hit rate than private-only sessions.
 TEST(MultiSessionStressTest, SharedCacheBeatsPrivateOnOverlappingTraces) {
@@ -335,7 +396,7 @@ TEST(MultiSessionStressTest, SharedCacheBeatsPrivateOnOverlappingTraces) {
     SessionManagerOptions options;
     options.executor_threads = 4;
     options.use_shared_cache = use_shared_cache;
-    options.shared_cache.capacity = 4096;
+    options.shared_cache.l1_bytes = 64ull << 20;
     options.single_flight = true;
     auto manager =
         std::make_unique<SessionManager>(store, &clock, shared, options);

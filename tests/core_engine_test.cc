@@ -229,8 +229,11 @@ tiles::TilePtr DummyTile(tiles::TileKey key) {
   return std::make_shared<const tiles::Tile>(std::move(*tile));
 }
 
+/// Payload bytes of one DummyTile — budgets below are "N dummy tiles".
+constexpr std::size_t kDummyTileBytes = 2 * 2 * sizeof(double);
+
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
-  LruTileCache cache(2);
+  LruTileCache cache(2 * kDummyTileBytes);
   cache.Put({0, 0, 0}, DummyTile({0, 0, 0}));
   cache.Put({1, 0, 0}, DummyTile({1, 0, 0}));
   ASSERT_TRUE(cache.Get({0, 0, 0}).ok());  // promote {0,0,0}
@@ -242,7 +245,7 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
 }
 
 TEST(LruCacheTest, HitMissStats) {
-  LruTileCache cache(4);
+  LruTileCache cache(4 * kDummyTileBytes);
   cache.Put({0, 0, 0}, DummyTile({0, 0, 0}));
   EXPECT_TRUE(cache.Get({0, 0, 0}).ok());
   EXPECT_FALSE(cache.Get({1, 0, 0}).ok());
@@ -252,7 +255,7 @@ TEST(LruCacheTest, HitMissStats) {
 }
 
 TEST(LruCacheTest, PutRefreshesExisting) {
-  LruTileCache cache(2);
+  LruTileCache cache(2 * kDummyTileBytes);
   cache.Put({0, 0, 0}, DummyTile({0, 0, 0}));
   cache.Put({1, 0, 0}, DummyTile({1, 0, 0}));
   cache.Put({0, 0, 0}, DummyTile({0, 0, 0}));  // refresh, not duplicate
@@ -262,7 +265,7 @@ TEST(LruCacheTest, PutRefreshesExisting) {
 }
 
 TEST(LruCacheTest, EraseAndClear) {
-  LruTileCache cache(4);
+  LruTileCache cache(4 * kDummyTileBytes);
   cache.Put({0, 0, 0}, DummyTile({0, 0, 0}));
   cache.Erase({0, 0, 0});
   EXPECT_FALSE(cache.Contains({0, 0, 0}));
@@ -272,10 +275,11 @@ TEST(LruCacheTest, EraseAndClear) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
-TEST(LruCacheTest, ZeroCapacityClampedToOne) {
+TEST(LruCacheTest, ZeroBudgetStillAdmitsOneTile) {
   LruTileCache cache(0);
   cache.Put({0, 0, 0}, DummyTile({0, 0, 0}));
-  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.size(), 1u);  // oversized entries are held alone
+  EXPECT_EQ(cache.bytes_resident(), kDummyTileBytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -314,7 +318,7 @@ TEST(CacheManagerTest, PrefetchRespectsCapacity) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
   CacheManagerOptions options;
-  options.prefetch_capacity = 2;
+  options.prefetch_bytes = 2 * 8 * 8 * sizeof(double);  // two 8x8 tiles
   CacheManager manager(&store, options);
   ASSERT_TRUE(
       manager.Prefetch({{2, 0, 0}, {2, 1, 0}, {2, 2, 0}, {2, 3, 0}}).ok());

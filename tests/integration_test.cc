@@ -48,7 +48,8 @@ TEST(IntegrationTest, EndToEndHybridSessionBeatsColdDbms) {
   storage::SimulatedDbmsStore store(pyramid, array::QueryCostModel(costs, 3),
                                     &clock);
   server::ServerOptions server_options;
-  server_options.cache.history_capacity = 1;
+  server_options.cache.history_bytes =
+      study.dataset.pyramid->NominalTileBytes();  // just the viewed tile
   server::ForeCacheServer server(&store, &engine, &clock, server_options);
 
   double with_prefetch = 0.0;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
@@ -227,13 +229,191 @@ TEST(CodecPropertyTest, RandomTilesRoundTrip) {
   }
 }
 
+// Every encoding round-trips randomized tiles (edge-sized, multi-attribute)
+// within its documented error bound; lossless modes are bit-exact.
+TEST(CodecPropertyTest, AllEncodingsRoundTripWithinTolerance) {
+  Rng rng(91);
+  const std::vector<storage::TileCodecOptions> codecs = {
+      {storage::TileEncoding::kRawF64},
+      {storage::TileEncoding::kFloat32},
+      {storage::TileEncoding::kDeltaVarint, 1e-6},
+      {storage::TileEncoding::kDeltaVarint, 1e-2},
+  };
+  for (const auto& options : codecs) {
+    storage::TileCodec codec(options);
+    for (int trial = 0; trial < 20; ++trial) {
+      // Dimension 1 exercises the degenerate edge-tile shape.
+      auto w = static_cast<std::int64_t>(rng.UniformInt(1, 24));
+      auto h = static_cast<std::int64_t>(rng.UniformInt(1, 24));
+      std::size_t nattr = static_cast<std::size_t>(rng.UniformInt(1, 5));
+      std::vector<std::string> names;
+      for (std::size_t a = 0; a < nattr; ++a) {
+        names.push_back("attr" + std::to_string(a));
+      }
+      auto tile = tiles::Tile::Make(
+          tiles::TileKey{rng.UniformInt(0, 8), rng.UniformInt(0, 100),
+                         rng.UniformInt(0, 100)},
+          w, h, names);
+      ASSERT_TRUE(tile.ok());
+      for (std::size_t a = 0; a < nattr; ++a) {
+        for (auto& v : tile->MutableAttrData(a)) v = rng.Gaussian(0, 10);
+      }
+      auto bytes = codec.Encode(*tile);
+      auto peeked = storage::TileCodec::PeekEncoding(bytes);
+      ASSERT_TRUE(peeked.ok());
+      EXPECT_EQ(*peeked, options.encoding);
+      auto back = storage::TileCodec::Decode(bytes);
+      ASSERT_TRUE(back.ok()) << back.status();
+      EXPECT_EQ(back->key(), tile->key());
+      EXPECT_EQ(back->attr_names(), tile->attr_names());
+      for (std::size_t a = 0; a < nattr; ++a) {
+        const auto& original = tile->AttrData(a);
+        const auto& decoded = back->AttrData(a);
+        ASSERT_EQ(decoded.size(), original.size());
+        for (std::size_t i = 0; i < original.size(); ++i) {
+          switch (options.encoding) {
+            case storage::TileEncoding::kRawF64:
+              EXPECT_EQ(decoded[i], original[i]);
+              break;
+            case storage::TileEncoding::kFloat32:
+              // Exactly one double->float->double rounding.
+              EXPECT_EQ(decoded[i],
+                        static_cast<double>(static_cast<float>(original[i])));
+              break;
+            case storage::TileEncoding::kDeltaVarint:
+              // Quantization lattice: half a step, plus fp slack from the
+              // integer * step reconstruction.
+              EXPECT_NEAR(decoded[i], original[i],
+                          codec.MaxAbsError() * (1.0 + 1e-9) + 1e-12);
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Non-finite cells: lossless encodings preserve them bit-exactly; the
+// quantized encoding saturates infinities and maps NaN to 0 (documented —
+// llround on NaN would otherwise be undefined behavior).
+TEST(CodecPropertyTest, NonFiniteValuesHaveDefinedBehavior) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto tile = tiles::Tile::Make({0, 0, 0}, 2, 2, {"v"});
+  ASSERT_TRUE(tile.ok());
+  tile->Set(0, 0, 0, nan);
+  tile->Set(0, 1, 0, inf);
+  tile->Set(0, 0, 1, -inf);
+  tile->Set(0, 1, 1, 1.5);
+
+  auto raw = storage::TileCodec({storage::TileEncoding::kRawF64}).Encode(*tile);
+  auto back = storage::TileCodec::Decode(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(std::isnan(back->At(0, 0, 0)));
+  EXPECT_EQ(back->At(0, 1, 0), inf);
+
+  const double step = 0.5;
+  auto quantized =
+      storage::TileCodec({storage::TileEncoding::kDeltaVarint, step}).Encode(*tile);
+  back = storage::TileCodec::Decode(quantized);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->At(0, 0, 0), 0.0);             // NaN -> 0
+  EXPECT_TRUE(std::isfinite(back->At(0, 1, 0)));  // Inf saturates
+  EXPECT_GT(back->At(0, 1, 0), 1e18);
+  EXPECT_LT(back->At(0, 0, 1), -1e18);
+  EXPECT_NEAR(back->At(0, 1, 1), 1.5, step / 2 + 1e-9);
+
+  // kFloat32: NaN/Inf pass through; finite values beyond float range
+  // saturate at +/-FLT_MAX instead of hitting the narrowing-cast UB.
+  tile->Set(0, 1, 1, 1e300);
+  auto narrowed =
+      storage::TileCodec({storage::TileEncoding::kFloat32}).Encode(*tile);
+  back = storage::TileCodec::Decode(narrowed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(std::isnan(back->At(0, 0, 0)));
+  EXPECT_EQ(back->At(0, 1, 0), inf);
+  EXPECT_EQ(back->At(0, 0, 1), -inf);
+  EXPECT_EQ(back->At(0, 1, 1),
+            static_cast<double>(std::numeric_limits<float>::max()));
+}
+
+// Consecutive cells saturating at opposite lattice bounds produce a delta
+// of 2^63 — representable only via wrapping arithmetic. The round trip
+// must be exact (both cells land on the saturation bound), with no UB.
+TEST(CodecPropertyTest, OppositeSaturationDeltasRoundTrip) {
+  const double step = 1e-4;
+  auto tile = tiles::Tile::Make({0, 0, 0}, 3, 1, {"v"});
+  ASSERT_TRUE(tile.ok());
+  tile->Set(0, 0, 0, 1e18);   // saturates at +2^62 quanta
+  tile->Set(0, 1, 0, -1e18);  // saturates at -2^62 quanta
+  tile->Set(0, 2, 0, 1e18);
+  auto bytes =
+      storage::TileCodec({storage::TileEncoding::kDeltaVarint, step}).Encode(*tile);
+  auto back = storage::TileCodec::Decode(bytes);
+  ASSERT_TRUE(back.ok());
+  const double bound = 4.611686018427387904e18 * step;  // 2^62 * step
+  EXPECT_DOUBLE_EQ(back->At(0, 0, 0), bound);
+  EXPECT_DOUBLE_EQ(back->At(0, 1, 0), -bound);
+  EXPECT_DOUBLE_EQ(back->At(0, 2, 0), bound);
+}
+
+// An old format-v1 blob (no trailing checksum) must fail with a version
+// error, not a misleading checksum-corruption message.
+TEST(CodecPropertyTest, UnsupportedVersionReportedBeforeChecksum) {
+  auto tile = tiles::Tile::Make({0, 0, 0}, 2, 2, {"v"});
+  ASSERT_TRUE(tile.ok());
+  auto bytes = storage::EncodeTile(*tile);
+  bytes[4] = 1;  // u32 version field follows the 4-byte magic
+  auto status = storage::TileCodec::Decode(bytes).status();
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_NE(status.message().find("version"), std::string::npos) << status;
+}
+
+// A tile cannot exist with zero attributes, so no encoding needs to
+// represent one — the constructor is the guard.
+TEST(CodecPropertyTest, ZeroAttributeTilesAreUnrepresentable) {
+  EXPECT_TRUE(
+      tiles::Tile::Make({0, 0, 0}, 2, 2, {}).status().IsInvalidArgument());
+}
+
+// Any single flipped byte anywhere in the blob must be rejected: structural
+// checks catch header damage, the FNV-1a checksum catches payload damage.
+TEST(CodecPropertyTest, ChecksumRejectsFlippedBytesEverywhere) {
+  Rng rng(93);
+  for (auto encoding :
+       {storage::TileEncoding::kRawF64, storage::TileEncoding::kFloat32,
+        storage::TileEncoding::kDeltaVarint}) {
+    storage::TileCodec codec({encoding, 1e-4});
+    auto tile = tiles::Tile::Make({3, 2, 1}, 6, 5, {"a", "b"});
+    ASSERT_TRUE(tile.ok());
+    for (std::size_t a = 0; a < 2; ++a) {
+      for (auto& v : tile->MutableAttrData(a)) v = rng.Gaussian(0, 1);
+    }
+    auto bytes = codec.Encode(*tile);
+    ASSERT_TRUE(storage::TileCodec::Decode(bytes).ok());
+    for (int trial = 0; trial < 50; ++trial) {
+      auto corrupted = bytes;
+      std::size_t pos = rng.UniformUint32(static_cast<std::uint32_t>(bytes.size()));
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ (1 + rng.UniformUint32(255)));
+      EXPECT_TRUE(storage::TileCodec::Decode(corrupted).status().IsCorruption())
+          << storage::TileEncodingName(encoding) << " byte " << pos;
+    }
+    // Truncation and trailing garbage are likewise rejected.
+    EXPECT_TRUE(storage::TileCodec::Decode(bytes.substr(0, bytes.size() / 2))
+                    .status()
+                    .IsCorruption());
+    EXPECT_TRUE(storage::TileCodec::Decode(bytes + "x").status().IsCorruption());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // LRU cache: never exceeds capacity; most-recent survives
 
-TEST(LruPropertyTest, CapacityInvariantUnderRandomWorkload) {
+TEST(LruPropertyTest, ByteBudgetInvariantUnderRandomWorkload) {
   Rng rng(71);
-  for (std::size_t capacity : {1u, 3u, 8u}) {
-    core::LruTileCache cache(capacity);
+  constexpr std::size_t kTileBytes = 2 * 2 * sizeof(double);
+  for (std::size_t budget_tiles : {1u, 3u, 8u}) {
+    core::LruTileCache cache(budget_tiles * kTileBytes);
     std::vector<tiles::TileKey> recent;
     for (int op = 0; op < 500; ++op) {
       tiles::TileKey key{0, rng.UniformInt(0, 15), rng.UniformInt(0, 15)};
@@ -244,13 +424,27 @@ TEST(LruPropertyTest, CapacityInvariantUnderRandomWorkload) {
       } else {
         (void)cache.Get(key);
       }
-      ASSERT_LE(cache.size(), capacity);
+      ASSERT_LE(cache.bytes_resident(), budget_tiles * kTileBytes);
+      ASSERT_LE(cache.size(), budget_tiles);
       // The most recently put key is always resident.
       if (!recent.empty()) {
         EXPECT_TRUE(cache.Contains(recent.back()));
       }
     }
   }
+}
+
+TEST(LruPropertyTest, OversizedTileHeldAlone) {
+  constexpr std::size_t kTileBytes = 2 * 2 * sizeof(double);
+  core::LruTileCache cache(kTileBytes / 2);  // budget below one tile
+  auto tile = tiles::Tile::Make({0, 0, 0}, 2, 2, {"v"});
+  cache.Put({0, 0, 0}, std::make_shared<const tiles::Tile>(std::move(*tile)));
+  EXPECT_TRUE(cache.Contains({0, 0, 0}));  // admitted despite the budget
+  EXPECT_EQ(cache.size(), 1u);
+  auto next = tiles::Tile::Make({0, 1, 0}, 2, 2, {"v"});
+  cache.Put({0, 1, 0}, std::make_shared<const tiles::Tile>(std::move(*next)));
+  EXPECT_TRUE(cache.Contains({0, 1, 0}));   // newest always survives
+  EXPECT_FALSE(cache.Contains({0, 0, 0}));  // over budget: oldest dropped
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,9 @@
 namespace fc::server {
 namespace {
 
+/// Payload bytes of one 8x8 single-attribute test tile.
+constexpr std::size_t kTileBytes = 8 * 8 * sizeof(double);
+
 std::shared_ptr<tiles::TilePyramid> SmallPyramid(int levels = 3) {
   auto schema = array::ArraySchema::Make(
       "base",
@@ -96,7 +99,7 @@ TEST(ForeCacheServerTest, PrefetchingMakesPredictedMovesFast) {
   core::PredictionEngine engine(&pyramid->spec(), nullptr, &parts.ab, nullptr,
                                 &parts.strategy, engine_options);
   ServerOptions options;
-  options.cache.prefetch_capacity = 9;
+  options.cache.prefetch_bytes = 9 * kTileBytes;  // room for every neighbor
   ForeCacheServer server(&store, &engine, &clock, options);
   server.StartSession();
 
@@ -114,7 +117,7 @@ TEST(ForeCacheServerTest, NoPrefetchBaselineAlwaysSlow) {
   storage::SimulatedDbmsStore store(pyramid, NoJitterCosts(), &clock);
   ServerOptions options;
   options.prefetching_enabled = false;
-  options.cache.history_capacity = 1;
+  options.cache.history_bytes = kTileBytes;  // just the tile being viewed
   ForeCacheServer server(&store, nullptr, &clock, options);
   server.StartSession();
 
@@ -160,7 +163,7 @@ TEST(ForeCacheServerTest, AsyncPrefetchFillsDuringThinkTime) {
   core::PredictionEngine engine(&pyramid->spec(), nullptr, &parts.ab, nullptr,
                                 &parts.strategy, engine_options);
   ServerOptions options;
-  options.cache.prefetch_capacity = 9;
+  options.cache.prefetch_bytes = 9 * kTileBytes;  // room for every neighbor
   Executor executor(2);  // outlives the server (joined prefetch tasks)
   ForeCacheServer server(&store, &engine, &clock, options, &executor);
   ASSERT_TRUE(server.async());

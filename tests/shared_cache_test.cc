@@ -1,14 +1,23 @@
-// Unit tests for the process-wide SharedTileCache: sharding, capacity,
-// LRU/FIFO eviction, cache-through fetch, and stat conservation.
+// Unit tests for the process-wide SharedTileCache: sharding, byte budgets,
+// LRU/FIFO eviction goldens, the compressed L2 tier, cache-through fetch,
+// and stat/byte conservation.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/shared_tile_cache.h"
+#include "storage/tile_codec.h"
 #include "storage/tile_store.h"
 #include "tiles/pyramid.h"
 
 namespace fc::core {
 namespace {
+
+/// Payload bytes of one 8x8 single-attribute test tile.
+constexpr std::size_t kTileBytes = 8 * 8 * sizeof(double);
 
 std::shared_ptr<tiles::TilePyramid> SmallPyramid(int levels = 4) {
   auto schema = array::ArraySchema::Make(
@@ -17,6 +26,12 @@ std::shared_ptr<tiles::TilePyramid> SmallPyramid(int levels = 4) {
        array::Dimension{"x", 0, 8 << (levels - 1), 8}},
       {array::Attribute{"v"}});
   array::DenseArray base(std::move(*schema));
+  for (std::int64_t y = 0; y < base.schema().dims()[0].length; ++y) {
+    for (std::int64_t x = 0; x < base.schema().dims()[1].length; ++x) {
+      base.SetLinear(base.LinearIndex({y, x}), 0,
+                     static_cast<double>(x) * 0.01 + static_cast<double>(y));
+    }
+  }
   tiles::PyramidBuildOptions options;
   options.num_levels = levels;
   options.tile_width = 8;
@@ -33,6 +48,17 @@ tiles::TilePtr FetchTile(storage::TileStore* store, const tiles::TileKey& key) {
   return *tile;
 }
 
+/// One-shard L1-only cache holding `tiles` 8x8 test tiles.
+SharedTileCacheOptions L1Only(std::size_t tiles,
+                              EvictionPolicyKind eviction = EvictionPolicyKind::kLru) {
+  SharedTileCacheOptions options;
+  options.l1_bytes = tiles * kTileBytes;
+  options.l2_bytes = 0;
+  options.num_shards = 1;
+  options.eviction = eviction;
+  return options;
+}
+
 TEST(SharedTileCacheTest, LookupMissThenInsertThenHit) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
@@ -46,8 +72,11 @@ TEST(SharedTileCacheTest, LookupMissThenInsertThenHit) {
 
   auto stats = cache.Stats();
   EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.l1_hits, 1u);
+  EXPECT_EQ(stats.l2_hits, 0u);
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.bytes_resident, kTileBytes);
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
 }
 
@@ -63,52 +92,67 @@ TEST(SharedTileCacheTest, GetOrFetchPopulatesAndDedupsSequentially) {
   EXPECT_TRUE(cache.GetOrFetch({9, 9, 9}, &store).status().IsNotFound());
 }
 
-TEST(SharedTileCacheTest, LruEvictsColdestInSingleShard) {
+// ---------------------------------------------------------------------------
+// Deterministic eviction goldens: a fixed access sequence against a
+// one-shard byte-budgeted cache must evict in exactly the predicted order
+// with exact resident-byte accounting.
+
+TEST(SharedTileCacheTest, LruEvictionGolden) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
-  SharedTileCacheOptions options;
-  options.capacity = 2;
-  options.num_shards = 1;
-  options.eviction = EvictionPolicyKind::kLru;
-  SharedTileCache cache(options);
+  SharedTileCache cache(L1Only(2, EvictionPolicyKind::kLru));
 
-  cache.Insert({1, 0, 0}, FetchTile(&store, {1, 0, 0}));
-  cache.Insert({1, 1, 0}, FetchTile(&store, {1, 1, 0}));
-  // Touch the older entry so the newer one becomes the LRU victim.
-  EXPECT_NE(cache.Lookup({1, 0, 0}), nullptr);
-  cache.Insert({1, 0, 1}, FetchTile(&store, {1, 0, 1}));
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0}, c{1, 0, 1}, d{1, 1, 1};
+  // Insert a, b -> resident {a, b}, next victim a.
+  cache.Insert(a, FetchTile(&store, a));
+  cache.Insert(b, FetchTile(&store, b));
+  EXPECT_EQ(cache.Stats().bytes_resident, 2 * kTileBytes);
+  // Touch a: victim order becomes b, a.
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  // Insert c -> evicts b. Insert d -> evicts a. Exact order: b then a.
+  cache.Insert(c, FetchTile(&store, c));
+  EXPECT_FALSE(cache.Contains(b));
+  EXPECT_TRUE(cache.Contains(a));
+  cache.Insert(d, FetchTile(&store, d));
+  EXPECT_FALSE(cache.Contains(a));
+  EXPECT_TRUE(cache.Contains(c));
+  EXPECT_TRUE(cache.Contains(d));
 
-  EXPECT_TRUE(cache.Contains({1, 0, 0}));   // freshened, survived
-  EXPECT_FALSE(cache.Contains({1, 1, 0}));  // evicted
-  EXPECT_TRUE(cache.Contains({1, 0, 1}));
-  EXPECT_EQ(cache.Stats().evictions, 1u);
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+  // Byte accounting is exact: two resident 8x8 tiles, all in L1.
+  EXPECT_EQ(stats.bytes_resident, 2 * kTileBytes);
+  EXPECT_EQ(stats.l1_bytes_resident, 2 * kTileBytes);
+  EXPECT_EQ(stats.l2_bytes_resident, 0u);
 }
 
-TEST(SharedTileCacheTest, FifoIgnoresRecency) {
+TEST(SharedTileCacheTest, FifoEvictionGolden) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
-  SharedTileCacheOptions options;
-  options.capacity = 2;
-  options.num_shards = 1;
-  options.eviction = EvictionPolicyKind::kFifo;
-  SharedTileCache cache(options);
+  SharedTileCache cache(L1Only(2, EvictionPolicyKind::kFifo));
 
-  cache.Insert({1, 0, 0}, FetchTile(&store, {1, 0, 0}));
-  cache.Insert({1, 1, 0}, FetchTile(&store, {1, 1, 0}));
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0}, c{1, 0, 1};
+  cache.Insert(a, FetchTile(&store, a));
+  cache.Insert(b, FetchTile(&store, b));
   // Under FIFO this touch does not save the oldest entry.
-  EXPECT_NE(cache.Lookup({1, 0, 0}), nullptr);
-  cache.Insert({1, 0, 1}, FetchTile(&store, {1, 0, 1}));
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  cache.Insert(c, FetchTile(&store, c));
 
-  EXPECT_FALSE(cache.Contains({1, 0, 0}));  // evicted despite the hit
-  EXPECT_TRUE(cache.Contains({1, 1, 0}));
-  EXPECT_TRUE(cache.Contains({1, 0, 1}));
+  EXPECT_FALSE(cache.Contains(a));  // evicted despite the hit
+  EXPECT_TRUE(cache.Contains(b));
+  EXPECT_TRUE(cache.Contains(c));
+  EXPECT_EQ(cache.Stats().bytes_resident, 2 * kTileBytes);
 }
 
-TEST(SharedTileCacheTest, CapacitySpreadAcrossShards) {
+TEST(SharedTileCacheTest, ByteBudgetSpreadAcrossShards) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
   SharedTileCacheOptions options;
-  options.capacity = 8;
+  options.l1_bytes = 8 * kTileBytes;
+  options.l2_bytes = 0;
   options.num_shards = 4;
   SharedTileCache cache(options);
   EXPECT_EQ(cache.num_shards(), 4u);
@@ -116,23 +160,16 @@ TEST(SharedTileCacheTest, CapacitySpreadAcrossShards) {
   for (const auto& key : pyramid->spec().KeysAtLevel(2)) {
     cache.Insert(key, FetchTile(&store, key));
   }
-  // 16 level-2 tiles through 8 slots: evictions happened, the resident set
-  // honors per-shard bounds, and bookkeeping is conserved.
+  // 16 level-2 tiles through an 8-tile budget: evictions happened, the
+  // resident set honors per-shard bounds, and bookkeeping is conserved.
   EXPECT_LE(cache.size(), 8u);
   auto stats = cache.Stats();
   EXPECT_EQ(stats.insertions - stats.evictions,
             static_cast<std::uint64_t>(cache.size()));
+  EXPECT_EQ(stats.bytes_resident, cache.size() * kTileBytes);
 }
 
-TEST(SharedTileCacheTest, MoreShardsThanCapacityClamped) {
-  SharedTileCacheOptions options;
-  options.capacity = 2;
-  options.num_shards = 64;
-  SharedTileCache cache(options);
-  EXPECT_EQ(cache.num_shards(), 2u);
-}
-
-TEST(SharedTileCacheTest, ClearEmptiesEveryShard) {
+TEST(SharedTileCacheTest, ClearEmptiesEveryShardAndResetsBytes) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
   SharedTileCache cache;
@@ -141,6 +178,7 @@ TEST(SharedTileCacheTest, ClearEmptiesEveryShard) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Contains({0, 0, 0}));
+  EXPECT_EQ(cache.Stats().bytes_resident, 0u);
 }
 
 TEST(SharedTileCacheTest, InsertRefreshReplacesPayloadWithoutGrowth) {
@@ -151,6 +189,211 @@ TEST(SharedTileCacheTest, InsertRefreshReplacesPayloadWithoutGrowth) {
   cache.Insert({0, 0, 0}, FetchTile(&store, {0, 0, 0}));
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.Stats().insertions, 1u);  // refresh is not an insertion
+  EXPECT_EQ(cache.Stats().bytes_resident, kTileBytes);
+}
+
+TEST(SharedTileCacheTest, OversizedTilesAreServedButNotCached) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.l1_bytes = kTileBytes / 2;  // below one tile
+  options.num_shards = 1;
+  SharedTileCache cache(options);
+
+  auto tile = cache.GetOrFetch({1, 0, 0}, &store);
+  ASSERT_TRUE(tile.ok());
+  EXPECT_NE(*tile, nullptr);  // served
+  EXPECT_EQ(cache.size(), 0u);  // strict budget: never cached
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.bytes_resident, 0u);
+}
+
+TEST(SharedTileCacheTest, AutoShardCountScalesWithBudget) {
+  // Default (auto) sharding: a large budget stripes out fully...
+  SharedTileCache big;  // default 64 MiB L1
+  EXPECT_EQ(big.num_shards(), 16u);
+  // ...while a tiny budget degrades to one stripe instead of slicing
+  // itself into shards too small to cache anything.
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.l1_bytes = 4 * kTileBytes;
+  SharedTileCache small(options);
+  EXPECT_EQ(small.num_shards(), 1u);
+  small.Insert({1, 0, 0}, FetchTile(&store, {1, 0, 0}));
+  EXPECT_EQ(small.size(), 1u);  // tiny budgets still cache
+}
+
+TEST(SharedTileCacheTest, ManyTinyShardsNeverOvershootBudget) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  // Misconfigured: per-shard slice is far below one tile. The cache must
+  // degrade to caching nothing, not balloon to one tile per shard.
+  options.l1_bytes = 2 * kTileBytes;
+  options.num_shards = 16;
+  SharedTileCache cache(options);
+  for (const auto& key : pyramid->spec().KeysAtLevel(2)) {
+    cache.Insert(key, FetchTile(&store, key));
+  }
+  EXPECT_LE(cache.Stats().bytes_resident, options.l1_bytes);
+}
+
+TEST(SharedTileCacheTest, RefreshWithLargerPayloadReenforcesBudget) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache(L1Only(2));
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0};
+  cache.Insert(a, FetchTile(&store, a));
+  cache.Insert(b, FetchTile(&store, b));
+  ASSERT_EQ(cache.Stats().bytes_resident, 2 * kTileBytes);
+
+  // Refresh a with a payload bigger than the whole budget: enforcement
+  // runs immediately (b demoted/evicted, then oversized a itself).
+  auto big = tiles::Tile::Make(a, 16, 16, {"v"});
+  ASSERT_TRUE(big.ok());
+  cache.Insert(a, std::make_shared<const tiles::Tile>(std::move(*big)));
+  auto stats = cache.Stats();
+  EXPECT_LE(stats.bytes_resident, 2 * kTileBytes);
+  EXPECT_EQ(cache.size(), 0u);  // both gone: strict budget, no L2
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+}
+
+// ---------------------------------------------------------------------------
+// The compressed L2 tier.
+
+/// Two-tier one-shard cache: `l1_tiles` decoded tiles plus an L2 budget of
+/// `l2_bytes`, compressed with the (lossless) raw codec so blob sizes are
+/// exactly predictable by the test.
+SharedTileCacheOptions Tiered(std::size_t l1_tiles, std::size_t l2_bytes) {
+  SharedTileCacheOptions options;
+  options.l1_bytes = l1_tiles * kTileBytes;
+  options.l2_bytes = l2_bytes;
+  options.num_shards = 1;
+  options.codec = {storage::TileEncoding::kRawF64};
+  return options;
+}
+
+TEST(SharedTileCacheTest, DemotedTileServesFromL2AndPromotesBack) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0};
+  // Blob size for the exact L2 budget: two compressed tiles fit.
+  std::size_t blob_bytes =
+      storage::TileCodec({storage::TileEncoding::kRawF64})
+          .Encode(*FetchTile(&store, a))
+          .size();
+  SharedTileCache cache(Tiered(1, 2 * blob_bytes));
+
+  cache.Insert(a, FetchTile(&store, a));
+  cache.Insert(b, FetchTile(&store, b));  // a demoted to L2
+
+  EXPECT_EQ(cache.l1_size(), 1u);
+  EXPECT_EQ(cache.l2_size(), 1u);
+  EXPECT_TRUE(cache.Contains(a));  // still resident, compressed
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.demotions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.l2_bytes_resident, blob_bytes);
+
+  // An L2 hit decodes, promotes a back into L1, and demotes b.
+  auto tile = cache.Lookup(a);
+  ASSERT_NE(tile, nullptr);
+  EXPECT_EQ(tile->key(), a);
+  EXPECT_DOUBLE_EQ(tile->At(0, 1, 0), FetchTile(&store, a)->At(0, 1, 0));
+  stats = cache.Stats();
+  EXPECT_EQ(stats.l2_hits, 1u);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.demotions, 2u);  // b took a's place in L2
+  EXPECT_GT(stats.decode_ns, 0u);
+  EXPECT_EQ(cache.l1_size(), 1u);
+  EXPECT_EQ(cache.l2_size(), 1u);
+  EXPECT_TRUE(cache.Contains(b));
+}
+
+TEST(SharedTileCacheTest, L2BudgetForcesTrueEviction) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0}, c{1, 0, 1};
+  std::size_t blob_bytes =
+      storage::TileCodec({storage::TileEncoding::kRawF64})
+          .Encode(*FetchTile(&store, a))
+          .size();
+  // L2 holds exactly one blob: the second demotion evicts the first.
+  SharedTileCache cache(Tiered(1, blob_bytes));
+
+  cache.Insert(a, FetchTile(&store, a));
+  cache.Insert(b, FetchTile(&store, b));  // a -> L2
+  cache.Insert(c, FetchTile(&store, c));  // b -> L2, a truly evicted
+
+  EXPECT_FALSE(cache.Contains(a));
+  EXPECT_TRUE(cache.Contains(b));
+  EXPECT_TRUE(cache.Contains(c));
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.demotions, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+  EXPECT_EQ(stats.l2_bytes_resident, blob_bytes);
+}
+
+TEST(SharedTileCacheTest, DisabledL2MakesDemotionsEvictions) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache(L1Only(1));
+  cache.Insert({1, 0, 0}, FetchTile(&store, {1, 0, 0}));
+  cache.Insert({1, 1, 0}, FetchTile(&store, {1, 1, 0}));
+  EXPECT_FALSE(cache.Contains({1, 0, 0}));
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.demotions, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.l2_bytes_resident, 0u);
+}
+
+TEST(SharedTileCacheTest, QuantizedL2TierStaysWithinErrorBound) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.l1_bytes = kTileBytes;  // one decoded tile
+  options.l2_bytes = 1 << 20;
+  options.num_shards = 1;
+  options.codec = {storage::TileEncoding::kDeltaVarint, 1e-4};
+  SharedTileCache cache(options);
+
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0};
+  auto original = FetchTile(&store, a);
+  cache.Insert(a, original);
+  cache.Insert(b, FetchTile(&store, b));  // a demoted, compressed lossily
+  // The compressed blob is much smaller than the decoded payload.
+  auto stats = cache.Stats();
+  EXPECT_LT(stats.l2_bytes_resident, kTileBytes / 2);
+
+  auto back = cache.Lookup(a);
+  ASSERT_NE(back, nullptr);
+  double max_err = 0.0;
+  for (std::int64_t y = 0; y < 8; ++y) {
+    for (std::int64_t x = 0; x < 8; ++x) {
+      max_err = std::max(max_err,
+                         std::abs(back->At(0, x, y) - original->At(0, x, y)));
+    }
+  }
+  EXPECT_LE(max_err, 1e-4 / 2 + 1e-12);
+}
+
+TEST(SharedTileCacheTest, GetOrFetchServesL2WithoutStoreFetch) {
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCache cache(Tiered(1, 1 << 20));
+  const tiles::TileKey a{1, 0, 0}, b{1, 1, 0};
+  ASSERT_TRUE(cache.GetOrFetch(a, &store).ok());
+  ASSERT_TRUE(cache.GetOrFetch(b, &store).ok());  // a -> L2
+  auto fetches = store.fetch_count();
+  ASSERT_TRUE(cache.GetOrFetch(a, &store).ok());  // warm hit: decode, no DBMS
+  EXPECT_EQ(store.fetch_count(), fetches);
+  EXPECT_EQ(cache.Stats().l2_hits, 1u);
 }
 
 }  // namespace

@@ -129,6 +129,30 @@ TEST(DiskTileStoreTest, SaveFetchRoundTrip) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(DiskTileStoreTest, CompressedCodecRoundTripsWithinTolerance) {
+  auto pyramid = SmallPyramid();
+  std::string dir = testing::TempDir() + "/fc_disk_store_compressed";
+  std::filesystem::remove_all(dir);
+  const double step = 1e-3;
+  auto store = DiskTileStore::Open(dir, pyramid->spec(),
+                                   {TileEncoding::kDeltaVarint, step});
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->SavePyramid(*pyramid).ok());
+  auto tile = (*store)->Fetch({2, 3, 1});
+  ASSERT_TRUE(tile.ok());
+  auto original = pyramid->GetTile({2, 3, 1});
+  ASSERT_TRUE(original.ok());
+  for (std::int64_t y = 0; y < (*tile)->height(); ++y) {
+    for (std::int64_t x = 0; x < (*tile)->width(); ++x) {
+      EXPECT_NEAR((*tile)->At(0, x, y), (*original)->At(0, x, y), step / 2 + 1e-12);
+    }
+  }
+  // The smooth test raster compresses well below raw size on disk.
+  EXPECT_LT(std::filesystem::file_size((*store)->PathFor({2, 3, 1})),
+            (*original)->SizeBytes());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(DiskTileStoreTest, FetchMissingIsNotFound) {
   std::string dir = testing::TempDir() + "/fc_disk_store_empty";
   std::filesystem::remove_all(dir);
