@@ -1,0 +1,97 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace fc::core {
+
+namespace {
+
+std::size_t CeilPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Per-row seeds: arbitrary odd constants mixed into the key hash so the
+/// four rows index independently.
+constexpr std::uint64_t kRowSeeds[4] = {
+    0x9e3779b97f4a7c15ull, 0xbf58476d1ce4e5b9ull, 0x94d049bb133111ebull,
+    0xd6e8feb86659fd93ull};
+
+}  // namespace
+
+FrequencySketch::FrequencySketch(std::size_t counters, std::uint64_t halve_every)
+    : counters_(CeilPow2(std::max<std::size_t>(counters, 16))),
+      halve_every_(halve_every == 0 ? 8ull * counters_ : halve_every),
+      words_(kRows * (counters_ / 16), 0) {}
+
+std::size_t FrequencySketch::IndexFor(int row, std::uint64_t hash) const {
+  return static_cast<std::size_t>(HashSeed(hash ^ kRowSeeds[row])) &
+         (counters_ - 1);
+}
+
+std::uint32_t FrequencySketch::CounterAt(int row, std::size_t index) const {
+  const std::uint64_t word =
+      words_[static_cast<std::size_t>(row) * (counters_ / 16) + index / 16];
+  return static_cast<std::uint32_t>((word >> ((index % 16) * 4)) & 0xFull);
+}
+
+void FrequencySketch::Record(std::uint64_t hash) {
+  if (++window_accesses_ > halve_every_) {
+    Halve();
+    window_accesses_ = 1;  // this access opens the new window
+  }
+  ++total_accesses_;
+  for (int row = 0; row < kRows; ++row) {
+    const std::size_t index = IndexFor(row, hash);
+    std::uint64_t& word =
+        words_[static_cast<std::size_t>(row) * (counters_ / 16) + index / 16];
+    const unsigned shift = (index % 16) * 4;
+    if (((word >> shift) & 0xFull) < kMaxCount) {
+      word += 1ull << shift;
+    }
+  }
+}
+
+std::uint32_t FrequencySketch::Estimate(std::uint64_t hash) const {
+  std::uint32_t estimate = kMaxCount;
+  for (int row = 0; row < kRows; ++row) {
+    estimate = std::min(estimate, CounterAt(row, IndexFor(row, hash)));
+  }
+  return estimate;
+}
+
+void FrequencySketch::Halve() {
+  // Every 4-bit counter shifts right by one: mask keeps each nibble's shift
+  // from borrowing its neighbor's low bit.
+  for (auto& word : words_) {
+    word = (word >> 1) & 0x7777777777777777ull;
+  }
+  ++halvings_;
+}
+
+bool TinyLfuAdmissionPolicy::ShouldAdmit(
+    std::uint64_t candidate_hash, const std::vector<std::uint64_t>& victim_hashes) {
+  if (victim_hashes.empty()) return true;  // free space: nothing displaced
+  const std::uint32_t candidate = sketch_.Estimate(candidate_hash);
+  for (std::uint64_t victim : victim_hashes) {
+    if (candidate <= sketch_.Estimate(victim)) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(
+    const AdmissionOptions& options) {
+  switch (options.policy) {
+    case AdmissionPolicyKind::kTinyLfu:
+      return std::make_unique<TinyLfuAdmissionPolicy>(
+          options.sketch_counters, options.sketch_halve_every);
+    case AdmissionPolicyKind::kAdmitAll:
+      break;
+  }
+  return std::make_unique<AdmitAllPolicy>();
+}
+
+}  // namespace fc::core

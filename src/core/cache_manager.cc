@@ -10,8 +10,12 @@ CacheManager::CacheManager(storage::TileStore* store, CacheManagerOptions option
       history_(options.history_bytes),
       prefetch_(options.prefetch_bytes) {}
 
-Result<tiles::TilePtr> CacheManager::FetchThrough(const tiles::TileKey& key) {
-  if (shared_ != nullptr) return shared_->GetOrFetch(key, store_);
+Result<tiles::TilePtr> CacheManager::FetchThrough(const tiles::TileKey& key,
+                                                  double confidence) {
+  if (shared_ != nullptr) {
+    return shared_->GetOrFetch(key, store_,
+                               {options_.session_id, confidence});
+  }
   return store_->Fetch(key);
 }
 
@@ -42,7 +46,7 @@ Result<FetchOutcome> CacheManager::Request(const tiles::TileKey& key) {
   // Both private regions missed. Probe the shared cache — a hit there is
   // still middleware memory (another session fetched it for us).
   if (shared_ != nullptr) {
-    if (auto tile = shared_->Lookup(key)) {
+    if (auto tile = shared_->Lookup(key, {options_.session_id})) {
       outcome.tile = std::move(tile);
       outcome.cache_hit = true;
       outcome.shared_hit = true;
@@ -58,7 +62,9 @@ Result<FetchOutcome> CacheManager::Request(const tiles::TileKey& key) {
   // probed above, so fetch the store directly rather than through
   // GetOrFetch (which would re-probe and double-count the miss).
   FC_ASSIGN_OR_RETURN(outcome.tile, store_->Fetch(key));
-  if (shared_ != nullptr) shared_->Insert(key, outcome.tile);
+  if (shared_ != nullptr) {
+    shared_->Insert(key, outcome.tile, {options_.session_id});
+  }
   outcome.cache_hit = false;
   std::lock_guard<std::mutex> lock(mu_);
   history_.Put(key, outcome.tile);
@@ -66,10 +72,16 @@ Result<FetchOutcome> CacheManager::Request(const tiles::TileKey& key) {
 }
 
 Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions) {
-  return Prefetch(predictions, [] { return false; });
+  return Prefetch(predictions, {}, [] { return false; });
 }
 
 Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
+                              const std::function<bool()>& cancelled) {
+  return Prefetch(predictions, {}, cancelled);
+}
+
+Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
+                              const std::vector<double>& confidences,
                               const std::function<bool()>& cancelled) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -80,7 +92,8 @@ Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
   }
   std::size_t filled_bytes = 0;
   const std::size_t budget = options_.prefetch_bytes;
-  for (const auto& key : predictions) {
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const tiles::TileKey& key = predictions[i];
     if (filled_bytes >= budget) break;
     if (cancelled()) break;
     {
@@ -92,7 +105,8 @@ Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
         continue;
       }
     }
-    auto tile = FetchThrough(key);  // slow path — never under the lock
+    const double confidence = i < confidences.size() ? confidences[i] : 0.0;
+    auto tile = FetchThrough(key, confidence);  // slow path — never under the lock
     if (!tile.ok()) {
       // Skip the bad tile and keep draining the ranked list: one missing
       // tile must not starve every lower-ranked prediction.

@@ -41,6 +41,10 @@ struct CacheManagerOptions {
   /// Byte budget of the prefetch region (bounds how much of the ranked
   /// prediction list is materialized).
   std::size_t prefetch_bytes = 256 * 1024;
+  /// Identity stamped on every shared-cache access this manager makes, so
+  /// admission control and per-session quotas can attribute the traffic.
+  /// 0 = anonymous (quota-exempt); the SessionManager assigns real ids.
+  std::uint64_t session_id = 0;
 };
 
 /// Outcome of serving one tile request.
@@ -78,6 +82,14 @@ class CacheManager {
   Status Prefetch(const std::vector<tiles::TileKey>& predictions,
                   const std::function<bool()>& cancelled);
 
+  /// As above with the engine's per-tile confidences (parallel to
+  /// `predictions`; missing entries read as 0): each shared-cache fill
+  /// carries its confidence so a near-certain prediction takes the
+  /// priority-admission path past the frequency filter.
+  Status Prefetch(const std::vector<tiles::TileKey>& predictions,
+                  const std::vector<double>& confidences,
+                  const std::function<bool()>& cancelled);
+
   /// True if a private region holds the tile (no stats side effects).
   bool Cached(const tiles::TileKey& key) const;
 
@@ -105,7 +117,9 @@ class CacheManager {
 
  private:
   /// Fetches through the shared cache when present, else the store.
-  Result<tiles::TilePtr> FetchThrough(const tiles::TileKey& key);
+  /// `confidence` tags the shared-cache access (0 for demand traffic).
+  Result<tiles::TilePtr> FetchThrough(const tiles::TileKey& key,
+                                      double confidence);
 
   storage::TileStore* store_;
   CacheManagerOptions options_;

@@ -107,6 +107,16 @@ Result<EnginePrediction> PredictionEngine::OnRequest(const TileRequest& request)
 
   prediction.tiles = MergeRankedLists(ab_list, sb_list, prediction.allocation,
                                       options_.prefetch_k);
+  prediction.confidences.reserve(prediction.tiles.size());
+  for (std::size_t i = 0; i < prediction.tiles.size(); ++i) {
+    const tiles::TileKey& tile = prediction.tiles[i];
+    const bool both_models_agree =
+        std::find(ab_list.begin(), ab_list.end(), tile) != ab_list.end() &&
+        std::find(sb_list.begin(), sb_list.end(), tile) != sb_list.end();
+    const double rank_decay = 1.0 / static_cast<double>(1 + i);
+    prediction.confidences.push_back(both_models_agree ? rank_decay
+                                                       : 0.6 * rank_decay);
+  }
   return prediction;
 }
 

@@ -28,6 +28,16 @@ struct PredictionEngineOptions {
 struct EnginePrediction {
   AnalysisPhase phase = AnalysisPhase::kForaging;
   RankedTiles tiles;           ///< Size <= prefetch_k.
+  /// Per-tile confidence in (0, 1], parallel to `tiles`: rank-decayed
+  /// (1/(1+rank)), at full strength only when BOTH recommenders ranked the
+  /// tile — cross-model agreement is the engine's certainty signal. A tile
+  /// only one model predicted is scaled by 0.6, so single-source
+  /// predictions never reach the shared cache's default
+  /// priority-admission bound (0.9): one confidently wrong model — or a
+  /// scan dressed up as momentum — cannot force cold tiles past the
+  /// admission filter. A proxy until the recommenders expose calibrated
+  /// scores.
+  std::vector<double> confidences;
   Allocation allocation;       ///< The split that produced `tiles`.
 };
 

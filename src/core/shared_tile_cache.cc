@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/rng.h"
+
 namespace fc::core {
 
 namespace {
@@ -13,6 +15,8 @@ std::uint64_t NowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+std::size_t CeilDiv(std::size_t x, std::size_t n) { return (x + n - 1) / n; }
 
 }  // namespace
 
@@ -28,16 +32,22 @@ SharedTileCache::SharedTileCache(SharedTileCacheOptions options)
     options_.num_shards = std::clamp<std::size_t>(fed, 1, 16);
   }
   // Ceil division: shard budgets sum to >= the global budget.
-  shard_l1_bytes_ =
-      (options_.l1_bytes + options_.num_shards - 1) / options_.num_shards;
+  shard_l1_bytes_ = CeilDiv(options_.l1_bytes, options_.num_shards);
   shard_l2_bytes_ =
-      options_.l2_bytes == 0
+      options_.l2_bytes == 0 ? 0 : CeilDiv(options_.l2_bytes, options_.num_shards);
+  shard_quota_bytes_ =
+      options_.session_quota_bytes == 0
           ? 0
-          : (options_.l2_bytes + options_.num_shards - 1) / options_.num_shards;
+          : CeilDiv(options_.session_quota_bytes, options_.num_shards);
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->admission = MakeAdmissionPolicy(options_.admission);
   }
+}
+
+std::uint64_t SharedTileCache::KeyHash(const tiles::TileKey& key) {
+  return HashSeed(static_cast<std::uint64_t>(tiles::TileKeyHash()(key)));
 }
 
 SharedTileCache::Shard& SharedTileCache::ShardFor(const tiles::TileKey& key) {
@@ -52,43 +62,158 @@ const SharedTileCache::Shard& SharedTileCache::ShardFor(
 void SharedTileCache::EvictFromL2(Shard& shard) {
   auto it = shard.l2.find(shard.l2_order.front());
   shard.l2_bytes -= it->second.blob->size();
-  l2_bytes_resident_.fetch_sub(it->second.blob->size(),
-                               std::memory_order_relaxed);
   shard.l2.erase(it);
   shard.l2_order.pop_front();
-  evictions_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.counters.evictions;
+}
+
+void SharedTileCache::ChargeOwner(Shard& shard, const tiles::TileKey& key,
+                                  L1Entry& entry) {
+  if (entry.owner == 0) return;
+  shard.session_l1_bytes[entry.owner] += entry.bytes;
+  auto& order = shard.session_l1_order[entry.owner];
+  entry.owner_order_it = order.insert(order.end(), key);
+}
+
+void SharedTileCache::DischargeOwner(Shard& shard, const L1Entry& entry) {
+  if (entry.owner == 0) return;
+  auto usage = shard.session_l1_bytes.find(entry.owner);
+  if (usage != shard.session_l1_bytes.end()) {
+    usage->second -= std::min(usage->second, entry.bytes);
+    if (usage->second == 0) shard.session_l1_bytes.erase(usage);
+  }
+  auto order = shard.session_l1_order.find(entry.owner);
+  if (order != shard.session_l1_order.end()) {
+    order->second.erase(entry.owner_order_it);
+    if (order->second.empty()) shard.session_l1_order.erase(order);
+  }
+}
+
+void SharedTileCache::DetachFromL1(
+    Shard& shard,
+    std::unordered_map<tiles::TileKey, L1Entry, tiles::TileKeyHash>::iterator it,
+    std::vector<PendingDemotion>* pending) {
+  L1Entry& entry = it->second;
+  shard.l1_bytes -= entry.bytes;
+  DischargeOwner(shard, entry);
+  shard.l1_order.erase(entry.order_it);
+  pending->push_back({it->first, std::move(entry.tile), entry.owner});
+  shard.l1.erase(it);
 }
 
 void SharedTileCache::CollectL1Overflow(Shard& shard,
                                         std::vector<PendingDemotion>* pending) {
   while (shard.l1_bytes > shard_l1_bytes_ && !shard.l1.empty()) {
-    const tiles::TileKey victim = shard.l1_order.front();
-    shard.l1_order.pop_front();
-    auto it = shard.l1.find(victim);
-    shard.l1_bytes -= it->second.bytes;
-    l1_bytes_resident_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
-    pending->push_back({victim, std::move(it->second.tile)});
-    shard.l1.erase(it);
+    DetachFromL1(shard, shard.l1.find(shard.l1_order.front()), pending);
   }
 }
 
-bool SharedTileCache::AdmitToL1(Shard& shard, const tiles::TileKey& key,
-                                tiles::TilePtr tile,
-                                std::vector<PendingDemotion>* pending) {
-  std::size_t bytes = tile->SizeBytes();
+void SharedTileCache::CollectQuotaOverflow(Shard& shard, std::uint64_t session,
+                                           std::vector<PendingDemotion>* pending) {
+  if (shard_quota_bytes_ == 0 || session == 0) return;
+  auto over_quota = [&] {
+    auto usage = shard.session_l1_bytes.find(session);
+    return usage != shard.session_l1_bytes.end() &&
+           usage->second > shard_quota_bytes_;
+  };
+  // Pop the session's own eviction queue — quota pressure never touches a
+  // neighbor's residency, and victim selection costs O(victims).
+  while (over_quota()) {
+    auto order = shard.session_l1_order.find(session);
+    if (order == shard.session_l1_order.end() || order->second.empty()) break;
+    ++shard.counters.quota_evictions;
+    DetachFromL1(shard, shard.l1.find(order->second.front()), pending);
+  }
+}
+
+SharedTileCache::AdmitOutcome SharedTileCache::AdmitToL1(
+    Shard& shard, const tiles::TileKey& key, tiles::TilePtr tile,
+    const CacheAccess& access, bool bypass_filter, bool count_priority,
+    std::vector<PendingDemotion>* pending) {
+  const std::size_t bytes = tile->SizeBytes();
   if (bytes > shard_l1_bytes_) {
     // Larger than the whole shard budget: serve it, never cache it —
     // byte budgets are strict.
-    return false;
+    return AdmitOutcome::kRejectedOversized;
+  }
+  const bool quota_active = shard_quota_bytes_ > 0 && access.session_id != 0;
+  if (quota_active && bytes > shard_quota_bytes_) {
+    // The session's whole share cannot hold it.
+    return AdmitOutcome::kRejectedOversized;
+  }
+  if ((!bypass_filter || count_priority) &&
+      shard.l1_bytes + bytes > shard_l1_bytes_) {
+    // Admission would displace residents: ask the policy whether the
+    // candidate is warmer than every prospective victim (front of the
+    // eviction order, enough of them to free the candidate's bytes).
+    // Quota enforcement runs first on an admit and displaces the
+    // session's own oldest tiles, so simulate it here: those
+    // self-victims free bytes but are not the filter's concern — it
+    // protects residents from *other* sessions' cold traffic, and a
+    // session over quota pays with its own tiles either way.
+    std::size_t quota_excess = 0;
+    if (quota_active) {
+      auto usage = shard.session_l1_bytes.find(access.session_id);
+      const std::size_t usage_bytes =
+          usage == shard.session_l1_bytes.end() ? 0 : usage->second;
+      if (usage_bytes + bytes > shard_quota_bytes_) {
+        quota_excess = usage_bytes + bytes - shard_quota_bytes_;
+      }
+    }
+    // Pass 1: the session's own oldest entries that quota eviction will
+    // take (front of its per-owner queue), and the bytes they free.
+    std::size_t quota_freed = 0;
+    std::size_t own_consumed = 0;
+    if (quota_excess > 0) {
+      auto order = shard.session_l1_order.find(access.session_id);
+      if (order != shard.session_l1_order.end()) {
+        for (auto it = order->second.begin();
+             it != order->second.end() && quota_excess > 0; ++it) {
+          const L1Entry& entry = shard.l1.find(*it)->second;
+          quota_freed += entry.bytes;
+          quota_excess -= std::min(quota_excess, entry.bytes);
+          ++own_consumed;
+        }
+      }
+    }
+    // Pass 2: with quota's freeing already banked, whatever overflow
+    // remains comes off the LRU front — those are the filter's victims.
+    // The per-owner queues mirror l1_order's relative order, so the first
+    // own_consumed own entries met here are exactly pass 1's.
+    std::vector<std::uint64_t> victims;
+    std::size_t freed = quota_freed;
+    for (auto it = shard.l1_order.begin();
+         it != shard.l1_order.end() &&
+         shard.l1_bytes - freed + bytes > shard_l1_bytes_;
+         ++it) {
+      const L1Entry& entry = shard.l1.find(*it)->second;
+      if (own_consumed > 0 && entry.owner == access.session_id) {
+        --own_consumed;  // already gone to quota eviction
+        continue;
+      }
+      freed += entry.bytes;
+      victims.push_back(KeyHash(*it));
+    }
+    if (!victims.empty()) {
+      if (bypass_filter) {
+        // The filter would have run against real foreign victims but was
+        // overridden by prediction confidence: that is a priority admit.
+        ++shard.counters.priority_admits;
+      } else if (!shard.admission->ShouldAdmit(KeyHash(key), victims)) {
+        return AdmitOutcome::kRejectedByFilter;
+      }
+    }
   }
   shard.l1_bytes += bytes;
-  l1_bytes_resident_.fetch_add(bytes, std::memory_order_relaxed);
   auto order_it = shard.l1_order.insert(shard.l1_order.end(), key);
-  shard.l1.emplace(key, L1Entry{std::move(tile), bytes, order_it});
+  auto [entry_it, _] = shard.l1.emplace(
+      key, L1Entry{std::move(tile), bytes, access.session_id, order_it, {}});
+  ChargeOwner(shard, key, entry_it->second);
   // Pop victims after inserting: the new entry is at the back of the order
-  // and within budget by itself, so it is never its own victim.
+  // and within budget (and quota) by itself, so it is never its own victim.
+  CollectQuotaOverflow(shard, access.session_id, pending);
   CollectL1Overflow(shard, pending);
-  return true;
+  return AdmitOutcome::kAdmitted;
 }
 
 void SharedTileCache::FinishDemotions(Shard& shard,
@@ -96,7 +221,8 @@ void SharedTileCache::FinishDemotions(Shard& shard,
   if (pending.empty()) return;
   if (shard_l2_bytes_ == 0) {
     // No warm tier: demotion is a true eviction, and nothing gets encoded.
-    evictions_.fetch_add(pending.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.evictions += pending.size();
     return;
   }
   // Compress outside the lock — encoding is the expensive part of a
@@ -107,9 +233,10 @@ void SharedTileCache::FinishDemotions(Shard& shard,
   for (const auto& demotion : pending) {
     blobs.push_back(codec_.Encode(*demotion.tile));
   }
-  encode_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  std::uint64_t encode_ns = NowNs() - t0;
 
   std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counters.encode_ns += encode_ns;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     const tiles::TileKey& key = pending[i].key;
     std::string& blob = blobs[i];
@@ -117,12 +244,12 @@ void SharedTileCache::FinishDemotions(Shard& shard,
       // Re-fetched while in limbo: the newer copy owns the residency (and
       // was counted as a fresh insertion), so this stale copy's departure
       // is an eviction.
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.counters.evictions;
       continue;
     }
     if (blob.size() > shard_l2_bytes_) {
       // Oversized even alone: the tier cannot hold it.
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.counters.evictions;
       continue;
     }
     while (shard.l2_bytes + blob.size() > shard_l2_bytes_ &&
@@ -130,32 +257,41 @@ void SharedTileCache::FinishDemotions(Shard& shard,
       EvictFromL2(shard);
     }
     shard.l2_bytes += blob.size();
-    l2_bytes_resident_.fetch_add(blob.size(), std::memory_order_relaxed);
     auto order_it = shard.l2_order.insert(shard.l2_order.end(), key);
     shard.l2.emplace(
         key, L2Entry{std::make_shared<const std::string>(std::move(blob)),
-                     order_it});
-    demotions_.fetch_add(1, std::memory_order_relaxed);
+                     pending[i].owner, order_it});
+    ++shard.counters.demotions;
   }
 }
 
-tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key) {
+tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key,
+                                       const CacheAccess& access) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<const std::string> blob;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    // Every lookup — hit or miss — feeds the frequency model the admission
+    // filter judges candidates and victims by.
+    shard.admission->RecordAccess(KeyHash(key));
     auto it = shard.l1.find(key);
     if (it != shard.l1.end()) {
-      l1_hits_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.counters.l1_hits;
       if (options_.eviction == EvictionPolicyKind::kLru) {
         shard.l1_order.splice(shard.l1_order.end(), shard.l1_order,
                               it->second.order_it);
+        if (it->second.owner != 0) {
+          // Keep the owner queue's relative order in lockstep with
+          // l1_order (the pass-1/pass-2 victim simulation relies on it).
+          auto& order = shard.session_l1_order.find(it->second.owner)->second;
+          order.splice(order.end(), order, it->second.owner_order_it);
+        }
       }
       return it->second.tile;
     }
     auto l2_it = shard.l2.find(key);
     if (l2_it == shard.l2.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      ++shard.counters.misses;
       return nullptr;
     }
     // Warm hit: grab a reference and decode outside the lock. The entry
@@ -167,20 +303,21 @@ tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key) {
 
   std::uint64_t t0 = NowNs();
   auto decoded = storage::TileCodec::Decode(*blob);
-  decode_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  std::uint64_t decode_ns = NowNs() - t0;
 
   std::vector<PendingDemotion> pending;
   tiles::TilePtr result;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.decode_ns += decode_ns;
     // Drop the L2 entry (all concurrent decoders of the same blob fail or
     // succeed alike, and a landed promotion supersedes it either way).
     auto l2_it = shard.l2.find(key);
     bool was_in_l2 = l2_it != shard.l2.end();
+    std::uint64_t l2_owner = 0;
     if (was_in_l2) {
+      l2_owner = l2_it->second.owner;
       shard.l2_bytes -= l2_it->second.blob->size();
-      l2_bytes_resident_.fetch_sub(l2_it->second.blob->size(),
-                                   std::memory_order_relaxed);
       shard.l2_order.erase(l2_it->second.order_it);
       shard.l2.erase(l2_it);
     }
@@ -188,8 +325,8 @@ tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key) {
     if (!decoded.ok()) {
       // Checksum-guarded decode failure: the tile is simply gone and the
       // caller falls back to the store.
-      if (was_in_l2) evictions_.fetch_add(1, std::memory_order_relaxed);
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (was_in_l2) ++shard.counters.evictions;
+      ++shard.counters.misses;
       return nullptr;
     }
     auto tile = std::make_shared<const tiles::Tile>(std::move(decoded).value());
@@ -198,26 +335,41 @@ tiles::TilePtr SharedTileCache::Lookup(const tiles::TileKey& key) {
     if (it != shard.l1.end()) {
       // A concurrent promotion or insert landed first: the L1 copy owns
       // the residency, so the L2 copy's departure is an eviction.
-      if (was_in_l2) evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (was_in_l2) ++shard.counters.evictions;
       result = it->second.tile;
-    } else if (AdmitToL1(shard, key, tile, &pending)) {
-      // The promotion re-uses the L2 copy's residency; a vanished entry
-      // (evicted under pressure mid-decode, eviction already counted)
-      // makes this a fresh admission instead.
-      if (!was_in_l2) insertions_.fetch_add(1, std::memory_order_relaxed);
-      result = std::move(tile);
     } else {
-      // Too large to re-enter L1: served, but no longer resident.
-      if (was_in_l2) evictions_.fetch_add(1, std::memory_order_relaxed);
+      // Promote. The tile is warm by construction (it just hit L2), so the
+      // frequency filter is bypassed; ownership survives the demote cycle,
+      // and a vanished entry (evicted under pressure mid-decode, eviction
+      // already counted) makes this a fresh admission by the accessor.
+      CacheAccess promo{was_in_l2 ? l2_owner : access.session_id,
+                        access.confidence};
+      auto outcome = AdmitToL1(shard, key, tile, promo, /*bypass_filter=*/true,
+                               /*count_priority=*/false, &pending);
+      if (outcome == AdmitOutcome::kAdmitted) {
+        if (!was_in_l2) {
+          ++shard.counters.admission_attempts;
+          ++shard.counters.insertions;
+        }
+      } else {
+        // Too large to re-enter L1: served, but no longer resident.
+        if (was_in_l2) {
+          ++shard.counters.evictions;
+        } else {
+          ++shard.counters.admission_attempts;
+          ++shard.counters.admission_rejects;
+        }
+      }
       result = std::move(tile);
     }
-    l2_hits_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.counters.l2_hits;
   }
   FinishDemotions(shard, std::move(pending));
   return result;
 }
 
-void SharedTileCache::Insert(const tiles::TileKey& key, tiles::TilePtr tile) {
+void SharedTileCache::Insert(const tiles::TileKey& key, tiles::TilePtr tile,
+                             const CacheAccess& access) {
   if (tile == nullptr) return;
   Shard& shard = ShardFor(key);
   std::vector<PendingDemotion> pending;
@@ -225,47 +377,82 @@ void SharedTileCache::Insert(const tiles::TileKey& key, tiles::TilePtr tile) {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.l1.find(key);
     if (it != shard.l1.end()) {
-      // Refresh in place, then re-enforce the budget: the replacement
-      // payload may be larger than the one it displaced.
+      // Refresh in place, then re-enforce the budget and quota: the
+      // replacement payload may be larger than the one it displaced, and
+      // the refreshing session takes over the entry's quota charge.
       std::size_t bytes = tile->SizeBytes();
-      shard.l1_bytes = shard.l1_bytes - it->second.bytes + bytes;
-      if (bytes >= it->second.bytes) {
-        l1_bytes_resident_.fetch_add(bytes - it->second.bytes,
-                                     std::memory_order_relaxed);
+      L1Entry& entry = it->second;
+      shard.l1_bytes = shard.l1_bytes - entry.bytes + bytes;
+      if (entry.owner == access.session_id) {
+        // Same owner: adjust the byte charge in place. The owner-queue
+        // node keeps its position, staying in lockstep with l1_order —
+        // under FIFO neither queue re-ages on refresh (LRU re-ages both
+        // below).
+        if (entry.owner != 0) {
+          auto usage = shard.session_l1_bytes.find(entry.owner);
+          usage->second = usage->second - entry.bytes + bytes;
+        }
+        entry.tile = std::move(tile);
+        entry.bytes = bytes;
       } else {
-        l1_bytes_resident_.fetch_sub(it->second.bytes - bytes,
-                                     std::memory_order_relaxed);
+        DischargeOwner(shard, entry);
+        entry.owner = access.session_id;
+        entry.tile = std::move(tile);
+        entry.bytes = bytes;
+        ChargeOwner(shard, key, entry);
       }
-      it->second.tile = std::move(tile);
-      it->second.bytes = bytes;
       if (options_.eviction == EvictionPolicyKind::kLru) {
         shard.l1_order.splice(shard.l1_order.end(), shard.l1_order,
-                              it->second.order_it);
+                              entry.order_it);
+        if (entry.owner != 0) {
+          auto& order = shard.session_l1_order.find(entry.owner)->second;
+          order.splice(order.end(), order, entry.owner_order_it);
+        }
       }
+      CollectQuotaOverflow(shard, access.session_id, &pending);
       CollectL1Overflow(shard, &pending);
     } else if (auto l2_it = shard.l2.find(key); l2_it != shard.l2.end()) {
       // Fresh payload supersedes the compressed copy; the key stays
-      // resident (when it fits), so this is a refresh, not a new admission.
+      // resident (when it fits), so this is a refresh, not a new admission,
+      // and — being warm — it skips the frequency filter.
       shard.l2_bytes -= l2_it->second.blob->size();
-      l2_bytes_resident_.fetch_sub(l2_it->second.blob->size(),
-                                   std::memory_order_relaxed);
       shard.l2_order.erase(l2_it->second.order_it);
       shard.l2.erase(l2_it);
-      if (!AdmitToL1(shard, key, std::move(tile), &pending)) {
-        evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (AdmitToL1(shard, key, std::move(tile), access,
+                    /*bypass_filter=*/true, /*count_priority=*/false,
+                    &pending) != AdmitOutcome::kAdmitted) {
+        ++shard.counters.evictions;
       }
-    } else if (AdmitToL1(shard, key, std::move(tile), &pending)) {
-      insertions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // New tile: this is the admission decision the filter exists for.
+      // High-confidence prefetch fills bypass it (priority admission —
+      // counted inside AdmitToL1, and only when the filter would really
+      // have judged foreign victims).
+      const bool priority =
+          access.confidence >= options_.admission.priority_confidence;
+      const bool count_priority =
+          priority &&
+          options_.admission.policy != AdmissionPolicyKind::kAdmitAll;
+      ++shard.counters.admission_attempts;
+      auto outcome =
+          AdmitToL1(shard, key, std::move(tile), access,
+                    /*bypass_filter=*/priority, count_priority, &pending);
+      if (outcome == AdmitOutcome::kAdmitted) {
+        ++shard.counters.insertions;
+      } else {
+        ++shard.counters.admission_rejects;
+      }
     }
   }
   FinishDemotions(shard, std::move(pending));
 }
 
 Result<tiles::TilePtr> SharedTileCache::GetOrFetch(const tiles::TileKey& key,
-                                                   storage::TileStore* store) {
-  if (auto tile = Lookup(key)) return tile;
+                                                   storage::TileStore* store,
+                                                   const CacheAccess& access) {
+  if (auto tile = Lookup(key, access)) return tile;
   FC_ASSIGN_OR_RETURN(auto tile, store->Fetch(key));
-  Insert(key, tile);
+  Insert(key, tile, access);
   return tile;
 }
 
@@ -278,12 +465,12 @@ bool SharedTileCache::Contains(const tiles::TileKey& key) const {
 void SharedTileCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    l1_bytes_resident_.fetch_sub(shard->l1_bytes, std::memory_order_relaxed);
-    l2_bytes_resident_.fetch_sub(shard->l2_bytes, std::memory_order_relaxed);
     shard->l1.clear();
     shard->l2.clear();
     shard->l1_order.clear();
     shard->l2_order.clear();
+    shard->session_l1_bytes.clear();
+    shard->session_l1_order.clear();
     shard->l1_bytes = 0;
     shard->l2_bytes = 0;
   }
@@ -309,20 +496,45 @@ std::size_t SharedTileCache::l2_size() const {
   return total;
 }
 
+std::size_t SharedTileCache::SessionL1Bytes(std::uint64_t session_id) const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto usage = shard->session_l1_bytes.find(session_id);
+    if (usage != shard->session_l1_bytes.end()) total += usage->second;
+  }
+  return total;
+}
+
 SharedTileCacheStats SharedTileCache::Stats() const {
+  // Snapshot every shard under its lock, acquired in index order (the only
+  // multi-shard lock site, so the order cannot deadlock against anything).
+  // Summing under one all-shards critical section means the totals never
+  // mix one shard's pre-update counter with another's post-update one.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+
   SharedTileCacheStats stats;
-  stats.l1_hits = l1_hits_.load(std::memory_order_relaxed);
-  stats.l2_hits = l2_hits_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const ShardCounters& c = shard->counters;
+    stats.l1_hits += c.l1_hits;
+    stats.l2_hits += c.l2_hits;
+    stats.misses += c.misses;
+    stats.insertions += c.insertions;
+    stats.evictions += c.evictions;
+    stats.demotions += c.demotions;
+    stats.encode_ns += c.encode_ns;
+    stats.decode_ns += c.decode_ns;
+    stats.admission_attempts += c.admission_attempts;
+    stats.admission_rejects += c.admission_rejects;
+    stats.priority_admits += c.priority_admits;
+    stats.quota_evictions += c.quota_evictions;
+    stats.l1_bytes_resident += shard->l1_bytes;
+    stats.l2_bytes_resident += shard->l2_bytes;
+  }
   stats.hits = stats.l1_hits + stats.l2_hits;
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.demotions = demotions_.load(std::memory_order_relaxed);
   stats.promotions = stats.l2_hits;
-  stats.encode_ns = encode_ns_.load(std::memory_order_relaxed);
-  stats.decode_ns = decode_ns_.load(std::memory_order_relaxed);
-  stats.l1_bytes_resident = l1_bytes_resident_.load(std::memory_order_relaxed);
-  stats.l2_bytes_resident = l2_bytes_resident_.load(std::memory_order_relaxed);
   stats.bytes_resident = stats.l1_bytes_resident + stats.l2_bytes_resident;
   return stats;
 }

@@ -14,14 +14,24 @@
 //    back into L1, and costs decode time instead of a DBMS query. Only when
 //    the L2 budget is exhausted is a tile truly evicted from the process.
 //
+// Multi-tenant fairness (this PR): admission into L1 is policy-gated. A
+// TinyLFU frequency sketch (see core/admission.h) rejects cold tiles that
+// would displace warmer ones, so a scan-heavy session cannot flush every
+// other session's hot set; prefetch fills carrying high prediction
+// confidence bypass the filter (priority admission); and optional
+// per-session byte quotas bound how much L1 any one session's fetches may
+// occupy — quota pressure evicts the offender's own oldest tiles, never a
+// neighbor's. Callers identify themselves per access via CacheAccess.
+//
 // Concurrency: the key space is striped across shards, each with its own
-// mutex and per-tier eviction state, so sessions touching different regions
-// never contend. Stats are atomics aggregated across shards.
+// mutex, per-tier eviction state, admission policy, and stat counters.
+// Counters are plain integers mutated only under their shard's lock;
+// Stats() locks every shard in index order and sums, so a snapshot never
+// mixes a shard's pre-update counter with another's post-update one.
 
 #ifndef FORECACHE_CORE_SHARED_TILE_CACHE_H_
 #define FORECACHE_CORE_SHARED_TILE_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -31,6 +41,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/admission.h"
 #include "storage/tile_codec.h"
 #include "storage/tile_store.h"
 #include "tiles/tile.h"
@@ -42,6 +53,18 @@ namespace fc::core {
 /// tile; kFifo evicts in insertion order (cheaper: hits skip the bookkeeping
 /// write, at the price of keeping stale-but-recently-hot tiles no longer).
 enum class EvictionPolicyKind { kLru, kFifo };
+
+/// Who is touching the cache, and how sure the prediction engine was that
+/// they would. Defaults describe an anonymous demand access: subject to the
+/// admission filter, exempt from (and uncharged against) session quotas.
+struct CacheAccess {
+  /// Stable nonzero id of the requesting session; 0 = anonymous.
+  std::uint64_t session_id = 0;
+  /// Prediction confidence in [0, 1] for prefetch fills (0 for demand
+  /// requests). At or above AdmissionOptions::priority_confidence the
+  /// frequency filter is bypassed.
+  double confidence = 0.0;
+};
 
 struct SharedTileCacheOptions {
   /// Byte budget of the decoded (L1) tier, summed Tile::SizeBytes.
@@ -62,11 +85,20 @@ struct SharedTileCacheOptions {
   /// absolute error at quant_step/2 — set encoding = kRawF64 for a lossless
   /// (but incompressible) warm tier.
   storage::TileCodecOptions codec{storage::TileEncoding::kDeltaVarint, 1e-4};
+  /// Admission control (default: admit everything, the pre-PR-3 behavior).
+  AdmissionOptions admission;
+  /// Per-session L1 byte quota, ceil-divided across shards like the tier
+  /// budgets. 0 disables quotas; anonymous accesses (session_id 0) are
+  /// never charged. A session over its quota in a shard evicts its own
+  /// oldest tiles there, leaving other sessions' residency untouched.
+  std::size_t session_quota_bytes = 0;
 };
 
-/// Point-in-time counters. hits == l1_hits + l2_hits; hits + misses ==
-/// lookups; insertions - evictions == resident tiles across both tiers
-/// (modulo Clear).
+/// Point-in-time counters, summed over a consistent all-shards snapshot.
+/// Invariants: hits == l1_hits + l2_hits; hits + misses == lookups;
+/// admission_attempts == insertions + admission_rejects; and once no
+/// operation is in flight, insertions - evictions == resident tiles across
+/// both tiers (modulo Clear).
 struct SharedTileCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -81,6 +113,20 @@ struct SharedTileCacheStats {
   std::uint64_t encode_ns = 0;  ///< Total time compressing demoted tiles.
   std::uint64_t decode_ns = 0;  ///< Total time decoding L2 hits.
 
+  /// Offers of a not-yet-resident tile to L1 (demand publishes, prefetch
+  /// fills, and promotions whose L2 copy vanished mid-decode). Every
+  /// attempt either becomes an insertion or an admission_reject.
+  std::uint64_t admission_attempts = 0;
+  /// Attempts refused: colder than every victim they would displace, or
+  /// oversized for the shard budget / session quota.
+  std::uint64_t admission_rejects = 0;
+  /// Admissions that bypassed the frequency filter on high prediction
+  /// confidence (only counted when the filter would actually have run).
+  std::uint64_t priority_admits = 0;
+  /// L1 entries displaced because their owning session exceeded its quota
+  /// (they demote to L2 like any other displacement when the tier exists).
+  std::uint64_t quota_evictions = 0;
+
   std::uint64_t l1_bytes_resident = 0;
   std::uint64_t l2_bytes_resident = 0;
   std::uint64_t bytes_resident = 0;  ///< Both tiers.
@@ -91,26 +137,34 @@ struct SharedTileCacheStats {
   }
 };
 
-/// Sharded, thread-safe, byte-budgeted two-tier tile cache.
+/// Sharded, thread-safe, byte-budgeted two-tier tile cache with policy-gated
+/// admission and per-session fairness quotas.
 class SharedTileCache {
  public:
   explicit SharedTileCache(SharedTileCacheOptions options = {});
 
   /// Returns the cached tile, or null. An L1 hit (for LRU) freshens the
-  /// entry; an L2 hit decodes the blob and promotes it back into L1.
-  tiles::TilePtr Lookup(const tiles::TileKey& key);
+  /// entry; an L2 hit decodes the blob and promotes it back into L1. Every
+  /// lookup feeds the admission policy's frequency model.
+  tiles::TilePtr Lookup(const tiles::TileKey& key,
+                        const CacheAccess& access = {});
 
-  /// Inserts (or refreshes) a tile into L1, demoting/evicting per policy
-  /// until the byte budgets hold. Null tiles are ignored.
-  void Insert(const tiles::TileKey& key, tiles::TilePtr tile);
+  /// Offers a tile to L1 (or refreshes the resident copy), demoting and
+  /// evicting per policy until byte budgets and quotas hold. A new tile may
+  /// be rejected by the admission filter — it is simply not cached. Null
+  /// tiles are ignored.
+  void Insert(const tiles::TileKey& key, tiles::TilePtr tile,
+              const CacheAccess& access = {});
 
   /// Cache-through fetch: Lookup, and on a miss fetch from `store` and
   /// Insert. Concurrent misses on the same key may each fetch unless `store`
   /// is a SingleFlightTileStore (the SessionManager wires one in).
   Result<tiles::TilePtr> GetOrFetch(const tiles::TileKey& key,
-                                    storage::TileStore* store);
+                                    storage::TileStore* store,
+                                    const CacheAccess& access = {});
 
-  /// Lookup in either tier without stats, promotion, or recency effects.
+  /// Lookup in either tier without stats, promotion, frequency, or recency
+  /// effects.
   bool Contains(const tiles::TileKey& key) const;
 
   void Clear();
@@ -121,24 +175,52 @@ class SharedTileCache {
   std::size_t l2_size() const;
   std::size_t l1_budget_bytes() const { return options_.l1_bytes; }
   std::size_t l2_budget_bytes() const { return options_.l2_bytes; }
+  std::size_t session_quota_bytes() const { return options_.session_quota_bytes; }
   std::size_t num_shards() const { return shards_.size(); }
 
+  /// L1 bytes currently charged to `session_id`, summed across shards.
+  std::size_t SessionL1Bytes(std::uint64_t session_id) const;
+
+  /// Consistent snapshot: all shards locked (in index order) for the read.
   SharedTileCacheStats Stats() const;
 
  private:
   struct L1Entry {
     tiles::TilePtr tile;
     std::size_t bytes = 0;
+    /// Session whose fetch pays for this entry (0 = unowned).
+    std::uint64_t owner = 0;
     /// Position in Shard::l1_order (eviction queue).
     std::list<tiles::TileKey>::iterator order_it;
+    /// Position in Shard::session_l1_order[owner]; valid iff owner != 0.
+    std::list<tiles::TileKey>::iterator owner_order_it;
   };
 
   struct L2Entry {
     /// Shared so a warm hit grabs a refcount under the shard lock and
     /// decodes outside it — never an O(blob) copy behind the stripe.
     std::shared_ptr<const std::string> blob;
+    /// Preserved through the demote/promote cycle for quota accounting.
+    std::uint64_t owner = 0;
     /// Position in Shard::l2_order.
     std::list<tiles::TileKey>::iterator order_it;
+  };
+
+  /// Plain counters, guarded by the owning shard's mutex. Stats() sums them
+  /// under an all-shards lock so global invariants read consistently.
+  struct ShardCounters {
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t encode_ns = 0;
+    std::uint64_t decode_ns = 0;
+    std::uint64_t admission_attempts = 0;
+    std::uint64_t admission_rejects = 0;
+    std::uint64_t priority_admits = 0;
+    std::uint64_t quota_evictions = 0;
   };
 
   struct Shard {
@@ -152,6 +234,17 @@ class SharedTileCache {
     std::list<tiles::TileKey> l2_order;
     std::size_t l1_bytes = 0;
     std::size_t l2_bytes = 0;
+    /// L1 bytes charged per owning session (no entry once a session drops
+    /// to zero). Sums to l1_bytes minus unowned entries' bytes.
+    std::unordered_map<std::uint64_t, std::size_t> session_l1_bytes;
+    /// Per-owner eviction queues mirroring l1_order's relative order
+    /// (front = the session's next quota victim), so quota victim
+    /// selection costs O(victims), not O(shard population).
+    std::unordered_map<std::uint64_t, std::list<tiles::TileKey>>
+        session_l1_order;
+    /// Never null; called only under mu.
+    std::unique_ptr<AdmissionPolicy> admission;
+    ShardCounters counters;
   };
 
   /// A tile popped from L1 whose compression (and L2 insertion or eviction)
@@ -160,22 +253,58 @@ class SharedTileCache {
   struct PendingDemotion {
     tiles::TileKey key;
     tiles::TilePtr tile;
+    std::uint64_t owner = 0;
   };
+
+  /// Why AdmitToL1 refused a tile (callers decide which counters move).
+  enum class AdmitOutcome { kAdmitted, kRejectedByFilter, kRejectedOversized };
+
+  /// Stable 64-bit key hash feeding the per-shard frequency sketch.
+  static std::uint64_t KeyHash(const tiles::TileKey& key);
 
   Shard& ShardFor(const tiles::TileKey& key);
   const Shard& ShardFor(const tiles::TileKey& key) const;
 
-  /// Places a decoded tile into a shard's L1, popping victims into
-  /// `pending` until the L1 byte budget holds. Returns false (caching
-  /// skipped) when the tile alone exceeds the shard budget. Caller holds
-  /// shard.mu and has ensured `key` is in neither tier; caller must pass
-  /// `pending` to FinishDemotions after releasing the lock.
-  bool AdmitToL1(Shard& shard, const tiles::TileKey& key, tiles::TilePtr tile,
-                 std::vector<PendingDemotion>* pending);
+  /// Charges `entry` (bytes + a slot at the back of the owner's eviction
+  /// queue, recorded in entry.owner_order_it) to entry.owner in `shard`.
+  /// No-op for the anonymous owner 0. Caller holds shard.mu.
+  static void ChargeOwner(Shard& shard, const tiles::TileKey& key,
+                          L1Entry& entry);
+
+  /// Reverses ChargeOwner (the owner's byte and queue records are erased
+  /// when they empty). Caller holds shard.mu.
+  static void DischargeOwner(Shard& shard, const L1Entry& entry);
+
+  /// Detaches the L1 entry at `it` (order list, byte and quota accounting)
+  /// and appends its payload to `pending` for demotion. Caller holds
+  /// shard.mu.
+  void DetachFromL1(
+      Shard& shard,
+      std::unordered_map<tiles::TileKey, L1Entry, tiles::TileKeyHash>::iterator it,
+      std::vector<PendingDemotion>* pending);
+
+  /// Offers a decoded tile to a shard's L1: runs the admission filter
+  /// (unless `bypass_filter` — priority admissions and L2 promotions skip
+  /// it), then inserts, then pops quota and budget victims into `pending`.
+  /// With `count_priority` (confidence-bypassed new-tile offers under a
+  /// real filter), priority_admits is bumped iff the filter would actually
+  /// have judged foreign victims. Caller holds shard.mu and has ensured
+  /// `key` is in neither tier; caller must pass `pending` to
+  /// FinishDemotions after releasing the lock and move its own
+  /// attempt/insertion/reject counters per the outcome.
+  AdmitOutcome AdmitToL1(Shard& shard, const tiles::TileKey& key,
+                         tiles::TilePtr tile, const CacheAccess& access,
+                         bool bypass_filter, bool count_priority,
+                         std::vector<PendingDemotion>* pending);
 
   /// Pops L1 victims into `pending` while the shard is over its L1 budget.
   /// Caller holds shard.mu.
   void CollectL1Overflow(Shard& shard, std::vector<PendingDemotion>* pending);
+
+  /// Pops `session`'s own oldest L1 entries into `pending` while it is over
+  /// its per-shard quota, counting quota_evictions. Caller holds shard.mu.
+  void CollectQuotaOverflow(Shard& shard, std::uint64_t session,
+                            std::vector<PendingDemotion>* pending);
 
   /// Compresses pending victims (outside any lock), then re-acquires
   /// shard.mu to land them in L2 or count their eviction. A victim whose
@@ -190,18 +319,8 @@ class SharedTileCache {
   storage::TileCodec codec_;
   std::size_t shard_l1_bytes_;
   std::size_t shard_l2_bytes_;
+  std::size_t shard_quota_bytes_;  ///< 0 when quotas are disabled.
   std::vector<std::unique_ptr<Shard>> shards_;
-
-  std::atomic<std::uint64_t> l1_hits_{0};
-  std::atomic<std::uint64_t> l2_hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> insertions_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> demotions_{0};
-  std::atomic<std::uint64_t> encode_ns_{0};
-  std::atomic<std::uint64_t> decode_ns_{0};
-  std::atomic<std::uint64_t> l1_bytes_resident_{0};
-  std::atomic<std::uint64_t> l2_bytes_resident_{0};
 };
 
 }  // namespace fc::core

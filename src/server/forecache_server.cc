@@ -51,19 +51,22 @@ void ForeCacheServer::FinishPendingPrefetch() {
   pending_cv_.notify_all();
 }
 
-void ForeCacheServer::SchedulePrefetch(core::RankedTiles tiles) {
+void ForeCacheServer::SchedulePrefetch(core::RankedTiles tiles,
+                                       std::vector<double> confidences) {
   std::uint64_t generation = prefetch_generation_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_prefetches_;
   }
-  bool accepted = executor_->Submit([this, generation, tiles = std::move(tiles)] {
+  bool accepted = executor_->Submit(
+      [this, generation, tiles = std::move(tiles),
+       confidences = std::move(confidences)] {
     auto superseded = [this, generation] {
       return prefetch_generation_.load(std::memory_order_acquire) != generation;
     };
     // Failures are skipped inside Prefetch (counted per session); the
     // fill itself cannot return an error worth surfacing here.
-    cache_manager_.Prefetch(tiles, superseded).IgnoreError();
+    cache_manager_.Prefetch(tiles, confidences, superseded).IgnoreError();
     FinishPendingPrefetch();
   });
   if (!accepted) {
@@ -106,9 +109,11 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
   if (options_.prefetching_enabled) {
     FC_ASSIGN_OR_RETURN(served.prediction, engine_->OnRequest(request));
     if (executor_ != nullptr) {
-      SchedulePrefetch(served.prediction.tiles);
+      SchedulePrefetch(served.prediction.tiles, served.prediction.confidences);
     } else {
-      FC_RETURN_IF_ERROR(cache_manager_.Prefetch(served.prediction.tiles));
+      FC_RETURN_IF_ERROR(cache_manager_.Prefetch(
+          served.prediction.tiles, served.prediction.confidences,
+          [] { return false; }));
     }
   }
   return served;

@@ -98,7 +98,10 @@ class ForeCacheServer {
   double AverageLatencyMs() const;
 
  private:
-  void SchedulePrefetch(core::RankedTiles tiles);
+  /// `confidences` parallels `tiles` (the engine's per-rank confidence) so
+  /// background fills carry priority-admission hints into the shared cache.
+  void SchedulePrefetch(core::RankedTiles tiles,
+                        std::vector<double> confidences);
   /// Supersedes any in-flight fill, then waits for it to settle (session
   /// reset/teardown: the region is about to be discarded anyway).
   void CancelAndWaitForPrefetch();

@@ -82,8 +82,12 @@ BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
   state.engine = std::make_unique<core::PredictionEngine>(
       &store_->spec(), shared_.classifier, shared_.ab, shared_.sb,
       shared_.strategy, shared_.engine_options);
+  // Every shared-cache access this session makes carries its own numeric
+  // identity, so admission control and per-session quotas see who is who.
+  ServerOptions server_options = options_.server;
+  server_options.cache.session_id = ++next_session_number_;
   state.server = std::make_unique<ForeCacheServer>(
-      store_, state.engine.get(), clock_, options_.server, executor_.get(),
+      store_, state.engine.get(), clock_, server_options, executor_.get(),
       shared_cache_.get());
   state.browser = std::make_unique<BrowserSession>(state.server.get());
   auto [inserted, _] = sessions_.emplace(session_id, std::move(state));

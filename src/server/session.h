@@ -167,8 +167,13 @@ class SessionManager {
   std::unique_ptr<core::SharedTileCache> shared_cache_;
   std::unique_ptr<storage::SingleFlightTileStore> single_flight_;
 
-  mutable std::mutex mu_;  ///< Guards sessions_.
+  mutable std::mutex mu_;  ///< Guards sessions_ and next_session_number_.
   std::map<std::string, SessionState> sessions_;
+  /// Source of the nonzero numeric identity stamped on each session's
+  /// shared-cache accesses (admission control and quotas attribute traffic
+  /// by it). Monotonic: a closed session's id is never reused, so its
+  /// leftover residency cannot be charged to a newcomer.
+  std::uint64_t next_session_number_ = 0;
 };
 
 }  // namespace fc::server

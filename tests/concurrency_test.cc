@@ -360,6 +360,158 @@ TEST(MultiSessionStressTest, TieredCacheSurvivesConcurrentPromotionChurn) {
   EXPECT_GT(stats.bytes_resident, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Admission + quota paths under contention: mixed scan/zoom sessions from 8
+// threads hammer a TinyLFU-filtered, quota-governed, two-tier cache. Run
+// under TSan in CI. The checks are the admission stat invariants — every
+// one of them is counted under the owning shard's lock, so they must hold
+// exactly whatever the interleaving.
+
+TEST(MultiSessionStressTest, AdmissionQuotaInvariantsUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  core::SharedTileCacheOptions options;
+  options.l1_bytes = 6 * 8 * 8 * sizeof(double);
+  options.l2_bytes = 3 * 8 * 8 * sizeof(double);
+  options.num_shards = 2;
+  options.codec = {storage::TileEncoding::kDeltaVarint, 1e-6};
+  options.admission.policy = core::AdmissionPolicyKind::kTinyLfu;
+  options.admission.sketch_counters = 256;
+  options.admission.sketch_halve_every = 512;  // halvings happen mid-run
+  options.session_quota_bytes = 3 * 8 * 8 * sizeof(double);
+  core::SharedTileCache cache(options);
+
+  const auto keys = pyramid->spec().AllKeys();
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> lookups{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(/*seed=*/700 + t);
+      const std::uint64_t session = static_cast<std::uint64_t>(t) + 1;
+      // Even threads zoom-loop a small hot slice; odd threads scan the
+      // whole key space — the adversarial mix admission control is for.
+      const bool zoomer = t % 2 == 0;
+      const std::size_t hot_base = (static_cast<std::size_t>(t) * 7) % keys.size();
+      std::size_t scan_pos = static_cast<std::size_t>(t) * 11;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto& key =
+            zoomer ? keys[(hot_base + rng.UniformUint32(6)) % keys.size()]
+                   : keys[scan_pos++ % keys.size()];
+        core::CacheAccess access{session, op % 10 == 0 ? 1.0 : 0.0};
+        lookups.fetch_add(1);
+        if (cache.Lookup(key, access) == nullptr) {
+          auto tile = store.Fetch(key);
+          ASSERT_TRUE(tile.ok());
+          cache.Insert(key, *tile, access);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto stats = cache.Stats();
+  // Admission bookkeeping is lossless under contention: every lookup
+  // counted exactly one outcome, and every offer either admitted or
+  // rejected (attempts == admits + rejects, the ISSUE's invariant).
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.hits, stats.l1_hits + stats.l2_hits);
+  EXPECT_EQ(stats.admission_attempts,
+            stats.insertions + stats.admission_rejects);
+  // The run exercised every policy path.
+  EXPECT_GT(stats.admission_rejects, 0u);
+  EXPECT_GT(stats.quota_evictions, 0u);
+  // Byte governance held: per-shard budgets are strict, so totals stay
+  // within the ceil-divided global budgets.
+  const std::size_t shard_slack = options.num_shards;  // ceil-division
+  EXPECT_LE(stats.l1_bytes_resident, options.l1_bytes + shard_slack);
+  EXPECT_LE(stats.l2_bytes_resident, options.l2_bytes + shard_slack);
+  // Quotas held for every session (per-shard ceil-divided share).
+  const std::size_t shard_quota =
+      (options.session_quota_bytes + options.num_shards - 1) / options.num_shards;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_LE(cache.SessionL1Bytes(static_cast<std::uint64_t>(t) + 1),
+              options.num_shards * shard_quota)
+        << "session " << t + 1;
+  }
+  // After the dust settles, residency bookkeeping is conserved.
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+}
+
+/// End-to-end plumbing: sessions driven through the full serving stack
+/// (SessionManager -> ForeCacheServer -> CacheManager -> SharedTileCache)
+/// carry their numeric identity and the engine's prediction confidence
+/// into every shared-cache access, so admission, quota, and priority
+/// bookkeeping all move — and their invariants hold — without any caller
+/// touching the cache directly.
+TEST(MultiSessionStressTest, ServingStackPlumbsIdentityAndConfidence) {
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kMovesPerSession = 40;
+
+  auto pyramid = SmallPyramid();
+  auto parts = EngineParts::Make();
+  SharedPredictionComponents shared;
+  shared.ab = &parts.ab;
+  shared.strategy = &parts.strategy;
+  shared.engine_options.prefetch_k = 5;
+
+  storage::MemoryTileStore store(pyramid);
+  SimClock clock;
+  SessionManagerOptions options;
+  options.executor_threads = 4;
+  options.use_shared_cache = true;
+  // Tight budget + filter + quotas: every fairness path gets traffic.
+  options.shared_cache.l1_bytes = 8 * 8 * 8 * sizeof(double);
+  options.shared_cache.num_shards = 2;
+  options.shared_cache.admission.policy = core::AdmissionPolicyKind::kTinyLfu;
+  options.shared_cache.admission.sketch_counters = 256;
+  // This harness runs AB-only, and single-model predictions are capped at
+  // confidence 0.6 by design (no cross-model agreement) — below the 0.9
+  // default bound, so production single-model traffic cannot force cold
+  // tiles past the filter. Lower the bound here so the test can observe
+  // the engine's confidences actually reaching the cache.
+  options.shared_cache.admission.priority_confidence = 0.5;
+  options.shared_cache.session_quota_bytes = 4 * 8 * 8 * sizeof(double);
+  options.single_flight = true;
+  SessionManager manager(&store, &clock, shared, options);
+
+  std::vector<SessionManager::SessionWorkload> workloads;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    workloads.push_back(
+        {"user" + std::to_string(s), [&, s](BrowserSession* session) {
+           return ReplayTape(session, MoveTape(/*seed=*/3000 + s, kMovesPerSession));
+         }});
+  }
+  ASSERT_TRUE(manager.RunSessions(std::move(workloads), 4).ok());
+
+  const auto* cache = manager.shared_cache();
+  ASSERT_NE(cache, nullptr);
+  auto stats = cache->Stats();
+  // Identity reached the cache: demand and prefetch traffic was attributed
+  // and judged (attempts happened, and the books balance exactly).
+  EXPECT_GT(stats.admission_attempts, 0u);
+  EXPECT_EQ(stats.admission_attempts,
+            stats.insertions + stats.admission_rejects);
+  // Confidence reached the cache: the engine's top-ranked (confidence 1.0)
+  // predictions took the priority path whenever the filter would have run.
+  EXPECT_GT(stats.priority_admits, 0u);
+  // Quotas bound every session the manager numbered (ids 1..kSessions).
+  const std::size_t shard_quota =
+      (options.shared_cache.session_quota_bytes +
+       options.shared_cache.num_shards - 1) /
+      options.shared_cache.num_shards;
+  for (std::size_t s = 1; s <= kSessions; ++s) {
+    EXPECT_LE(cache->SessionL1Bytes(s),
+              options.shared_cache.num_shards * shard_quota)
+        << "session " << s;
+  }
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache->size()));
+}
+
 /// Aggregate effect test: overlapping traces through the shared cache must
 /// produce a strictly better aggregate hit rate than private-only sessions.
 TEST(MultiSessionStressTest, SharedCacheBeatsPrivateOnOverlappingTraces) {

@@ -383,6 +383,53 @@ TEST(SharedTileCacheTest, QuantizedL2TierStaysWithinErrorBound) {
   EXPECT_LE(max_err, 1e-4 / 2 + 1e-12);
 }
 
+TEST(SharedTileCacheTest, StatsSnapshotSumsAreExactAfterDeterministicWorkload) {
+  // The stats fix: counters live per shard and Stats() snapshots every
+  // shard under its lock in index order, so sums are exact — no in-flight
+  // shard deltas, no mixing one shard's pre-update counter with another's
+  // post-update one. This golden drives a fixed workload across 4 shards
+  // and checks every cross-counter identity exactly.
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SharedTileCacheOptions options;
+  options.l1_bytes = 8 * kTileBytes;
+  // Raw blobs carry a codec header on top of the payload, so give each
+  // shard's L2 slice room for two of them.
+  options.l2_bytes = 12 * kTileBytes;
+  options.num_shards = 4;
+  options.codec = {storage::TileEncoding::kRawF64};
+  SharedTileCache cache(options);
+
+  const auto keys = pyramid->spec().AllKeys();  // 85 keys >> budget
+  std::uint64_t lookups = 0;
+  for (const auto& key : keys) {
+    ASSERT_TRUE(cache.GetOrFetch(key, &store).ok());
+    ++lookups;
+  }
+  for (std::size_t i = 0; i < 20; ++i) {  // revisits: hits + promotions
+    ASSERT_TRUE(cache.GetOrFetch(keys[i], &store).ok());
+    ++lookups;
+  }
+
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  EXPECT_EQ(stats.hits, stats.l1_hits + stats.l2_hits);
+  EXPECT_EQ(stats.promotions, stats.l2_hits);
+  EXPECT_EQ(stats.admission_attempts,
+            stats.insertions + stats.admission_rejects);
+  EXPECT_EQ(stats.insertions - stats.evictions,
+            static_cast<std::uint64_t>(cache.size()));
+  // Byte sums are exact, not sampled: L1 holds uniform decoded tiles and
+  // both tiers' residency adds up.
+  EXPECT_EQ(stats.l1_bytes_resident, cache.l1_size() * kTileBytes);
+  EXPECT_EQ(stats.bytes_resident,
+            stats.l1_bytes_resident + stats.l2_bytes_resident);
+  EXPECT_GT(stats.demotions, 0u);
+  // Misses fetched from the store exactly once each (the cache-through
+  // contract): fetches == misses.
+  EXPECT_EQ(store.fetch_count(), stats.misses);
+}
+
 TEST(SharedTileCacheTest, GetOrFetchServesL2WithoutStoreFetch) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
