@@ -30,6 +30,7 @@ namespace fc::core {
 /// 4-bit count-min frequency sketch with periodic halving (the TinyLFU
 /// "reset" operation). Estimates saturate at 15; halving divides every
 /// counter by two so estimates track recent popularity, not all of history.
+/// Not thread-safe: own one per shard and call it under that shard's lock.
 class FrequencySketch {
  public:
   /// `counters`: 4-bit counters per row, rounded up to a power of two
@@ -46,9 +47,13 @@ class FrequencySketch {
   /// only ever overestimates).
   std::uint32_t Estimate(std::uint64_t hash) const;
 
+  /// Total accesses ever recorded (not reset by halving).
   std::uint64_t accesses() const { return total_accesses_; }
+  /// Halvings performed so far.
   std::uint64_t halvings() const { return halvings_; }
+  /// Counters per row after power-of-two rounding.
   std::size_t counters_per_row() const { return counters_; }
+  /// Effective halving period (resolved from the 0 = auto default).
   std::uint64_t halve_every() const { return halve_every_; }
 
  private:
@@ -70,7 +75,9 @@ class FrequencySketch {
 
 /// Decides whether a tile not yet resident may enter L1 when doing so would
 /// displace resident tiles. Called by the shared cache under the owning
-/// shard's lock; implementations need not be thread-safe.
+/// shard's lock; implementations need not be thread-safe. Contract: the
+/// cache feeds every lookup to RecordAccess (hit or miss), then consults
+/// ShouldAdmit only for offers that would actually displace residents.
 class AdmissionPolicy {
  public:
   virtual ~AdmissionPolicy() = default;
@@ -101,8 +108,10 @@ class AdmitAllPolicy final : public AdmissionPolicy {
 /// TinyLFU: admit a candidate only if its sketch frequency strictly exceeds
 /// that of every tile it would displace. Ties reject — the incumbent keeps
 /// its slot, which is exactly what makes a frequency-1 scan bounce off.
+/// Not thread-safe (see AdmissionPolicy).
 class TinyLfuAdmissionPolicy final : public AdmissionPolicy {
  public:
+  /// Parameters are forwarded to FrequencySketch (see its constructor).
   explicit TinyLfuAdmissionPolicy(std::size_t sketch_counters,
                                   std::uint64_t halve_every = 0)
       : sketch_(sketch_counters, halve_every) {}
@@ -112,6 +121,7 @@ class TinyLfuAdmissionPolicy final : public AdmissionPolicy {
   bool ShouldAdmit(std::uint64_t candidate_hash,
                    const std::vector<std::uint64_t>& victim_hashes) override;
 
+  /// The underlying frequency model (for tests and introspection).
   const FrequencySketch& sketch() const { return sketch_; }
 
  private:

@@ -132,6 +132,51 @@ Status CacheManager::Prefetch(const std::vector<tiles::TileKey>& predictions,
   return Status::OK();
 }
 
+std::vector<PrefetchCandidate> CacheManager::BeginPrefetch(
+    const std::vector<tiles::TileKey>& predictions,
+    const std::vector<double>& confidences, std::uint64_t generation) {
+  std::vector<PrefetchCandidate> plan;
+  plan.reserve(predictions.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  prefetch_.Clear();
+  fill_generation_ = generation;
+  fill_open_ = true;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const tiles::TileKey& key = predictions[i];
+    // Already resident where the user can hit it: nothing to schedule (the
+    // synchronous path skips these the same way).
+    if (history_.Contains(key)) continue;
+    bool duplicate = false;
+    for (const auto& candidate : plan) {
+      if (candidate.key == key) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    plan.push_back(
+        PrefetchCandidate{key, i < confidences.size() ? confidences[i] : 0.0});
+  }
+  return plan;
+}
+
+bool CacheManager::AcceptPrefetched(const tiles::TileKey& key,
+                                    const tiles::TilePtr& tile,
+                                    std::uint64_t generation) {
+  if (tile == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A delivery for a superseded fill must not pollute the re-planned
+  // region (its successor's BeginPrefetch has already cleared it).
+  if (!fill_open_ || generation != fill_generation_) return false;
+  prefetch_.Put(key, tile);
+  return true;
+}
+
+void CacheManager::AbortPrefetch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fill_open_ = false;
+}
+
 bool CacheManager::Cached(const tiles::TileKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   return history_.Contains(key) || prefetch_.Contains(key);
@@ -141,6 +186,7 @@ void CacheManager::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   history_.Clear();
   prefetch_.Clear();
+  fill_open_ = false;  // stragglers from a pre-Clear fill are rejected
 }
 
 double CacheManager::HitRate() const {

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/prefetch_scheduler.h"
 #include "core/shared_tile_cache.h"
 #include "core/tile_cache.h"
 #include "storage/tile_store.h"
@@ -90,6 +91,35 @@ class CacheManager {
                   const std::vector<double>& confidences,
                   const std::function<bool()>& cancelled);
 
+  /// Scheduler-mode fill, step 1 (the submission API swap): instead of
+  /// fetching the ranked list itself, the session plans it for the
+  /// process-wide PrefetchScheduler. Clears the prefetch region, gates
+  /// AcceptPrefetched on `generation` (the server's per-request counter,
+  /// monotonic), and returns the ranked candidates to publish — skipping
+  /// tiles the history region already holds and in-list duplicates.
+  /// Thread-safe.
+  std::vector<PrefetchCandidate> BeginPrefetch(
+      const std::vector<tiles::TileKey>& predictions,
+      const std::vector<double>& confidences, std::uint64_t generation);
+
+  /// Scheduler-mode fill, step 2: the scheduler's delivery callback lands a
+  /// completed fill here. Retained only while `generation` is still the
+  /// current fill (a newer BeginPrefetch or Clear rejects stragglers — the
+  /// generation-based invalidation that keeps superseded fills out of a
+  /// re-planned region). Returns true when the tile was retained. Unlike
+  /// the synchronous Prefetch, byte-budget overflow evicts the region's
+  /// least-recently-delivered tile rather than ending the fill (deliveries
+  /// arrive in queue-priority order, not submission order). Thread-safe.
+  bool AcceptPrefetched(const tiles::TileKey& key, const tiles::TilePtr& tile,
+                        std::uint64_t generation);
+
+  /// Closes the scheduler-mode fill gate without touching region contents:
+  /// every AcceptPrefetched delivery is rejected until the next
+  /// BeginPrefetch. The server calls this when cancelling a fill, so
+  /// deliveries from still-settling merged fills cannot land in a region
+  /// the session has abandoned. Thread-safe.
+  void AbortPrefetch();
+
   /// True if a private region holds the tile (no stats side effects).
   bool Cached(const tiles::TileKey& key) const;
 
@@ -125,9 +155,13 @@ class CacheManager {
   CacheManagerOptions options_;
   SharedTileCache* shared_;
 
-  mutable std::mutex mu_;  ///< Guards history_ and prefetch_.
+  mutable std::mutex mu_;  ///< Guards history_, prefetch_, and the fill gate.
   LruTileCache history_;
   LruTileCache prefetch_;
+  /// Scheduler-mode fill gate: AcceptPrefetched only lands deliveries
+  /// carrying the generation of the latest BeginPrefetch. Closed by Clear.
+  std::uint64_t fill_generation_ = 0;
+  bool fill_open_ = false;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> private_hits_{0};

@@ -1,0 +1,362 @@
+#include "core/prefetch_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fc::core {
+
+PrefetchScheduler::PrefetchScheduler(storage::TileStore* store,
+                                     Executor* executor,
+                                     SharedTileCache* shared,
+                                     PrefetchSchedulerOptions options)
+    : store_(store), executor_(executor), shared_(shared), options_(options) {
+  FC_CHECK_MSG(store_ != nullptr, "PrefetchScheduler requires a tile store");
+  if (options_.max_in_flight == 0) options_.max_in_flight = 1;
+}
+
+PrefetchScheduler::~PrefetchScheduler() { Shutdown(); }
+
+std::uint64_t PrefetchScheduler::RegisterSession(std::uint64_t session_id,
+                                                 Delivery deliver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session_id == 0 || sessions_.count(session_id) > 0) {
+    session_id = next_auto_id_++;
+  }
+  auto state = std::make_unique<SessionState>();
+  state->deliver = std::move(deliver);
+  sessions_.emplace(session_id, std::move(state));
+  return session_id;
+}
+
+void PrefetchScheduler::RescoreLocked(const tiles::TileKey& key, Entry& entry) {
+  double aggregate = 0.0;
+  for (const auto& sub : entry.subs) aggregate += sub.confidence;
+  entry.priority = aggregate * static_cast<double>(entry.subs.size());
+  entry.stamp = ++stamp_counter_;
+  heap_.push(HeapNode{entry.priority, entry.stamp, key});
+}
+
+void PrefetchScheduler::InvalidateLocked(SessionState& state,
+                                         std::uint64_t session_id) {
+  for (const auto& key : state.pending_keys) {
+    auto eit = pending_.find(key);
+    // pending_keys tracks only still-pending entries (DrainOne removes a
+    // popped key from every subscriber's list), so the entry must exist.
+    auto& subs = eit->second.subs;
+    for (auto sit = subs.begin(); sit != subs.end(); ++sit) {
+      if (sit->session_id == session_id) {
+        subs.erase(sit);
+        break;
+      }
+    }
+    ++stats_.stale_drops;
+    ++stats_.dedup_saved_fetches;
+    if (subs.empty()) {
+      pending_.erase(eit);  // its heap nodes are skipped by stamp at pop
+    } else {
+      RescoreLocked(key, eit->second);  // the merged priority decays
+    }
+  }
+  if (shared_ != nullptr && !state.pending_keys.empty()) {
+    shared_->NoteStaleDrops(state.pending_keys.size());
+  }
+  state.pending_keys.clear();
+}
+
+void PrefetchScheduler::SpawnWorkersLocked() {
+  if (executor_ == nullptr || shutdown_) return;
+  while (workers_ < options_.max_in_flight && workers_ < pending_.size()) {
+    ++workers_;
+    if (!executor_->Submit([this] { WorkerLoop(); })) {
+      --workers_;  // executor already shut down; entries stay queued
+      break;
+    }
+  }
+}
+
+void PrefetchScheduler::WorkerLoop() {
+  for (;;) {
+    if (DrainOne()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the lock: an entry published between DrainOne's empty
+    // verdict and here would otherwise strand until the next Publish.
+    if (pending_.empty() || shutdown_) {
+      --workers_;
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void PrefetchScheduler::Publish(std::uint64_t session_id,
+                                std::uint64_t generation,
+                                std::vector<PrefetchCandidate> candidates) {
+  // Residency probe BEFORE the scheduler lock: one shard-locked Lookup per
+  // candidate, on the publishing session's own thread. The Lookup both
+  // captures already-resident tiles for immediate delivery (no second
+  // probe, no lost-to-eviction window) and feeds the admission frequency
+  // model with this session's predicted intent. Publishers must never
+  // serialize on mu_ for per-candidate shard work — Publish runs inside
+  // every HandleRequest.
+  std::vector<tiles::TilePtr> resident(candidates.size());
+  if (shared_ != nullptr) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      resident[i] = shared_->Lookup(
+          candidates[i].key,
+          CacheAccess{session_id, candidates[i].confidence});
+    }
+  }
+
+  SessionState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;  // unknown session: nothing published
+    state = it->second.get();
+    // Supersede the previous publication before anything else: its
+    // unfilled predictions are about a position the user has moved past.
+    InvalidateLocked(*state, session_id);
+    state->generation = generation;
+    if (shutdown_ || state->unregistering) {
+      // Retired on arrival; counted so the books still balance.
+      stats_.predictions_published += candidates.size();
+      stats_.dedup_saved_fetches += candidates.size();
+      stats_.stale_drops += candidates.size();
+      if (shared_ != nullptr) shared_->NoteStaleDrops(candidates.size());
+      return;
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const PrefetchCandidate& candidate = candidates[i];
+      ++stats_.predictions_published;
+      if (resident[i] != nullptr) {
+        // Already in process memory: no fill to schedule. Still delivered
+        // (below) so the session's private region fills like the paper's.
+        ++stats_.already_resident;
+        ++stats_.dedup_saved_fetches;
+        continue;
+      }
+      auto [eit, fresh] = pending_.try_emplace(candidate.key);
+      Entry& entry = eit->second;
+      bool own = false;
+      for (const auto& sub : entry.subs) {
+        if (sub.session_id == session_id) {  // duplicate key in one list
+          own = true;
+          break;
+        }
+      }
+      if (own) {
+        ++stats_.merged_predictions;
+        ++stats_.dedup_saved_fetches;
+        continue;
+      }
+      entry.subs.push_back(Subscription{session_id, generation,
+                                        candidate.confidence});
+      if (!fresh) ++stats_.merged_predictions;
+      state->pending_keys.push_back(candidate.key);
+      RescoreLocked(candidate.key, entry);
+    }
+    stats_.max_queue_depth =
+        std::max<std::uint64_t>(stats_.max_queue_depth, pending_.size());
+    SpawnWorkersLocked();
+  }
+
+  std::size_t delivered = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (resident[i] == nullptr) continue;
+    // Safe outside the lock: sessions are single-threaded by contract, so
+    // nothing unregisters `state` while its own Publish is running.
+    state->deliver(candidates[i].key, resident[i], generation);
+    ++delivered;
+  }
+  if (delivered > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deliveries += delivered;
+  }
+}
+
+bool PrefetchScheduler::DrainOne() {
+  tiles::TileKey key;
+  std::vector<Subscription> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    while (!heap_.empty()) {
+      HeapNode node = heap_.top();
+      heap_.pop();
+      auto eit = pending_.find(node.key);
+      if (eit == pending_.end() || eit->second.stamp != node.stamp) {
+        continue;  // superseded score or retired entry: lazy invalidation
+      }
+      key = node.key;
+      subs = std::move(eit->second.subs);
+      pending_.erase(eit);
+      found = true;
+      break;
+    }
+    if (!found) return false;
+    for (const auto& sub : subs) {
+      auto sit = sessions_.find(sub.session_id);
+      if (sit == sessions_.end()) continue;
+      auto& keys = sit->second->pending_keys;
+      auto kit = std::find(keys.begin(), keys.end(), key);
+      if (kit != keys.end()) keys.erase(kit);
+      // Pins the session (and its Delivery) until this fill settles.
+      ++sit->second->in_flight;
+    }
+    ++in_flight_fills_;
+  }
+
+  // The fetch runs outside the scheduler lock: a slow DBMS query must not
+  // block publishers or the other drain workers.
+  std::vector<CacheAccess> accesses;
+  accesses.reserve(subs.size());
+  for (const auto& sub : subs) {
+    accesses.push_back(CacheAccess{sub.session_id, sub.confidence});
+  }
+  tiles::TilePtr tile;
+  bool fetched = false;
+  bool ok = true;
+  if (shared_ != nullptr) {
+    auto result = shared_->GetOrFetchShared(key, store_, accesses);
+    if (result.ok()) {
+      tile = result->tile;
+      fetched = result->fetched;
+    } else {
+      ok = false;
+    }
+  } else {
+    auto result = store_->Fetch(key);
+    if (result.ok()) {
+      tile = std::move(*result);
+      fetched = true;
+    } else {
+      ok = false;
+    }
+  }
+
+  // Classify the retirement and collect still-current delivery targets.
+  std::vector<std::pair<SessionState*, std::uint64_t>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fetched || !ok) {
+      // One subscription pays for the (attempted) fetch; the rest merged.
+      ++stats_.fills_issued;
+      if (!ok) ++stats_.fill_failures;
+      stats_.dedup_saved_fetches += subs.size() - 1;
+    } else {
+      // Resident by fill time (e.g. a demand fetch landed it): nobody pays.
+      stats_.dedup_saved_fetches += subs.size();
+    }
+    if (ok) {
+      for (const auto& sub : subs) {
+        auto sit = sessions_.find(sub.session_id);
+        if (sit == sessions_.end()) continue;
+        SessionState& session = *sit->second;
+        if (!session.unregistering && session.generation == sub.generation) {
+          targets.emplace_back(&session, sub.generation);
+        }
+      }
+    }
+  }
+  // Deliveries outside the lock: they take the receiving CacheManager's
+  // region lock. The in_flight pin taken at pop keeps every SessionState
+  // alive until the settle step below, even for skipped targets.
+  for (auto& [session, generation] : targets) {
+    session->deliver(key, tile, generation);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deliveries += targets.size();
+    for (const auto& sub : subs) {
+      auto sit = sessions_.find(sub.session_id);
+      if (sit != sessions_.end() && sit->second->in_flight > 0) {
+        --sit->second->in_flight;
+      }
+    }
+    --in_flight_fills_;
+    cv_.notify_all();
+  }
+  return true;
+}
+
+void PrefetchScheduler::CancelSession(std::uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  SessionState& state = *it->second;
+  InvalidateLocked(state, session_id);
+  cv_.wait(lock, [&state] { return state.in_flight == 0; });
+}
+
+void PrefetchScheduler::UnregisterSession(std::uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  SessionState& state = *it->second;
+  state.unregistering = true;  // in-flight fills skip delivery from now on
+  InvalidateLocked(state, session_id);
+  cv_.wait(lock, [&state] { return state.in_flight == 0; });
+  sessions_.erase(session_id);
+}
+
+void PrefetchScheduler::WaitForSession(std::uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  SessionState& state = *it->second;
+  cv_.wait(lock, [&state] {
+    return state.pending_keys.empty() && state.in_flight == 0;
+  });
+}
+
+void PrefetchScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [this] { return pending_.empty() && in_flight_fills_ == 0; });
+}
+
+void PrefetchScheduler::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  // Retire every pending subscription: the delivery targets are about to
+  // be destroyed, and a fill nobody will receive is pure waste.
+  for (auto& [session_id, state] : sessions_) {
+    InvalidateLocked(*state, session_id);
+  }
+  heap_ = {};
+  FC_CHECK_MSG(pending_.empty(), "pending entry with no live subscription");
+  // Wake WaitForSession callers whose subscriptions were just retired —
+  // this is the only site that invalidates on behalf of OTHER sessions.
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return workers_ == 0 && in_flight_fills_ == 0; });
+}
+
+std::size_t PrefetchScheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+PrefetchSchedulerStats PrefetchScheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<PrefetchQueueEntry> PrefetchScheduler::SnapshotQueue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PrefetchQueueEntry> snapshot;
+  snapshot.reserve(pending_.size());
+  for (const auto& [key, entry] : pending_) {
+    double aggregate = 0.0;
+    for (const auto& sub : entry.subs) aggregate += sub.confidence;
+    snapshot.push_back(
+        PrefetchQueueEntry{key, entry.priority, aggregate, entry.subs.size()});
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const PrefetchQueueEntry& a, const PrefetchQueueEntry& b) {
+              return a.priority > b.priority;
+            });
+  return snapshot;
+}
+
+}  // namespace fc::core

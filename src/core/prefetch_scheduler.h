@@ -1,0 +1,255 @@
+// PrefetchScheduler: the process-wide, cross-session prefetch queue.
+//
+// The paper's client prefetches its own ranked tile list; one process
+// serving many concurrent users cannot afford that — N sessions predicting
+// the same tile would schedule N independent fills, and executor threads
+// burn on duplicate, low-aggregate-value work. Following the server-side
+// scheduling argument of Continuous Prefetch (Khameleon) and Kyrix's
+// centralized tile serving, sessions publish their ranked predictions here
+// instead of submitting fills directly, and one shared priority queue
+// decides what the executor fetches next:
+//
+//  * One pending entry per tile key. A prediction for a tile already
+//    pending MERGES into the existing entry (counted in
+//    merged_predictions) instead of queueing a second fill.
+//  * Priority = (sum of subscribed confidences) x (number of distinct
+//    subscribed sessions), re-scored on every merge and every decay — the
+//    tiles the most users are most certain to need next are fetched first.
+//  * Generation-based invalidation: each Publish supersedes the session's
+//    previous publication, so predictions from a request the user has
+//    already moved past decay out of the queue (stale_drops) instead of
+//    blocking it.
+//  * A completed fill lands ONCE in the shared cache — with the AGGREGATE
+//    confidence driving priority admission and every subscriber's interest
+//    feeding the admission frequency sketch — and is then delivered to
+//    every still-subscribed session's private prefetch region.
+//
+// Accounting invariant (drained queue, see Stats()):
+//   fills_issued + dedup_saved_fetches == predictions_published.
+//
+// Thread-safety: all methods are thread-safe. One mutex guards the queue,
+// the session registry, and the counters; DBMS fetches and region
+// deliveries run outside it. Lock order is scheduler mutex -> cache shard
+// mutex; the scheduler never calls back into itself from a delivery.
+
+#ifndef FORECACHE_CORE_PREFETCH_SCHEDULER_H_
+#define FORECACHE_CORE_PREFETCH_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/executor.h"
+#include "core/shared_tile_cache.h"
+#include "storage/tile_store.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+/// One ranked prediction a session publishes: the tile and the engine's
+/// confidence that this session will request it next.
+struct PrefetchCandidate {
+  tiles::TileKey key;
+  double confidence = 0.0;
+};
+
+struct PrefetchSchedulerOptions {
+  /// Bound on concurrently executing fills (each fill occupies one executor
+  /// task while it fetches). Queue pressure beyond this waits in priority
+  /// order rather than fanning out across every executor thread.
+  std::size_t max_in_flight = 4;
+};
+
+/// Point-in-time counters. Every published prediction retires exactly once:
+/// as the single fetch its merged entry issued (fills_issued), or without a
+/// fetch of its own (dedup_saved_fetches) — because it merged into another
+/// prediction's fill, the tile was already resident, or it went stale
+/// first. Hence, once the queue is drained:
+///   fills_issued + dedup_saved_fetches == predictions_published.
+struct PrefetchSchedulerStats {
+  std::uint64_t predictions_published = 0;  ///< (tile, session) publishes accepted.
+  std::uint64_t merged_predictions = 0;  ///< Publishes that merged into a pending entry.
+  std::uint64_t already_resident = 0;  ///< Retired at publish: tile was cached.
+  std::uint64_t fills_issued = 0;      ///< Backing-store fetches performed.
+  std::uint64_t fill_failures = 0;     ///< Issued fetches that errored.
+  std::uint64_t dedup_saved_fetches = 0;  ///< Predictions retired without their own fetch.
+  std::uint64_t stale_drops = 0;  ///< Subscriptions invalidated before their fill (subset of dedup_saved_fetches).
+  std::uint64_t deliveries = 0;   ///< Tiles landed in session prefetch regions.
+  std::uint64_t max_queue_depth = 0;  ///< High-water mark of pending entries.
+};
+
+/// A pending queue entry, as reported by SnapshotQueue().
+struct PrefetchQueueEntry {
+  tiles::TileKey key;
+  double priority = 0.0;
+  double aggregate_confidence = 0.0;
+  std::size_t sessions = 0;  ///< Distinct subscribed sessions.
+};
+
+/// Process-wide prefetch queue merging overlapping predictions across
+/// sessions. One instance serves every session of a SessionManager.
+class PrefetchScheduler {
+ public:
+  /// Called when a fill completes for a still-current subscription: the
+  /// tile, and the publish generation the subscription was made under (the
+  /// receiver re-checks it against its own current fill — see
+  /// CacheManager::AcceptPrefetched). Invoked WITHOUT the scheduler lock,
+  /// possibly from an executor thread; must not call back into the
+  /// scheduler.
+  using Delivery = std::function<void(
+      const tiles::TileKey& key, const tiles::TilePtr& tile,
+      std::uint64_t generation)>;
+
+  /// `store` is the fetch path for fills (the SessionManager passes its
+  /// single-flight-wrapped store) and must outlive the scheduler, as must
+  /// `executor` and `shared` when given.
+  ///
+  /// `executor` null puts the scheduler in PULL MODE: Publish only queues,
+  /// and the owner drives fills via DrainOne() — deterministic, used by
+  /// tests and single-threaded embeddings. WaitForSession/Drain must not be
+  /// used to wait out a non-empty queue in pull mode (nothing would drain
+  /// it). `shared` null skips the shared-cache landing: fills fetch from
+  /// `store` and deliver to subscribers only.
+  PrefetchScheduler(storage::TileStore* store, Executor* executor,
+                    SharedTileCache* shared,
+                    PrefetchSchedulerOptions options = {});
+
+  /// Shuts down: retires all pending work as stale and joins in-flight
+  /// fills (registered sessions need not be unregistered first).
+  ~PrefetchScheduler();
+
+  PrefetchScheduler(const PrefetchScheduler&) = delete;
+  PrefetchScheduler& operator=(const PrefetchScheduler&) = delete;
+
+  /// Registers a session and its delivery callback. `session_id` is the
+  /// caller's stable nonzero identity (the SessionManager's numeric session
+  /// id); 0 — or a collision with a registered id — auto-assigns a fresh
+  /// one. Returns the effective id, which all other per-session calls take.
+  std::uint64_t RegisterSession(std::uint64_t session_id, Delivery deliver);
+
+  /// Drops the session's pending subscriptions (counted as stale), waits
+  /// for any in-flight deliveries to it to settle, and forgets it. After
+  /// return its Delivery is never invoked again. No-op for unknown ids.
+  void UnregisterSession(std::uint64_t session_id);
+
+  /// Publishes `session_id`'s ranked predictions for request `generation`,
+  /// superseding its previous publication (whose unfilled subscriptions
+  /// decay out of the queue as stale_drops). Generations must be monotonic
+  /// per session — the ForeCacheServer passes its per-request counter.
+  /// Predictions already resident in the shared cache are delivered
+  /// immediately on the calling thread and never enqueued.
+  void Publish(std::uint64_t session_id, std::uint64_t generation,
+               std::vector<PrefetchCandidate> candidates);
+
+  /// Drops the session's pending subscriptions and waits for its in-flight
+  /// deliveries to settle, without unregistering it (session reset).
+  void CancelSession(std::uint64_t session_id);
+
+  /// Blocks until none of the session's subscriptions is pending or being
+  /// filled — the "think time is over, region is full" point. Requires a
+  /// live executor (see pull mode above).
+  void WaitForSession(std::uint64_t session_id);
+
+  /// Blocks until the whole queue is empty and no fill is in flight.
+  void Drain();
+
+  /// Stops accepting work: retires every pending subscription as stale and
+  /// joins in-flight fills. Publishes after shutdown retire immediately.
+  /// Idempotent; also called by the destructor. The SessionManager calls
+  /// this BEFORE destroying sessions so teardown never races fills against
+  /// dying delivery targets.
+  void Shutdown();
+
+  /// Pops the highest-priority entry and runs its fill synchronously on the
+  /// calling thread (fetch, shared-cache landing, deliveries). Returns
+  /// false when nothing is pending. This is the pull-mode hook: executor
+  /// workers loop it, tests call it directly for deterministic goldens.
+  bool DrainOne();
+
+  /// Pending (not yet popped) entries.
+  std::size_t pending() const;
+
+  PrefetchSchedulerStats Stats() const;
+
+  /// Consistent snapshot of the pending queue, highest priority first.
+  std::vector<PrefetchQueueEntry> SnapshotQueue() const;
+
+ private:
+  /// One session's claim on a pending tile.
+  struct Subscription {
+    std::uint64_t session_id = 0;
+    std::uint64_t generation = 0;  ///< Publish generation; delivery re-checks it.
+    double confidence = 0.0;
+  };
+
+  /// The single pending entry for a tile key.
+  struct Entry {
+    std::vector<Subscription> subs;  ///< At most one per session.
+    double priority = 0.0;
+    /// Validity stamp for lazy heap invalidation: a heap node whose stamp
+    /// no longer matches is a superseded score and is skipped at pop.
+    std::uint64_t stamp = 0;
+  };
+
+  struct HeapNode {
+    double priority = 0.0;
+    std::uint64_t stamp = 0;
+    tiles::TileKey key;
+    bool operator<(const HeapNode& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return stamp > other.stamp;  // equal priority: earlier publication first
+    }
+  };
+
+  struct SessionState {
+    Delivery deliver;
+    std::uint64_t generation = 0;  ///< Latest published generation.
+    /// Keys this session is subscribed to that are still pending (popping
+    /// a key removes it here), so invalidation is O(own subscriptions).
+    std::vector<tiles::TileKey> pending_keys;
+    /// Subscriptions attached to fills currently executing. The session
+    /// may not be erased (and its Delivery not destroyed) while nonzero.
+    std::size_t in_flight = 0;
+    bool unregistering = false;
+  };
+
+  /// Recomputes the entry's priority from its live subscriptions and
+  /// pushes a freshly stamped heap node. Caller holds mu_.
+  void RescoreLocked(const tiles::TileKey& key, Entry& entry);
+
+  /// Retires every pending subscription of `state` as stale. Caller holds
+  /// mu_.
+  void InvalidateLocked(SessionState& state, std::uint64_t session_id);
+
+  /// Tops up executor drain workers (never beyond max_in_flight or the
+  /// number of pending entries). Caller holds mu_.
+  void SpawnWorkersLocked();
+
+  void WorkerLoop();
+
+  storage::TileStore* store_;
+  Executor* executor_;      ///< Null in pull mode.
+  SharedTileCache* shared_;  ///< Null: fills skip the shared-cache landing.
+  PrefetchSchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< Fill/delivery completion, worker exit.
+  std::unordered_map<tiles::TileKey, Entry, tiles::TileKeyHash> pending_;
+  std::priority_queue<HeapNode> heap_;  ///< May hold stale (re-scored) nodes.
+  std::unordered_map<std::uint64_t, std::unique_ptr<SessionState>> sessions_;
+  std::uint64_t next_auto_id_ = 1ull << 48;  ///< Clear of SessionManager ids.
+  std::uint64_t stamp_counter_ = 0;
+  std::size_t workers_ = 0;          ///< Executor drain tasks alive.
+  std::size_t in_flight_fills_ = 0;  ///< Entries popped, fill not finished.
+  bool shutdown_ = false;
+  PrefetchSchedulerStats stats_;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_PREFETCH_SCHEDULER_H_

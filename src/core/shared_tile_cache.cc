@@ -456,6 +456,47 @@ Result<tiles::TilePtr> SharedTileCache::GetOrFetch(const tiles::TileKey& key,
   return tile;
 }
 
+Result<SharedTileCache::SharedFetch> SharedTileCache::GetOrFetchShared(
+    const tiles::TileKey& key, storage::TileStore* store,
+    const std::vector<CacheAccess>& subscribers) {
+  double aggregate = 0.0;
+  for (const auto& subscriber : subscribers) aggregate += subscriber.confidence;
+  // The fill is anonymous (owner 0: a tile serving many sessions is charged
+  // to no one's quota) and carries the aggregate confidence, capped to the
+  // [0, 1] domain of a single access, for priority admission.
+  const CacheAccess merged{0, std::min(1.0, aggregate)};
+  Shard& shard = ShardFor(key);
+  if (subscribers.size() > 1) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Lookup below records one access; each further subscriber's intent is
+    // just as real, so the frequency model sees the full group — a tile
+    // many sessions predict is warm by consensus before it ever lands.
+    for (std::size_t i = 1; i < subscribers.size(); ++i) {
+      shard.admission->RecordAccess(KeyHash(key));
+    }
+    shard.counters.merged_predictions += subscribers.size();
+  }
+  SharedFetch out;
+  out.tile = Lookup(key, merged);
+  if (out.tile != nullptr) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.dedup_saved_fetches += subscribers.size();
+    return out;
+  }
+  FC_ASSIGN_OR_RETURN(out.tile, store->Fetch(key));
+  out.fetched = true;
+  Insert(key, out.tile, merged);
+  if (subscribers.size() > 1) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counters.dedup_saved_fetches += subscribers.size() - 1;
+  }
+  return out;
+}
+
+void SharedTileCache::NoteStaleDrops(std::uint64_t n) {
+  stale_drops_.fetch_add(n, std::memory_order_relaxed);
+}
+
 bool SharedTileCache::Contains(const tiles::TileKey& key) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -530,9 +571,12 @@ SharedTileCacheStats SharedTileCache::Stats() const {
     stats.admission_rejects += c.admission_rejects;
     stats.priority_admits += c.priority_admits;
     stats.quota_evictions += c.quota_evictions;
+    stats.merged_predictions += c.merged_predictions;
+    stats.dedup_saved_fetches += c.dedup_saved_fetches;
     stats.l1_bytes_resident += shard->l1_bytes;
     stats.l2_bytes_resident += shard->l2_bytes;
   }
+  stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
   stats.hits = stats.l1_hits + stats.l2_hits;
   stats.promotions = stats.l2_hits;
   stats.bytes_resident = stats.l1_bytes_resident + stats.l2_bytes_resident;

@@ -32,6 +32,7 @@
 #ifndef FORECACHE_CORE_SHARED_TILE_CACHE_H_
 #define FORECACHE_CORE_SHARED_TILE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -127,6 +128,17 @@ struct SharedTileCacheStats {
   /// (they demote to L2 like any other displacement when the tier exists).
   std::uint64_t quota_evictions = 0;
 
+  /// Multi-owner fill accounting (the cross-session PrefetchScheduler's
+  /// merged fills — see core/prefetch_scheduler.h). Subscriber interests
+  /// that arrived through merged (multi-subscriber) fills.
+  std::uint64_t merged_predictions = 0;
+  /// Subscriber fetch intents satisfied without their own backing-store
+  /// query: the tile was resident, or one fetch served the whole group.
+  std::uint64_t dedup_saved_fetches = 0;
+  /// Scheduler subscriptions invalidated (superseded predictions) before
+  /// their fill ran. Fed by PrefetchScheduler via NoteStaleDrops().
+  std::uint64_t stale_drops = 0;
+
   std::uint64_t l1_bytes_resident = 0;
   std::uint64_t l2_bytes_resident = 0;
   std::uint64_t bytes_resident = 0;  ///< Both tiers.
@@ -163,13 +175,41 @@ class SharedTileCache {
                                     storage::TileStore* store,
                                     const CacheAccess& access = {});
 
+  /// Outcome of a merged (multi-subscriber) cache-through fetch.
+  struct SharedFetch {
+    tiles::TilePtr tile;
+    bool fetched = false;  ///< True when the backing store was queried.
+  };
+
+  /// Multi-owner cache-through fetch for the cross-session prefetch
+  /// scheduler: one fill serves every subscriber. Each subscriber's intent
+  /// feeds the admission frequency model (a tile many sessions predict is
+  /// warm by consensus), the fill itself runs as an anonymous access whose
+  /// confidence is the capped SUM of subscriber confidences — so priority
+  /// admission judges the aggregate, not any single session — and the
+  /// resulting L1 entry is unowned (exempt from per-session quotas: a tile
+  /// serving many sessions is charged to none of them). Thread-safe.
+  Result<SharedFetch> GetOrFetchShared(
+      const tiles::TileKey& key, storage::TileStore* store,
+      const std::vector<CacheAccess>& subscribers);
+
+  /// Scheduler feedback: counts `n` superseded-prediction drops into
+  /// Stats().stale_drops, so one cache snapshot describes the whole shared
+  /// prefetch path. Thread-safe (plain atomic; no shard invariant).
+  void NoteStaleDrops(std::uint64_t n);
+
   /// Lookup in either tier without stats, promotion, frequency, or recency
-  /// effects.
+  /// effects. Thread-safe (single shard lock).
   bool Contains(const tiles::TileKey& key) const;
 
+  /// Drops every tile in both tiers of every shard. Counters (and the
+  /// admission sketches' learned frequencies) are NOT reset. Thread-safe,
+  /// but not atomic across shards with respect to concurrent inserts.
   void Clear();
 
-  /// Resident tiles across both tiers.
+  /// Resident tiles across both tiers. Thread-safe; the per-tier
+  /// breakdowns below each lock shards independently, so under concurrent
+  /// churn size() may not equal l1_size() + l2_size() exactly.
   std::size_t size() const;
   std::size_t l1_size() const;
   std::size_t l2_size() const;
@@ -221,6 +261,8 @@ class SharedTileCache {
     std::uint64_t admission_rejects = 0;
     std::uint64_t priority_admits = 0;
     std::uint64_t quota_evictions = 0;
+    std::uint64_t merged_predictions = 0;
+    std::uint64_t dedup_saved_fetches = 0;
   };
 
   struct Shard {
@@ -317,6 +359,9 @@ class SharedTileCache {
 
   SharedTileCacheOptions options_;
   storage::TileCodec codec_;
+  /// Scheduler-fed (NoteStaleDrops): not shard-keyed, so a plain atomic
+  /// rather than a per-shard counter; carries no cross-counter invariant.
+  std::atomic<std::uint64_t> stale_drops_{0};
   std::size_t shard_l1_bytes_;
   std::size_t shard_l2_bytes_;
   std::size_t shard_quota_bytes_;  ///< 0 when quotas are disabled.

@@ -10,18 +10,35 @@ namespace fc::server {
 ForeCacheServer::ForeCacheServer(storage::TileStore* store,
                                  core::PredictionEngine* engine, SimClock* clock,
                                  ServerOptions options, Executor* executor,
-                                 core::SharedTileCache* shared)
+                                 core::SharedTileCache* shared,
+                                 core::PrefetchScheduler* scheduler)
     : store_(store),
       engine_(engine),
       clock_(clock),
       options_(options),
       executor_(executor),
+      scheduler_(scheduler),
       cache_manager_(store, options.cache, shared) {
   FC_CHECK_MSG(engine_ != nullptr || !options_.prefetching_enabled,
                "prefetching requires a prediction engine");
+  if (scheduler_ != nullptr) {
+    // Completed fills land in the prefetch region iff their generation is
+    // still current (AcceptPrefetched re-checks under the region lock).
+    scheduler_session_ = scheduler_->RegisterSession(
+        options_.cache.session_id,
+        [this](const tiles::TileKey& key, const tiles::TilePtr& tile,
+               std::uint64_t generation) {
+          cache_manager_.AcceptPrefetched(key, tile, generation);
+        });
+  }
 }
 
-ForeCacheServer::~ForeCacheServer() { CancelAndWaitForPrefetch(); }
+ForeCacheServer::~ForeCacheServer() {
+  CancelAndWaitForPrefetch();
+  // After this, the scheduler never invokes the delivery callback again,
+  // so cache_manager_ (destroyed next) cannot be touched by a late fill.
+  if (scheduler_ != nullptr) scheduler_->UnregisterSession(scheduler_session_);
+}
 
 void ForeCacheServer::StartSession() {
   CancelAndWaitForPrefetch();
@@ -30,6 +47,10 @@ void ForeCacheServer::StartSession() {
 }
 
 void ForeCacheServer::WaitForPrefetch() {
+  if (scheduler_ != nullptr) {
+    scheduler_->WaitForSession(scheduler_session_);
+    return;
+  }
   if (executor_ == nullptr) return;
   std::unique_lock<std::mutex> lock(pending_mu_);
   pending_cv_.wait(lock, [this] { return pending_prefetches_ == 0; });
@@ -39,6 +60,14 @@ void ForeCacheServer::CancelAndWaitForPrefetch() {
   // Supersede any in-flight fill so it aborts at its next per-tile poll
   // instead of draining its whole ranked list into a doomed region.
   prefetch_generation_.fetch_add(1, std::memory_order_release);
+  if (scheduler_ != nullptr) {
+    // Close the region gate first so a merged fill settling during the
+    // cancel wait cannot deliver into the abandoned region, then retire
+    // this session's queued predictions and wait out its in-flight fills.
+    cache_manager_.AbortPrefetch();
+    scheduler_->CancelSession(scheduler_session_);
+    return;
+  }
   WaitForPrefetch();
 }
 
@@ -108,7 +137,17 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
   // the background and this request returns immediately.
   if (options_.prefetching_enabled) {
     FC_ASSIGN_OR_RETURN(served.prediction, engine_->OnRequest(request));
-    if (executor_ != nullptr) {
+    if (scheduler_ != nullptr) {
+      // Cross-session path: plan the region fill (clear + gate on this
+      // request's generation), then publish the ranked candidates into the
+      // shared queue. The gate opens before Publish so a fill completing
+      // immediately is never rejected as early.
+      const std::uint64_t generation =
+          prefetch_generation_.load(std::memory_order_acquire);
+      auto plan = cache_manager_.BeginPrefetch(
+          served.prediction.tiles, served.prediction.confidences, generation);
+      scheduler_->Publish(scheduler_session_, generation, std::move(plan));
+    } else if (executor_ != nullptr) {
       SchedulePrefetch(served.prediction.tiles, served.prediction.confidences);
     } else {
       FC_RETURN_IF_ERROR(cache_manager_.Prefetch(

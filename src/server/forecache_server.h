@@ -12,10 +12,16 @@
 // request supersedes any still-running fill (generation check), mirroring
 // the paper's "re-filled after every request" semantics without double work.
 //
+// With a PrefetchScheduler attached (the multi-session configuration), the
+// server does not fill its own region at all: it publishes the ranked
+// predictions — tagged with the request generation — into the process-wide
+// queue, which merges them with every other session's, fetches each tile
+// once, and delivers completed fills back through AcceptPrefetched.
+//
 // Thread-safety: one server backs one session. HandleRequest and the
 // accessors must be called from that session's thread; the background fill
 // only touches the (internally synchronized) CacheManager, shared cache,
-// store, and clock.
+// scheduler, store, and clock.
 
 #ifndef FORECACHE_SERVER_FORECACHE_SERVER_H_
 #define FORECACHE_SERVER_FORECACHE_SERVER_H_
@@ -31,6 +37,7 @@
 #include "common/sim_clock.h"
 #include "core/cache_manager.h"
 #include "core/prediction_engine.h"
+#include "core/prefetch_scheduler.h"
 #include "core/shared_tile_cache.h"
 #include "storage/tile_store.h"
 
@@ -59,12 +66,16 @@ class ForeCacheServer {
   /// null only when options.prefetching_enabled is false.
   ///
   /// `executor` (optional) makes prefetch fills asynchronous; `shared`
-  /// (optional) layers the session cache over a process-wide tile cache.
-  /// Both must outlive the server.
+  /// (optional) layers the session cache over a process-wide tile cache;
+  /// `scheduler` (optional) routes predictions through the cross-session
+  /// prefetch queue instead of per-session executor fills (it takes
+  /// precedence over `executor` for prefetching and registers this session
+  /// under options.cache.session_id). All must outlive the server.
   ForeCacheServer(storage::TileStore* store, core::PredictionEngine* engine,
                   SimClock* clock, ServerOptions options = {},
                   Executor* executor = nullptr,
-                  core::SharedTileCache* shared = nullptr);
+                  core::SharedTileCache* shared = nullptr,
+                  core::PrefetchScheduler* scheduler = nullptr);
 
   /// Joins any in-flight prefetch task before destruction.
   ~ForeCacheServer();
@@ -85,7 +96,7 @@ class ForeCacheServer {
   /// Resets per-session state (cache + engine history) for a new session.
   void StartSession();
 
-  bool async() const { return executor_ != nullptr; }
+  bool async() const { return executor_ != nullptr || scheduler_ != nullptr; }
 
   const core::CacheManager& cache_manager() const { return cache_manager_; }
   core::CacheManager* mutable_cache_manager() { return &cache_manager_; }
@@ -113,6 +124,9 @@ class ForeCacheServer {
   SimClock* clock_;
   ServerOptions options_;
   Executor* executor_;
+  core::PrefetchScheduler* scheduler_;
+  /// This session's registration with the scheduler (valid iff scheduler_).
+  std::uint64_t scheduler_session_ = 0;
   core::CacheManager cache_manager_;
   std::vector<double> latency_log_;
 

@@ -69,9 +69,27 @@ SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
     single_flight_ = std::make_unique<storage::SingleFlightTileStore>(store);
     store_ = single_flight_.get();
   }
+  // The scheduler fetches through the same (possibly single-flight-wrapped)
+  // store the sessions use, so demand and prefetch traffic dedup together.
+  // It only exists alongside a shared cache: without one, merged fills
+  // would have nowhere to land once and the "private sessions" baseline
+  // would silently stop being private.
+  if (options_.use_prefetch_scheduler && executor_ != nullptr &&
+      shared_cache_ != nullptr) {
+    prefetch_scheduler_ = std::make_unique<core::PrefetchScheduler>(
+        store_, executor_.get(), shared_cache_.get(),
+        options_.prefetch_scheduler);
+  }
 }
 
-SessionManager::~SessionManager() = default;
+SessionManager::~SessionManager() {
+  // Drain/cancel the shared queue BEFORE any session dies. Per-session
+  // teardown (each server unregistering itself) is individually safe, but
+  // while early sessions die the queue would keep fetching for later ones
+  // whose results nobody will use — one shutdown retires all of it and
+  // joins the in-flight merged fills while every delivery target is alive.
+  if (prefetch_scheduler_ != nullptr) prefetch_scheduler_->Shutdown();
+}
 
 BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -88,7 +106,7 @@ BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
   server_options.cache.session_id = ++next_session_number_;
   state.server = std::make_unique<ForeCacheServer>(
       store_, state.engine.get(), clock_, server_options, executor_.get(),
-      shared_cache_.get());
+      shared_cache_.get(), prefetch_scheduler_.get());
   state.browser = std::make_unique<BrowserSession>(state.server.get());
   auto [inserted, _] = sessions_.emplace(session_id, std::move(state));
   return inserted->second.browser.get();

@@ -5,9 +5,11 @@
 // requests against a ForeCacheServer. SessionManager hosts many concurrent
 // sessions over one shared tile store (paper section 6.2 raises the
 // multi-user setting as future work): it owns the background prefetch
-// executor, a process-wide SharedTileCache every session layers over, and a
-// single-flight store wrapper deduplicating concurrent DBMS fetches — and it
-// can drive session workloads from a pool of real OS threads.
+// executor, a process-wide SharedTileCache every session layers over, a
+// single-flight store wrapper deduplicating concurrent DBMS fetches, and a
+// PrefetchScheduler merging overlapping predictions across sessions into
+// one priority queue — and it can drive session workloads from a pool of
+// real OS threads.
 //
 // Concurrency model: SessionManager's own methods are thread-safe. Each
 // BrowserSession (and its ForeCacheServer) is confined to the one thread
@@ -89,6 +91,14 @@ struct SessionManagerOptions {
   /// When true, concurrent fetches of the same key are collapsed into one
   /// upstream query (SingleFlightTileStore).
   bool single_flight = true;
+
+  /// When true (and the executor and shared cache are both enabled),
+  /// sessions publish their ranked predictions into one process-wide
+  /// PrefetchScheduler instead of each filling its own region: overlapping
+  /// predictions merge into a single fill ordered by aggregate confidence x
+  /// subscribed-session count. False restores per-session executor fills.
+  bool use_prefetch_scheduler = true;
+  core::PrefetchSchedulerOptions prefetch_scheduler;
 };
 
 /// Hosts concurrent per-user sessions over one backing store. Each session
@@ -106,6 +116,9 @@ class SessionManager {
                  SharedPredictionComponents shared,
                  SessionManagerOptions options);
 
+  /// Shuts the prefetch scheduler down FIRST — retiring the shared queue
+  /// and joining in-flight merged fills while every delivery target is
+  /// still alive — then destroys sessions (see the member comment below).
   ~SessionManager();
 
   /// Creates (or returns the existing) session for `session_id`.
@@ -146,6 +159,11 @@ class SessionManager {
     return single_flight_.get();
   }
   Executor* executor() { return executor_.get(); }
+  /// Null when the cross-session scheduler is disabled (see
+  /// SessionManagerOptions::use_prefetch_scheduler).
+  const core::PrefetchScheduler* prefetch_scheduler() const {
+    return prefetch_scheduler_.get();
+  }
 
  private:
   struct SessionState {
@@ -160,12 +178,16 @@ class SessionManager {
   SharedPredictionComponents shared_;
   SessionManagerOptions options_;
 
-  // Destruction order matters: sessions_ (declared last, destroyed first)
-  // joins in-flight prefetch tasks, which run on executor_ and touch
-  // shared_cache_ and single_flight_ — so those must still be alive.
+  // Destruction order matters: the destructor body shuts the scheduler
+  // down first (cross-session fills must settle while every session they
+  // might deliver to is alive), then sessions_ (declared last, destroyed
+  // first) joins per-session prefetch tasks, which run on executor_ and
+  // touch prefetch_scheduler_, shared_cache_, and single_flight_ — so
+  // those members are declared (and stay alive) ahead of it.
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<core::SharedTileCache> shared_cache_;
   std::unique_ptr<storage::SingleFlightTileStore> single_flight_;
+  std::unique_ptr<core::PrefetchScheduler> prefetch_scheduler_;
 
   mutable std::mutex mu_;  ///< Guards sessions_ and next_session_number_.
   std::map<std::string, SessionState> sessions_;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -571,6 +572,84 @@ TEST(MultiSessionStressTest, SharedCacheBeatsPrivateOnOverlappingTraces) {
   EXPECT_GT(aggregate_hit_rate(*shared_manager),
             aggregate_hit_rate(*private_manager));
   EXPECT_LT(shared_store.fetch_count(), private_store.fetch_count());
+}
+
+// ---------------------------------------------------------------------------
+// Teardown regression: destroying the SessionManager while the shared
+// prefetch queue still holds merged, in-flight fills must be clean — the
+// manager shuts the scheduler down BEFORE any session (and its delivery
+// target) dies. Run under TSan in CI.
+
+/// A store slow enough that fills are reliably still in flight when the
+/// manager is torn down.
+class SlowStore : public storage::TileStore {
+ public:
+  explicit SlowStore(std::shared_ptr<const tiles::TilePyramid> pyramid)
+      : inner_(std::move(pyramid)) {}
+
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return inner_.Fetch(key);
+  }
+  bool Contains(const tiles::TileKey& key) const override {
+    return inner_.Contains(key);
+  }
+  const tiles::PyramidSpec& spec() const override { return inner_.spec(); }
+  std::uint64_t fetch_count() const override { return inner_.fetch_count(); }
+
+ private:
+  storage::MemoryTileStore inner_;
+};
+
+TEST(MultiSessionStressTest, TeardownUnderInFlightMergedFills) {
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kMovesPerSession = 6;
+
+  auto pyramid = SmallPyramid();
+  auto parts = EngineParts::Make();
+  SharedPredictionComponents shared;
+  shared.ab = &parts.ab;
+  shared.strategy = &parts.strategy;
+  shared.engine_options.prefetch_k = 5;
+
+  SlowStore store(pyramid);
+  SimClock clock;
+  SessionManagerOptions options;
+  options.executor_threads = 4;
+  options.use_shared_cache = true;
+  options.shared_cache.l1_bytes = 64ull << 20;
+  options.single_flight = true;
+  options.prefetch_scheduler.max_in_flight = 4;
+
+  core::PrefetchSchedulerStats stats;
+  {
+    SessionManager manager(&store, &clock, shared, options);
+    // Sessions share one tape (maximal merge overlap) and never wait for
+    // their fills, so the queue is busy the moment the workloads return.
+    const auto tape = MoveTape(/*seed=*/6000, kMovesPerSession);
+    std::vector<SessionManager::SessionWorkload> workloads;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      workloads.push_back(
+          {"user" + std::to_string(s), [&tape](BrowserSession* session) {
+             FC_RETURN_IF_ERROR(session->Open().status());
+             for (core::Move move : tape) {
+               auto served = session->ApplyMove(move);
+               if (!served.ok() && !served.status().IsInvalidArgument()) {
+                 return served.status();
+               }
+             }
+             return Status::OK();
+           }});
+    }
+    ASSERT_TRUE(manager.RunSessions(std::move(workloads), 4).ok());
+    ASSERT_NE(manager.prefetch_scheduler(), nullptr);
+    stats = manager.prefetch_scheduler()->Stats();
+    // The manager dies here with fills typically still in flight; the
+    // scheduler must retire the queue before any session is destroyed.
+  }
+
+  EXPECT_GT(stats.predictions_published, 0u);
+  EXPECT_GT(stats.merged_predictions, 0u);
 }
 
 }  // namespace
