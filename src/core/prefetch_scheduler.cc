@@ -6,11 +6,34 @@
 
 namespace fc::core {
 
+namespace {
+
+/// Resolves the batcher's byte-cap conversion: an explicit knob wins, else
+/// a single-attribute estimate from the store's pyramid geometry (the spec
+/// does not know the attribute count; underestimating only loosens the
+/// byte cap, never the tile cap).
+storage::FetchBatcher MakeBatcher(const PrefetchSchedulerOptions& options,
+                                  storage::TileStore* store) {
+  std::size_t nominal = options.nominal_tile_bytes;
+  if (nominal == 0 && store != nullptr) {
+    const auto& spec = store->spec();
+    nominal = static_cast<std::size_t>(spec.tile_width) *
+              static_cast<std::size_t>(spec.tile_height) * sizeof(double);
+  }
+  return storage::FetchBatcher(options.batch, nominal);
+}
+
+}  // namespace
+
 PrefetchScheduler::PrefetchScheduler(storage::TileStore* store,
                                      Executor* executor,
                                      SharedTileCache* shared,
                                      PrefetchSchedulerOptions options)
-    : store_(store), executor_(executor), shared_(shared), options_(options) {
+    : store_(store),
+      executor_(executor),
+      shared_(shared),
+      options_(options),
+      batcher_(MakeBatcher(options, store)) {
   FC_CHECK_MSG(store_ != nullptr, "PrefetchScheduler requires a tile store");
   if (options_.max_in_flight == 0) options_.max_in_flight = 1;
 }
@@ -77,10 +100,19 @@ void PrefetchScheduler::SpawnWorkersLocked() {
 
 void PrefetchScheduler::WorkerLoop() {
   for (;;) {
-    if (DrainOne()) continue;
+    DrainVerdict verdict = DrainBatch();
+    if (verdict == DrainVerdict::kDrained) continue;
     std::lock_guard<std::mutex> lock(mu_);
-    // Re-check under the lock: an entry published between DrainOne's empty
-    // verdict and here would otherwise strand until the next Publish.
+    if (verdict == DrainVerdict::kDeferred) {
+      // A partial batch is lingering for more keys. The in-flight fill
+      // that licensed the deferral re-plans the queue when it settles (its
+      // worker loops back into DrainBatch), so this worker can stand down.
+      --workers_;
+      cv_.notify_all();
+      return;
+    }
+    // Re-check under the lock: an entry published between DrainBatch's
+    // empty verdict and here would otherwise strand until the next Publish.
     if (pending_.empty() || shutdown_) {
       --workers_;
       cv_.notify_all();
@@ -138,6 +170,9 @@ void PrefetchScheduler::Publish(std::uint64_t session_id,
       }
       auto [eit, fresh] = pending_.try_emplace(candidate.key);
       Entry& entry = eit->second;
+      if (fresh && options_.clock != nullptr) {
+        entry.enqueue_ms = options_.clock->NowMillis();
+      }
       bool own = false;
       for (const auto& sub : entry.subs) {
         if (sub.session_id == session_id) {  // duplicate key in one list
@@ -176,108 +211,168 @@ void PrefetchScheduler::Publish(std::uint64_t session_id,
 }
 
 bool PrefetchScheduler::DrainOne() {
-  tiles::TileKey key;
-  std::vector<Subscription> subs;
+  return DrainBatch() == DrainVerdict::kDrained;
+}
+
+PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
+  std::vector<PoppedEntry> batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    bool found = false;
-    while (!heap_.empty()) {
+    if (pending_.empty()) return DrainVerdict::kEmpty;
+    const double now_ms =
+        options_.clock != nullptr ? options_.clock->NowMillis() : 0.0;
+    double oldest_ms = now_ms;
+    if (options_.clock != nullptr && options_.batch.max_linger_ms > 0.0 &&
+        pending_.size() < batcher_.max_tiles()) {
+      // The linger decision needs the oldest entry's age; only scanned for
+      // partial batches, so the scan is bounded by one batch's size.
+      for (const auto& [key, entry] : pending_) {
+        oldest_ms = std::min(oldest_ms, entry.enqueue_ms);
+      }
+    }
+    // Deferral needs a live fill to re-plan the queue AND a clock to age
+    // the linger out — without one, virtual time is frozen at 0 and a
+    // deferred partial batch would never expire (the header documents a
+    // null clock as "lingering disabled").
+    const bool can_defer = in_flight_fills_ > 0 && options_.clock != nullptr;
+    const std::size_t budget =
+        batcher_.PlanPop(pending_.size(), oldest_ms, now_ms, can_defer);
+    if (budget == 0) {
+      // Lingering for a fuller batch. Safe: in_flight_fills_ > 0, and that
+      // fill's worker re-plans the queue when it settles.
+      ++stats_.batch_deferrals;
+      return DrainVerdict::kDeferred;
+    }
+    while (batch.size() < budget && !heap_.empty()) {
       HeapNode node = heap_.top();
       heap_.pop();
       auto eit = pending_.find(node.key);
       if (eit == pending_.end() || eit->second.stamp != node.stamp) {
         continue;  // superseded score or retired entry: lazy invalidation
       }
-      key = node.key;
-      subs = std::move(eit->second.subs);
+      batch.push_back(PoppedEntry{node.key, std::move(eit->second.subs)});
       pending_.erase(eit);
-      found = true;
-      break;
     }
-    if (!found) return false;
-    for (const auto& sub : subs) {
-      auto sit = sessions_.find(sub.session_id);
-      if (sit == sessions_.end()) continue;
-      auto& keys = sit->second->pending_keys;
-      auto kit = std::find(keys.begin(), keys.end(), key);
-      if (kit != keys.end()) keys.erase(kit);
-      // Pins the session (and its Delivery) until this fill settles.
-      ++sit->second->in_flight;
+    if (batch.empty()) return DrainVerdict::kEmpty;
+    for (const auto& popped : batch) {
+      for (const auto& sub : popped.subs) {
+        auto sit = sessions_.find(sub.session_id);
+        if (sit == sessions_.end()) continue;
+        auto& keys = sit->second->pending_keys;
+        auto kit = std::find(keys.begin(), keys.end(), popped.key);
+        if (kit != keys.end()) keys.erase(kit);
+        // Pins the session (and its Delivery) until this fill settles.
+        ++sit->second->in_flight;
+      }
     }
-    ++in_flight_fills_;
+    in_flight_fills_ += batch.size();
   }
 
   // The fetch runs outside the scheduler lock: a slow DBMS query must not
-  // block publishers or the other drain workers.
-  std::vector<CacheAccess> accesses;
-  accesses.reserve(subs.size());
-  for (const auto& sub : subs) {
-    accesses.push_back(CacheAccess{sub.session_id, sub.confidence});
-  }
-  tiles::TilePtr tile;
-  bool fetched = false;
-  bool ok = true;
+  // block publishers or the other drain workers. The whole batch travels
+  // in ONE backend round trip (FetchBatch under the cache landing).
+  struct KeyOutcome {
+    tiles::TilePtr tile;
+    bool fetched = false;
+    bool ok = true;
+  };
+  std::vector<KeyOutcome> outcomes(batch.size());
   if (shared_ != nullptr) {
-    auto result = shared_->GetOrFetchShared(key, store_, accesses);
-    if (result.ok()) {
-      tile = result->tile;
-      fetched = result->fetched;
-    } else {
-      ok = false;
+    std::vector<SharedTileCache::SharedBatchItem> items;
+    items.reserve(batch.size());
+    for (const auto& popped : batch) {
+      SharedTileCache::SharedBatchItem item;
+      item.key = popped.key;
+      item.subscribers.reserve(popped.subs.size());
+      for (const auto& sub : popped.subs) {
+        item.subscribers.push_back(CacheAccess{sub.session_id, sub.confidence});
+      }
+      items.push_back(std::move(item));
+    }
+    auto results = shared_->GetOrFetchSharedBatch(items, store_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i].ok()) {
+        outcomes[i].tile = results[i]->tile;
+        outcomes[i].fetched = results[i]->fetched;
+      } else {
+        outcomes[i].ok = false;
+      }
     }
   } else {
-    auto result = store_->Fetch(key);
-    if (result.ok()) {
-      tile = std::move(*result);
-      fetched = true;
-    } else {
-      ok = false;
+    std::vector<tiles::TileKey> keys;
+    keys.reserve(batch.size());
+    for (const auto& popped : batch) keys.push_back(popped.key);
+    auto results = store_->FetchBatch(keys);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i].ok()) {
+        outcomes[i].tile = std::move(*results[i]);
+        outcomes[i].fetched = true;
+      } else {
+        outcomes[i].ok = false;
+      }
     }
   }
 
-  // Classify the retirement and collect still-current delivery targets.
-  std::vector<std::pair<SessionState*, std::uint64_t>> targets;
+  // Classify each retirement and collect still-current delivery targets.
+  struct Delivery {
+    SessionState* session;
+    std::size_t index;  ///< Into batch/outcomes.
+    std::uint64_t generation;
+  };
+  std::vector<Delivery> targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (fetched || !ok) {
-      // One subscription pays for the (attempted) fetch; the rest merged.
-      ++stats_.fills_issued;
-      if (!ok) ++stats_.fill_failures;
-      stats_.dedup_saved_fetches += subs.size() - 1;
-    } else {
-      // Resident by fill time (e.g. a demand fetch landed it): nobody pays.
-      stats_.dedup_saved_fetches += subs.size();
-    }
-    if (ok) {
+    std::size_t fetch_attempts = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto& subs = batch[i].subs;
+      if (outcomes[i].fetched || !outcomes[i].ok) {
+        // One subscription pays for the (attempted) fetch; the rest merged.
+        ++stats_.fills_issued;
+        ++fetch_attempts;
+        if (!outcomes[i].ok) ++stats_.fill_failures;
+        stats_.dedup_saved_fetches += subs.size() - 1;
+      } else {
+        // Resident by fill time (e.g. a demand fetch landed it): nobody
+        // pays.
+        stats_.dedup_saved_fetches += subs.size();
+      }
+      if (!outcomes[i].ok) continue;
       for (const auto& sub : subs) {
         auto sit = sessions_.find(sub.session_id);
         if (sit == sessions_.end()) continue;
         SessionState& session = *sit->second;
         if (!session.unregistering && session.generation == sub.generation) {
-          targets.emplace_back(&session, sub.generation);
+          targets.push_back(Delivery{&session, i, sub.generation});
         }
       }
     }
+    if (fetch_attempts > 0) {
+      ++stats_.fetch_batches;
+      if (fetch_attempts > 1) stats_.batched_fills += fetch_attempts;
+    }
   }
   // Deliveries outside the lock: they take the receiving CacheManager's
-  // region lock. The in_flight pin taken at pop keeps every SessionState
+  // region lock. The in_flight pins taken at pop keep every SessionState
   // alive until the settle step below, even for skipped targets.
-  for (auto& [session, generation] : targets) {
-    session->deliver(key, tile, generation);
+  for (const auto& target : targets) {
+    target.session->deliver(batch[target.index].key,
+                            outcomes[target.index].tile, target.generation);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.deliveries += targets.size();
-    for (const auto& sub : subs) {
-      auto sit = sessions_.find(sub.session_id);
-      if (sit != sessions_.end() && sit->second->in_flight > 0) {
-        --sit->second->in_flight;
+    for (const auto& popped : batch) {
+      for (const auto& sub : popped.subs) {
+        auto sit = sessions_.find(sub.session_id);
+        if (sit != sessions_.end() && sit->second->in_flight > 0) {
+          --sit->second->in_flight;
+        }
       }
     }
-    --in_flight_fills_;
+    in_flight_fills_ -= batch.size();
     cv_.notify_all();
   }
-  return true;
+  return DrainVerdict::kDrained;
 }
 
 void PrefetchScheduler::CancelSession(std::uint64_t session_id) {

@@ -23,6 +23,11 @@
 //    confidence driving priority admission and every subscriber's interest
 //    feeding the admission frequency sketch — and is then delivered to
 //    every still-subscribed session's private prefetch region.
+//  * Batched backend I/O (storage/batch_fetch.h): a drain round pops the
+//    TOP-K pending entries — the scheduler sees the global priority order,
+//    so batch formation happens here — and fetches them in ONE backend
+//    round trip, amortizing the DBMS's fixed per-query overhead across the
+//    batch. The default profile (1 tile/round trip) is the per-tile drain.
 //
 // Accounting invariant (drained queue, see Stats()):
 //   fills_issued + dedup_saved_fetches == predictions_published.
@@ -45,7 +50,9 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/sim_clock.h"
 #include "core/shared_tile_cache.h"
+#include "storage/batch_fetch.h"
 #include "storage/tile_store.h"
 #include "tiles/tile_key.h"
 
@@ -63,6 +70,23 @@ struct PrefetchSchedulerOptions {
   /// task while it fetches). Queue pressure beyond this waits in priority
   /// order rather than fanning out across every executor thread.
   std::size_t max_in_flight = 4;
+
+  /// Batched backend I/O (see storage/batch_fetch.h): each drain round pops
+  /// up to batch.max_batch_tiles of the top pending entries into ONE
+  /// backend round trip (TileStore::FetchBatch through
+  /// SharedTileCache::GetOrFetchSharedBatch). The default profile
+  /// (max_batch_tiles = 1) reproduces the per-tile drain exactly.
+  storage::BatchProfile batch;
+
+  /// Virtual clock for batch.max_linger_ms (aging pending entries). Null
+  /// disables lingering: partial batches always drain immediately.
+  const SimClock* clock = nullptr;
+
+  /// Nominal decoded tile payload bytes, for converting
+  /// batch.max_batch_bytes into a tile cap (TilePyramid::NominalTileBytes
+  /// is the right source). 0 derives a single-attribute estimate from the
+  /// store's pyramid spec.
+  std::size_t nominal_tile_bytes = 0;
 };
 
 /// Point-in-time counters. Every published prediction retires exactly once:
@@ -81,6 +105,15 @@ struct PrefetchSchedulerStats {
   std::uint64_t stale_drops = 0;  ///< Subscriptions invalidated before their fill (subset of dedup_saved_fetches).
   std::uint64_t deliveries = 0;   ///< Tiles landed in session prefetch regions.
   std::uint64_t max_queue_depth = 0;  ///< High-water mark of pending entries.
+
+  /// Batched backend I/O. Drain rounds that reached the backend (one
+  /// FetchBatch round trip each); fills_issued / fetch_batches is the
+  /// amortization factor.
+  std::uint64_t fetch_batches = 0;
+  /// Fills that rode a round trip carrying more than one tile.
+  std::uint64_t batched_fills = 0;
+  /// Drain rounds that deferred a partial batch to linger for more keys.
+  std::uint64_t batch_deferrals = 0;
 };
 
 /// A pending queue entry, as reported by SnapshotQueue().
@@ -165,10 +198,14 @@ class PrefetchScheduler {
   /// dying delivery targets.
   void Shutdown();
 
-  /// Pops the highest-priority entry and runs its fill synchronously on the
-  /// calling thread (fetch, shared-cache landing, deliveries). Returns
-  /// false when nothing is pending. This is the pull-mode hook: executor
-  /// workers loop it, tests call it directly for deterministic goldens.
+  /// Pops the top pending entries — one with the default BatchProfile, up
+  /// to max_batch_tiles of them when batching is configured — and runs
+  /// their fills synchronously on the calling thread as one backend round
+  /// trip (batched fetch, shared-cache landing, per-subscriber deliveries).
+  /// Returns false when nothing was drained. This is the pull-mode hook:
+  /// executor workers loop it, tests call it directly for deterministic
+  /// goldens. Pull-mode callers never observe linger deferrals (deferral
+  /// requires another fill in flight).
   bool DrainOne();
 
   /// Pending (not yet popped) entries.
@@ -194,6 +231,10 @@ class PrefetchScheduler {
     /// Validity stamp for lazy heap invalidation: a heap node whose stamp
     /// no longer matches is a superseded score and is skipped at pop.
     std::uint64_t stamp = 0;
+    /// Virtual time the entry first became pending (0 without a clock).
+    /// Merges keep the original time — lingering is bounded by the OLDEST
+    /// waiting subscription, not refreshed by new arrivals.
+    double enqueue_ms = 0.0;
   };
 
   struct HeapNode {
@@ -218,6 +259,22 @@ class PrefetchScheduler {
     bool unregistering = false;
   };
 
+  /// One drain round's outcome. kDeferred: a partial batch chose to linger
+  /// for more keys (only possible while another fill is in flight, whose
+  /// completion re-plans the queue — see storage/batch_fetch.h).
+  enum class DrainVerdict { kEmpty, kDeferred, kDrained };
+
+  /// An entry popped into the current drain round's batch.
+  struct PoppedEntry {
+    tiles::TileKey key;
+    std::vector<Subscription> subs;
+  };
+
+  /// The batched drain round behind DrainOne and WorkerLoop: plans a pop
+  /// size with batcher_, pops that many top entries, fetches them in one
+  /// backend round trip, and delivers to still-current subscribers.
+  DrainVerdict DrainBatch();
+
   /// Recomputes the entry's priority from its live subscriptions and
   /// pushes a freshly stamped heap node. Caller holds mu_.
   void RescoreLocked(const tiles::TileKey& key, Entry& entry);
@@ -236,6 +293,7 @@ class PrefetchScheduler {
   Executor* executor_;      ///< Null in pull mode.
   SharedTileCache* shared_;  ///< Null: fills skip the shared-cache landing.
   PrefetchSchedulerOptions options_;
+  storage::FetchBatcher batcher_;  ///< Batch formation policy for drains.
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< Fill/delivery completion, worker exit.

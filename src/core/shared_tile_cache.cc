@@ -456,15 +456,15 @@ Result<tiles::TilePtr> SharedTileCache::GetOrFetch(const tiles::TileKey& key,
   return tile;
 }
 
-Result<SharedTileCache::SharedFetch> SharedTileCache::GetOrFetchShared(
-    const tiles::TileKey& key, storage::TileStore* store,
-    const std::vector<CacheAccess>& subscribers) {
+tiles::TilePtr SharedTileCache::PrepareSharedFetch(
+    const tiles::TileKey& key, const std::vector<CacheAccess>& subscribers,
+    CacheAccess* merged) {
   double aggregate = 0.0;
   for (const auto& subscriber : subscribers) aggregate += subscriber.confidence;
   // The fill is anonymous (owner 0: a tile serving many sessions is charged
   // to no one's quota) and carries the aggregate confidence, capped to the
   // [0, 1] domain of a single access, for priority admission.
-  const CacheAccess merged{0, std::min(1.0, aggregate)};
+  *merged = CacheAccess{0, std::min(1.0, aggregate)};
   Shard& shard = ShardFor(key);
   if (subscribers.size() > 1) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -476,9 +476,17 @@ Result<SharedTileCache::SharedFetch> SharedTileCache::GetOrFetchShared(
     }
     shard.counters.merged_predictions += subscribers.size();
   }
+  return Lookup(key, *merged);
+}
+
+Result<SharedTileCache::SharedFetch> SharedTileCache::GetOrFetchShared(
+    const tiles::TileKey& key, storage::TileStore* store,
+    const std::vector<CacheAccess>& subscribers) {
+  CacheAccess merged;
   SharedFetch out;
-  out.tile = Lookup(key, merged);
+  out.tile = PrepareSharedFetch(key, subscribers, &merged);
   if (out.tile != nullptr) {
+    Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counters.dedup_saved_fetches += subscribers.size();
     return out;
@@ -487,8 +495,60 @@ Result<SharedTileCache::SharedFetch> SharedTileCache::GetOrFetchShared(
   out.fetched = true;
   Insert(key, out.tile, merged);
   if (subscribers.size() > 1) {
+    Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.counters.dedup_saved_fetches += subscribers.size() - 1;
+  }
+  return out;
+}
+
+std::vector<Result<SharedTileCache::SharedFetch>>
+SharedTileCache::GetOrFetchSharedBatch(const std::vector<SharedBatchItem>& items,
+                                       storage::TileStore* store) {
+  std::vector<Result<SharedFetch>> out(
+      items.size(), Result<SharedFetch>(Status::Internal("batch slot unset")));
+  std::vector<CacheAccess> merged(items.size());
+  std::vector<std::size_t> misses;  // indices into items
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    SharedFetch hit;
+    hit.tile = PrepareSharedFetch(items[i].key, items[i].subscribers, &merged[i]);
+    if (hit.tile != nullptr) {
+      Shard& shard = ShardFor(items[i].key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.counters.dedup_saved_fetches += items[i].subscribers.size();
+      out[i] = std::move(hit);
+    } else {
+      misses.push_back(i);
+    }
+  }
+  if (misses.empty()) return out;
+
+  // Every miss rides ONE backend round trip; the per-tile path would have
+  // paid one query each.
+  std::vector<tiles::TileKey> keys;
+  keys.reserve(misses.size());
+  for (std::size_t i : misses) keys.push_back(items[i].key);
+  auto fetched = store->FetchBatch(keys);
+  batches_issued_.fetch_add(1, std::memory_order_relaxed);
+  batched_tiles_.fetch_add(misses.size(), std::memory_order_relaxed);
+  fetch_rounds_saved_.fetch_add(misses.size() - 1, std::memory_order_relaxed);
+
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const std::size_t i = misses[j];
+    if (!fetched[j].ok()) {
+      out[i] = fetched[j].status();
+      continue;
+    }
+    SharedFetch landed;
+    landed.tile = std::move(*fetched[j]);
+    landed.fetched = true;
+    Insert(items[i].key, landed.tile, merged[i]);
+    if (items[i].subscribers.size() > 1) {
+      Shard& shard = ShardFor(items[i].key);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.counters.dedup_saved_fetches += items[i].subscribers.size() - 1;
+    }
+    out[i] = std::move(landed);
   }
   return out;
 }
@@ -577,6 +637,9 @@ SharedTileCacheStats SharedTileCache::Stats() const {
     stats.l2_bytes_resident += shard->l2_bytes;
   }
   stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+  stats.batches_issued = batches_issued_.load(std::memory_order_relaxed);
+  stats.batched_tiles = batched_tiles_.load(std::memory_order_relaxed);
+  stats.fetch_rounds_saved = fetch_rounds_saved_.load(std::memory_order_relaxed);
   stats.hits = stats.l1_hits + stats.l2_hits;
   stats.promotions = stats.l2_hits;
   stats.bytes_resident = stats.l1_bytes_resident + stats.l2_bytes_resident;

@@ -97,6 +97,12 @@ struct SessionManagerOptions {
   /// PrefetchScheduler instead of each filling its own region: overlapping
   /// predictions merge into a single fill ordered by aggregate confidence x
   /// subscribed-session count. False restores per-session executor fills.
+  ///
+  /// Batched backend I/O rides here too: set prefetch_scheduler.batch
+  /// (storage::BatchProfile) to let each drain round pop the top-k pending
+  /// fills into one backend round trip — the manager wires its SimClock
+  /// into the scheduler so batch.max_linger_ms ages against virtual time.
+  /// The default profile (max_batch_tiles = 1) keeps the per-tile drain.
   bool use_prefetch_scheduler = true;
   core::PrefetchSchedulerOptions prefetch_scheduler;
 };

@@ -1,0 +1,33 @@
+#include "storage/batch_fetch.h"
+
+#include <algorithm>
+
+namespace fc::storage {
+
+FetchBatcher::FetchBatcher(BatchProfile profile, std::size_t nominal_tile_bytes)
+    : profile_(profile) {
+  max_tiles_ = std::max<std::size_t>(profile_.max_batch_tiles, 1);
+  if (profile_.max_batch_bytes > 0 && nominal_tile_bytes > 0) {
+    // Floor division: a full batch of nominal tiles stays within the byte
+    // bound. A bound smaller than one tile still allows single-tile trips
+    // (byte budgets cap amortization, they cannot stop fetching).
+    std::size_t by_bytes =
+        std::max<std::size_t>(profile_.max_batch_bytes / nominal_tile_bytes, 1);
+    max_tiles_ = std::min(max_tiles_, by_bytes);
+  }
+}
+
+std::size_t FetchBatcher::PlanPop(std::size_t depth, double oldest_enqueue_ms,
+                                  double now_ms, bool can_defer) const {
+  if (depth == 0) return 0;
+  if (depth >= max_tiles_) return max_tiles_;
+  // Partial batch. Linger only while another fill guarantees a re-plan,
+  // and only until the oldest entry has waited its bound out.
+  if (can_defer && profile_.max_linger_ms > 0.0 &&
+      now_ms - oldest_enqueue_ms < profile_.max_linger_ms) {
+    return 0;
+  }
+  return depth;
+}
+
+}  // namespace fc::storage

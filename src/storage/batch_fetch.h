@@ -1,0 +1,88 @@
+// Batched backend I/O planning: how many queued tile fetches should ride
+// one backend round trip, and when a partial batch should wait for more.
+//
+// The paper's dominant cost is the backend round trip (a SciDB tile query
+// measured ~984 ms, most of it fixed per-query overhead). One process
+// serving many sessions knows about whole groups of needed tiles at once —
+// the PrefetchScheduler's priority queue — yet issuing them one query per
+// tile pays the fixed overhead once per tile. Khameleon's server-side
+// scheduler and Kyrix's tile server both show the fix: form few large
+// backend requests from the globally ordered demand. This header is that
+// policy layer: a BatchProfile describes what the backend can amortize,
+// and a FetchBatcher turns queue state into a pop size for one
+// TileStore::FetchBatch round trip.
+//
+// The mechanism (multi-key fetch) lives on TileStore::FetchBatch; the
+// landing (multi-owner cache admission) on SharedTileCache::
+// GetOrFetchSharedBatch; the call site in PrefetchScheduler's drain loop,
+// which already sees the global priority order. See docs/backend-io.md.
+//
+// Thread-safety: FetchBatcher is immutable after construction; call it
+// from any thread.
+
+#ifndef FORECACHE_STORAGE_BATCH_FETCH_H_
+#define FORECACHE_STORAGE_BATCH_FETCH_H_
+
+#include <cstddef>
+
+namespace fc::storage {
+
+/// What one backend can amortize per round trip. Defaults describe "no
+/// batching" so every embedding opts in deliberately — a profile of
+/// max_batch_tiles = 1 reproduces the per-tile drain bit for bit.
+struct BatchProfile {
+  /// Upper bound on tiles per backend round trip. 1 disables batching;
+  /// 0 is treated as 1. SciDB-style backends take ~8-64 ranges per query
+  /// before the scan stops amortizing; a disk store is bounded by how many
+  /// reads one submission batch should carry.
+  std::size_t max_batch_tiles = 1;
+
+  /// Upper bound on decoded payload bytes per round trip (0 = unbounded).
+  /// Sized against the backend's response buffer; the planner converts it
+  /// into a tile cap via the pyramid's nominal tile size.
+  std::size_t max_batch_bytes = 0;
+
+  /// How long (virtual SimClock milliseconds) a PARTIAL batch may wait for
+  /// more keys before draining anyway. 0 drains immediately. Lingering is
+  /// only ever allowed while another fill is in flight, so a lingering
+  /// queue is always re-examined when that fill completes — the planner
+  /// can defer, never deadlock.
+  double max_linger_ms = 0.0;
+};
+
+/// Turns (queue depth, oldest entry age, in-flight state) into "pop this
+/// many entries into one round trip". Stateless beyond its profile.
+class FetchBatcher {
+ public:
+  /// `nominal_tile_bytes` converts max_batch_bytes into a tile cap
+  /// (ceil-free: a batch never exceeds the byte bound assuming nominal
+  /// payloads). 0 leaves the byte bound unapplied.
+  explicit FetchBatcher(BatchProfile profile,
+                        std::size_t nominal_tile_bytes = 0);
+
+  const BatchProfile& profile() const { return profile_; }
+
+  /// Effective per-round-trip tile cap after the byte bound. Always >= 1.
+  std::size_t max_tiles() const { return max_tiles_; }
+
+  /// Plans one drain round over a queue of `depth` pending tiles whose
+  /// oldest entry was enqueued at `oldest_enqueue_ms` (virtual time; pass
+  /// now_ms when unknown). Returns how many entries to pop now:
+  ///  * 0 when the queue is empty — nothing to do;
+  ///  * 0 when the batch would be partial, `can_defer` is true, and the
+  ///    oldest entry has not yet lingered max_linger_ms — wait for more;
+  ///  * otherwise min(depth, max_tiles()).
+  /// Callers must pass can_defer = false when no other fill is in flight,
+  /// guaranteeing progress (a deferred queue is always re-planned by a
+  /// completing fill).
+  std::size_t PlanPop(std::size_t depth, double oldest_enqueue_ms,
+                      double now_ms, bool can_defer) const;
+
+ private:
+  BatchProfile profile_;
+  std::size_t max_tiles_;
+};
+
+}  // namespace fc::storage
+
+#endif  // FORECACHE_STORAGE_BATCH_FETCH_H_

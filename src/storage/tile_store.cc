@@ -9,6 +9,17 @@
 namespace fc::storage {
 
 // ---------------------------------------------------------------------------
+// TileStore (loop fallback)
+
+std::vector<Result<tiles::TilePtr>> TileStore::FetchBatch(
+    const std::vector<tiles::TileKey>& keys) {
+  std::vector<Result<tiles::TilePtr>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) out.push_back(Fetch(key));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // MemoryTileStore
 
 MemoryTileStore::MemoryTileStore(std::shared_ptr<const tiles::TilePyramid> pyramid)
@@ -16,7 +27,18 @@ MemoryTileStore::MemoryTileStore(std::shared_ptr<const tiles::TilePyramid> pyram
 
 Result<tiles::TilePtr> MemoryTileStore::Fetch(const tiles::TileKey& key) {
   ++fetches_;
+  ++queries_;
   return pyramid_->GetTile(key);
+}
+
+std::vector<Result<tiles::TilePtr>> MemoryTileStore::FetchBatch(
+    const std::vector<tiles::TileKey>& keys) {
+  fetches_ += keys.size();
+  if (!keys.empty()) ++queries_;
+  std::vector<Result<tiles::TilePtr>> out;
+  out.reserve(keys.size());
+  for (const auto& key : keys) out.push_back(pyramid_->GetTile(key));
+  return out;
 }
 
 bool MemoryTileStore::Contains(const tiles::TileKey& key) const {
@@ -35,6 +57,7 @@ SimulatedDbmsStore::SimulatedDbmsStore(
 
 Result<tiles::TilePtr> SimulatedDbmsStore::Fetch(const tiles::TileKey& key) {
   ++fetches_;
+  ++queries_;
   auto tile = pyramid_->GetTile(key);
   if (!tile.ok()) return tile;
   // Each tile is one storage chunk in the materialized view (section 2.3);
@@ -47,6 +70,37 @@ Result<tiles::TilePtr> SimulatedDbmsStore::Fetch(const tiles::TileKey& key) {
   }
   clock_->AdvanceMillis(ms);
   return tile;
+}
+
+std::vector<Result<tiles::TilePtr>> SimulatedDbmsStore::FetchBatch(
+    const std::vector<tiles::TileKey>& keys) {
+  fetches_ += keys.size();
+  if (!keys.empty()) ++queries_;
+  std::vector<Result<tiles::TilePtr>> out;
+  out.reserve(keys.size());
+  // One multi-range query: every tile found is one chunk of the same scan,
+  // so the fixed per-query overhead is charged once for the whole batch
+  // while per-chunk and per-cell costs still scale with what it returns.
+  // Missing keys fail their own slot and charge nothing (as in Fetch).
+  std::int64_t chunks = 0;
+  std::int64_t cells = 0;
+  for (const auto& key : keys) {
+    out.push_back(pyramid_->GetTile(key));
+    if (out.back().ok()) {
+      ++chunks;
+      cells += (*out.back())->cell_count();
+    }
+  }
+  if (chunks > 0) {
+    double ms;
+    {
+      std::lock_guard<std::mutex> lock(charge_mu_);
+      ms = cost_model_.QueryMillis(chunks, cells);
+      total_query_millis_ += ms;
+    }
+    clock_->AdvanceMillis(ms);
+  }
+  return out;
 }
 
 bool SimulatedDbmsStore::Contains(const tiles::TileKey& key) const {
@@ -101,19 +155,50 @@ Status DiskTileStore::SavePyramid(const tiles::TilePyramid& pyramid) {
   return Status::OK();
 }
 
-Result<tiles::TilePtr> DiskTileStore::Fetch(const tiles::TileKey& key) {
-  ++fetches_;
-  std::string path = PathFor(key);
+Result<std::string> DiskTileStore::ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("no tile file: " + path);
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+Result<tiles::TilePtr> DiskTileStore::DecodeFile(const tiles::TileKey& key,
+                                                 const std::string& bytes) const {
   FC_ASSIGN_OR_RETURN(auto tile, DecodeTile(bytes));
   if (!(tile.key() == key)) {
-    return Status::Corruption("tile file " + path + " holds key " +
+    return Status::Corruption("tile file " + PathFor(key) + " holds key " +
                               tile.key().ToString());
   }
   return std::make_shared<const tiles::Tile>(std::move(tile));
+}
+
+Result<tiles::TilePtr> DiskTileStore::Fetch(const tiles::TileKey& key) {
+  ++fetches_;
+  ++queries_;
+  FC_ASSIGN_OR_RETURN(auto bytes, ReadFile(PathFor(key)));
+  return DecodeFile(key, bytes);
+}
+
+std::vector<Result<tiles::TilePtr>> DiskTileStore::FetchBatch(
+    const std::vector<tiles::TileKey>& keys) {
+  fetches_ += keys.size();
+  if (!keys.empty()) ++queries_;
+  // Pass 1: slurp every file back to back (the sequential submission an
+  // io_uring/readv backend would coalesce); pass 2: decode the payloads.
+  // No per-tile open/decode interleaving, and the whole pass is one query.
+  std::vector<Result<std::string>> raw;
+  raw.reserve(keys.size());
+  for (const auto& key : keys) raw.push_back(ReadFile(PathFor(key)));
+  std::vector<Result<tiles::TilePtr>> out;
+  out.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!raw[i].ok()) {
+      out.push_back(raw[i].status());
+      continue;
+    }
+    out.push_back(DecodeFile(keys[i], *raw[i]));
+  }
+  return out;
 }
 
 bool DiskTileStore::Contains(const tiles::TileKey& key) const {
@@ -125,6 +210,25 @@ bool DiskTileStore::Contains(const tiles::TileKey& key) const {
 
 SingleFlightTileStore::SingleFlightTileStore(TileStore* inner) : inner_(inner) {}
 
+Result<tiles::TilePtr> SingleFlightTileStore::JoinFlight(
+    std::unique_lock<std::mutex>& lock, const std::shared_ptr<Flight>& flight) {
+  flight->landed.wait(lock, [&] { return flight->done; });
+  return flight->result;
+}
+
+void SingleFlightTileStore::LandFlight(const tiles::TileKey& key,
+                                       const std::shared_ptr<Flight>& flight,
+                                       const Result<tiles::TilePtr>& result) {
+  // Notify under the lock: once `done` is observable the last joiner may
+  // drop the final reference, so the cv must not be touched after the
+  // mutex is released.
+  std::lock_guard<std::mutex> lock(mu_);
+  flight->result = result;
+  flight->done = true;
+  flights_.erase(key);
+  flight->landed.notify_all();
+}
+
 Result<tiles::TilePtr> SingleFlightTileStore::Fetch(const tiles::TileKey& key) {
   ++fetches_;
   std::shared_ptr<Flight> flight;
@@ -135,25 +239,65 @@ Result<tiles::TilePtr> SingleFlightTileStore::Fetch(const tiles::TileKey& key) {
       // Someone else is already fetching this key: join their flight.
       ++deduped_;
       flight = it->second;
-      flight->landed.wait(lock, [&] { return flight->done; });
-      return flight->result;
+      return JoinFlight(lock, flight);
     }
     flight = std::make_shared<Flight>();
     flights_.emplace(key, flight);
   }
 
+  ++queries_;
   auto result = inner_->Fetch(key);
-  {
-    // Notify under the lock: once `done` is observable the last joiner may
-    // drop the final reference, so the cv must not be touched after the
-    // mutex is released.
-    std::lock_guard<std::mutex> lock(mu_);
-    flight->result = result;
-    flight->done = true;
-    flights_.erase(key);
-    flight->landed.notify_all();
-  }
+  LandFlight(key, flight, result);
   return result;
+}
+
+std::vector<Result<tiles::TilePtr>> SingleFlightTileStore::FetchBatch(
+    const std::vector<tiles::TileKey>& keys) {
+  fetches_ += keys.size();
+  std::vector<Result<tiles::TilePtr>> out(
+      keys.size(), Result<tiles::TilePtr>(Status::Internal("batch slot unset")));
+
+  // Partition under one lock pass: keys already in flight become joiners;
+  // the rest (first occurrence only — a duplicate key within one batch
+  // joins its own leader) become this call's leader batch.
+  std::vector<std::pair<std::size_t, std::shared_ptr<Flight>>> leaders;
+  std::vector<std::pair<std::size_t, std::shared_ptr<Flight>>> joiners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto it = flights_.find(keys[i]);
+      if (it != flights_.end()) {
+        ++deduped_;
+        joiners.emplace_back(i, it->second);
+        continue;
+      }
+      auto flight = std::make_shared<Flight>();
+      flights_.emplace(keys[i], flight);
+      leaders.emplace_back(i, std::move(flight));
+    }
+  }
+
+  // Leader batch: one upstream round trip for every non-joined key, landed
+  // into the flights so concurrent fetchers of those keys get the results.
+  if (!leaders.empty()) {
+    ++queries_;
+    std::vector<tiles::TileKey> leader_keys;
+    leader_keys.reserve(leaders.size());
+    for (const auto& [i, flight] : leaders) leader_keys.push_back(keys[i]);
+    auto results = inner_->FetchBatch(leader_keys);
+    for (std::size_t j = 0; j < leaders.size(); ++j) {
+      LandFlight(leader_keys[j], leaders[j].second, results[j]);
+      out[leaders[j].first] = std::move(results[j]);
+    }
+  }
+
+  // Join foreign flights AFTER issuing our own batch, so two overlapping
+  // batches cannot deadlock waiting on each other's unlanded keys.
+  for (auto& [i, flight] : joiners) {
+    std::unique_lock<std::mutex> lock(mu_);
+    out[i] = JoinFlight(lock, flight);
+  }
+  return out;
 }
 
 bool SingleFlightTileStore::Contains(const tiles::TileKey& key) const {

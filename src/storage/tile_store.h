@@ -11,6 +11,11 @@
 //
 // All backends are thread-safe: fetch counters are atomic and cost/clock
 // charging is mutex-guarded, so concurrent sessions may share one store.
+//
+// Batched I/O (see storage/batch_fetch.h for the planner): FetchBatch
+// answers many keys in one backend round trip. Stores keep two counters —
+// fetch_count() (tiles requested) and query_count() (round trips) — so
+// single-flight dedup and batch amortization stay distinguishable in stats.
 
 #ifndef FORECACHE_STORAGE_TILE_STORE_H_
 #define FORECACHE_STORAGE_TILE_STORE_H_
@@ -21,6 +26,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "array/cost_model.h"
 #include "common/result.h"
@@ -39,11 +45,31 @@ class TileStore {
   virtual ~TileStore() = default;
 
   virtual Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) = 0;
+
+  /// Fetches many tiles in one backend round trip where the backend can
+  /// (SciDB answers a multi-range query with one plan + scan; a disk store
+  /// coalesces its reads and decodes). Returns one result per key, parallel
+  /// to `keys` — a missing or corrupt tile fails its own slot without
+  /// failing the batch. The base implementation is the correct-but-
+  /// unamortized loop fallback: one Fetch (and hence one backend query) per
+  /// key. Native implementations charge their per-query overhead once.
+  virtual std::vector<Result<tiles::TilePtr>> FetchBatch(
+      const std::vector<tiles::TileKey>& keys);
+
   virtual bool Contains(const tiles::TileKey& key) const = 0;
   virtual const tiles::PyramidSpec& spec() const = 0;
 
-  /// Cumulative count of Fetch calls (successful or not).
+  /// Cumulative count of tiles requested from this store: +1 per Fetch
+  /// (successful or not), +keys.size() per FetchBatch. Batching does not
+  /// change this number — it is the demand, not the round trips.
   virtual std::uint64_t fetch_count() const = 0;
+
+  /// Cumulative count of backend queries (round trips): +1 per Fetch, +1
+  /// per native FetchBatch regardless of batch size. The loop fallback
+  /// counts one query per key, so fetch_count == query_count for stores
+  /// with no native batching. The amortization a batch planner buys is
+  /// exactly fetch_count() - query_count().
+  virtual std::uint64_t query_count() const { return fetch_count(); }
 };
 
 /// Serves straight from an in-memory pyramid.
@@ -52,17 +78,29 @@ class MemoryTileStore : public TileStore {
   explicit MemoryTileStore(std::shared_ptr<const tiles::TilePyramid> pyramid);
 
   Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+  std::vector<Result<tiles::TilePtr>> FetchBatch(
+      const std::vector<tiles::TileKey>& keys) override;
   bool Contains(const tiles::TileKey& key) const override;
   const tiles::PyramidSpec& spec() const override;
   std::uint64_t fetch_count() const override { return fetches_; }
+  std::uint64_t query_count() const override { return queries_; }
 
  private:
   std::shared_ptr<const tiles::TilePyramid> pyramid_;
   std::atomic<std::uint64_t> fetches_{0};
+  std::atomic<std::uint64_t> queries_{0};
 };
 
 /// Serves from an in-memory pyramid while charging DBMS query cost to a
 /// virtual clock — the experimental stand-in for a SciDB backend.
+///
+/// Fetch charges one full query (per-query overhead + one chunk + cells)
+/// per tile. FetchBatch is the SciDB-style multi-range query: ONE charge of
+/// QueryMillis(chunks = tiles found, cells = their sum), so the fixed
+/// per-query overhead (CostModelOptions::per_query_overhead_ms) is paid
+/// once per round trip while the per-tile costs (per_chunk_ms + per_cell_us
+/// per tile) still scale with batch size. A one-key batch draws the same
+/// jitter and charges the same millis as Fetch, bit-identical.
 class SimulatedDbmsStore : public TileStore {
  public:
   /// `clock` must outlive the store.
@@ -70,9 +108,12 @@ class SimulatedDbmsStore : public TileStore {
                      array::QueryCostModel cost_model, SimClock* clock);
 
   Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+  std::vector<Result<tiles::TilePtr>> FetchBatch(
+      const std::vector<tiles::TileKey>& keys) override;
   bool Contains(const tiles::TileKey& key) const override;
   const tiles::PyramidSpec& spec() const override;
   std::uint64_t fetch_count() const override { return fetches_; }
+  std::uint64_t query_count() const override { return queries_; }
 
   /// Total simulated milliseconds charged across all fetches.
   double total_query_millis() const {
@@ -89,6 +130,7 @@ class SimulatedDbmsStore : public TileStore {
   array::QueryCostModel cost_model_;
   SimClock* clock_;
   std::atomic<std::uint64_t> fetches_{0};
+  std::atomic<std::uint64_t> queries_{0};
   /// Guards cost_model_ (its jitter RNG advances per query) and the
   /// total-millis accumulator while charging the clock.
   mutable std::mutex charge_mu_;
@@ -112,9 +154,17 @@ class DiskTileStore : public TileStore {
   Status SavePyramid(const tiles::TilePyramid& pyramid);
 
   Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+
+  /// One coalesced read pass (the stand-in for readv/io_uring submission):
+  /// all files are slurped first, then all payloads decoded, and the whole
+  /// pass counts as ONE backend query instead of keys.size() of them.
+  std::vector<Result<tiles::TilePtr>> FetchBatch(
+      const std::vector<tiles::TileKey>& keys) override;
+
   bool Contains(const tiles::TileKey& key) const override;
   const tiles::PyramidSpec& spec() const override { return spec_; }
   std::uint64_t fetch_count() const override { return fetches_; }
+  std::uint64_t query_count() const override { return queries_; }
 
   /// Filesystem path for a tile key.
   std::string PathFor(const tiles::TileKey& key) const;
@@ -123,10 +173,16 @@ class DiskTileStore : public TileStore {
   DiskTileStore(std::string directory, tiles::PyramidSpec spec,
                 TileCodecOptions codec);
 
+  /// Reads and validates one tile file (shared by Fetch and FetchBatch).
+  Result<tiles::TilePtr> DecodeFile(const tiles::TileKey& key,
+                                    const std::string& bytes) const;
+  static Result<std::string> ReadFile(const std::string& path);
+
   std::string directory_;
   tiles::PyramidSpec spec_;
   TileCodec codec_;
   std::atomic<std::uint64_t> fetches_{0};
+  std::atomic<std::uint64_t> queries_{0};
 };
 
 /// Decorator that collapses concurrent fetches of the same key into one
@@ -142,10 +198,25 @@ class SingleFlightTileStore : public TileStore {
   explicit SingleFlightTileStore(TileStore* inner);
 
   Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
+
+  /// Batch-aware single flight: keys whose fetch is already in flight JOIN
+  /// the existing flight (counted in deduped_count), and the remainder is
+  /// fetched as ONE leader batch through the inner store's FetchBatch —
+  /// so concurrent overlapping batches from different drain workers still
+  /// query the backend once per tile, and a batch pays one upstream round
+  /// trip, not one per non-joined key.
+  std::vector<Result<tiles::TilePtr>> FetchBatch(
+      const std::vector<tiles::TileKey>& keys) override;
+
   bool Contains(const tiles::TileKey& key) const override;
   const tiles::PyramidSpec& spec() const override { return inner_->spec(); }
-  /// Counts every Fetch call, including ones served by joining a flight.
+  /// Counts every tile requested, including ones served by joining a
+  /// flight — the demand this decorator absorbed, not what it forwarded.
   std::uint64_t fetch_count() const override { return fetches_; }
+  /// Upstream round trips this store initiated: one per leader Fetch, one
+  /// per leader batch. Joined flights add nothing here, so
+  /// fetch_count() - query_count() overstates neither dedup nor batching.
+  std::uint64_t query_count() const override { return queries_; }
 
   /// Fetches that joined an in-flight request instead of querying upstream.
   std::uint64_t deduped_count() const { return deduped_; }
@@ -159,11 +230,21 @@ class SingleFlightTileStore : public TileStore {
     std::condition_variable landed;
   };
 
+  /// Blocks until `flight` lands and returns its result. Caller passes the
+  /// already-held lock on mu_.
+  Result<tiles::TilePtr> JoinFlight(std::unique_lock<std::mutex>& lock,
+                                    const std::shared_ptr<Flight>& flight);
+  /// Publishes `result` into `flight` and erases its key. Takes mu_.
+  void LandFlight(const tiles::TileKey& key,
+                  const std::shared_ptr<Flight>& flight,
+                  const Result<tiles::TilePtr>& result);
+
   TileStore* inner_;
   std::mutex mu_;
   std::unordered_map<tiles::TileKey, std::shared_ptr<Flight>, tiles::TileKeyHash>
       flights_;
   std::atomic<std::uint64_t> fetches_{0};
+  std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> deduped_{0};
 };
 

@@ -300,6 +300,172 @@ TEST(CacheManagerPrefetchGateTest, PlanSkipsHistoryResidentAndDuplicates) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched drain (storage/batch_fetch.h): one drain round pops the top-k
+// pending entries into a single backend round trip.
+
+TEST(PrefetchSchedulerBatchTest, BatchedDrainPopsTopKInOneRoundTrip) {
+  PullModeHarness h;
+  PrefetchSchedulerOptions options;
+  options.batch.max_batch_tiles = 3;
+  PrefetchScheduler scheduler{&h.store, /*executor=*/nullptr, &h.shared,
+                              options};
+  DeliveryLog log1, log2;
+  const auto s1 = scheduler.RegisterSession(1, log1.Sink());
+  const auto s2 = scheduler.RegisterSession(2, log2.Sink());
+
+  const tiles::TileKey a{1, 0, 0}, b{1, 0, 1}, c{1, 1, 0}, d{1, 1, 1};
+  scheduler.Publish(s1, 1, {{a, 0.9}, {b, 0.8}, {c, 0.7}});
+  scheduler.Publish(s2, 1, {{a, 0.6}, {d, 0.5}});
+
+  // First round: the top 3 entries (a merged at (0.9+0.6)x2, then b, c)
+  // travel in ONE backend round trip.
+  ASSERT_TRUE(scheduler.DrainOne());
+  EXPECT_EQ(h.store.query_count(), 1u);
+  EXPECT_EQ(h.store.fetch_count(), 3u);
+  EXPECT_EQ(log1.count(), 3u);  // a, b, c
+  EXPECT_EQ(log2.count(), 1u);  // a
+  auto stats = scheduler.Stats();
+  EXPECT_EQ(stats.fills_issued, 3u);
+  EXPECT_EQ(stats.fetch_batches, 1u);
+  EXPECT_EQ(stats.batched_fills, 3u);
+
+  // Second round: only d remains — a partial, single-tile round trip.
+  ASSERT_TRUE(scheduler.DrainOne());
+  EXPECT_FALSE(scheduler.DrainOne());
+  EXPECT_EQ(h.store.query_count(), 2u);
+  stats = scheduler.Stats();
+  EXPECT_EQ(stats.fills_issued, 4u);
+  EXPECT_EQ(stats.fetch_batches, 2u);
+  EXPECT_EQ(stats.batched_fills, 3u);  // the single-tile round is unbatched
+  EXPECT_EQ(stats.fills_issued + stats.dedup_saved_fetches,
+            stats.predictions_published);
+
+  // The shared cache saw the same amortization.
+  auto cache_stats = h.shared.Stats();
+  EXPECT_EQ(cache_stats.batches_issued, 2u);
+  EXPECT_EQ(cache_stats.batched_tiles, 4u);
+  EXPECT_EQ(cache_stats.fetch_rounds_saved, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence property: a batched drain must be observationally
+// identical to the per-tile drain — same cache contents, same hit stats,
+// same per-session delivery sequences — differing only in how many backend
+// round trips carried the fills. Both runs execute one scripted random
+// sequence of publishes, cancels, and full drains in pull mode.
+
+TEST(PrefetchSchedulerBatchTest, BatchedDrainEquivalentToPerTileDrain) {
+  auto pyramid = SmallPyramid();
+  const auto keys = pyramid->spec().AllKeys();
+  constexpr int kSessions = 4;
+  constexpr int kRounds = 60;
+
+  struct Run {
+    storage::MemoryTileStore store;
+    SharedTileCache shared;
+    PrefetchScheduler scheduler;
+    std::vector<std::unique_ptr<DeliveryLog>> logs;
+    std::vector<std::uint64_t> ids;
+
+    Run(std::shared_ptr<tiles::TilePyramid> pyramid, std::size_t batch_tiles)
+        : store(std::move(pyramid)),
+          shared([] {
+            SharedTileCacheOptions options;
+            options.l1_bytes = 64ull << 20;  // no eviction: see note below
+            options.num_shards = 2;
+            return options;
+          }()),
+          scheduler(&store, /*executor=*/nullptr, &shared, [&] {
+            PrefetchSchedulerOptions options;
+            options.batch.max_batch_tiles = batch_tiles;
+            return options;
+          }()) {
+      for (int s = 0; s < kSessions; ++s) {
+        logs.push_back(std::make_unique<DeliveryLog>());
+        ids.push_back(scheduler.RegisterSession(
+            static_cast<std::uint64_t>(s) + 1, logs.back()->Sink()));
+      }
+    }
+  };
+  // Budget sized above the working set: batching reorders the
+  // lookup/insert interleaving within a round, so eviction-timing effects
+  // are out of scope here (the concurrent stress below covers them).
+  Run per_tile(pyramid, 1), batched(pyramid, 4);
+
+  Rng rng(/*seed=*/9021);
+  std::vector<std::uint64_t> generations(kSessions, 0);
+  for (int round = 0; round < kRounds; ++round) {
+    // A burst of random publishes (some superseding, some cancelling),
+    // applied identically to both runs...
+    const int publishes = 1 + static_cast<int>(rng.UniformUint32(3));
+    for (int p = 0; p < publishes; ++p) {
+      const int s = static_cast<int>(rng.UniformUint32(kSessions));
+      if (rng.UniformUint32(8) == 0) {
+        per_tile.scheduler.CancelSession(per_tile.ids[s]);
+        batched.scheduler.CancelSession(batched.ids[s]);
+        continue;
+      }
+      std::vector<PrefetchCandidate> list;
+      const std::size_t len = 1 + rng.UniformUint32(6);
+      for (std::size_t i = 0; i < len; ++i) {
+        const auto& key =
+            keys[rng.UniformUint32(static_cast<std::uint32_t>(keys.size()))];
+        list.push_back({key, 0.1 + 0.15 * rng.UniformUint32(6)});
+      }
+      const std::uint64_t generation = ++generations[s];
+      per_tile.scheduler.Publish(per_tile.ids[s], generation, list);
+      batched.scheduler.Publish(batched.ids[s], generation, list);
+    }
+    // ...then both drain fully, so the runs re-converge every round.
+    while (per_tile.scheduler.DrainOne()) {
+    }
+    while (batched.scheduler.DrainOne()) {
+    }
+  }
+
+  // Identical deliveries, per session, in order.
+  for (int s = 0; s < kSessions; ++s) {
+    std::lock_guard<std::mutex> lock_a(per_tile.logs[s]->mu);
+    std::lock_guard<std::mutex> lock_b(batched.logs[s]->mu);
+    EXPECT_EQ(per_tile.logs[s]->delivered, batched.logs[s]->delivered)
+        << "session " << s << " diverged";
+  }
+  // Identical cache contents...
+  for (const auto& key : keys) {
+    EXPECT_EQ(per_tile.shared.Contains(key), batched.shared.Contains(key))
+        << key.ToString();
+  }
+  // ...identical hit stats and scheduler accounting...
+  auto stats_a = per_tile.shared.Stats();
+  auto stats_b = batched.shared.Stats();
+  EXPECT_EQ(stats_a.l1_hits, stats_b.l1_hits);
+  EXPECT_EQ(stats_a.misses, stats_b.misses);
+  EXPECT_EQ(stats_a.insertions, stats_b.insertions);
+  EXPECT_EQ(stats_a.evictions, stats_b.evictions);
+  EXPECT_EQ(stats_a.merged_predictions, stats_b.merged_predictions);
+  EXPECT_EQ(stats_a.dedup_saved_fetches, stats_b.dedup_saved_fetches);
+  auto sched_a = per_tile.scheduler.Stats();
+  auto sched_b = batched.scheduler.Stats();
+  EXPECT_EQ(sched_a.predictions_published, sched_b.predictions_published);
+  EXPECT_EQ(sched_a.fills_issued, sched_b.fills_issued);
+  EXPECT_EQ(sched_a.dedup_saved_fetches, sched_b.dedup_saved_fetches);
+  EXPECT_EQ(sched_a.already_resident, sched_b.already_resident);
+  EXPECT_EQ(sched_a.stale_drops, sched_b.stale_drops);
+  EXPECT_EQ(sched_a.deliveries, sched_b.deliveries);
+  EXPECT_EQ(sched_a.fills_issued + sched_a.dedup_saved_fetches,
+            sched_a.predictions_published);
+  EXPECT_EQ(sched_b.fills_issued + sched_b.dedup_saved_fetches,
+            sched_b.predictions_published);
+  // ...and the same tiles crossed the store boundary, in fewer round trips.
+  EXPECT_EQ(per_tile.store.fetch_count(), batched.store.fetch_count());
+  EXPECT_EQ(per_tile.store.query_count(), per_tile.store.fetch_count());
+  if (sched_b.batched_fills > 0) {
+    EXPECT_LT(batched.store.query_count(), per_tile.store.query_count());
+  }
+  EXPECT_GT(sched_b.fetch_batches, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Randomized property: under concurrent publishers, cancellations, and a
 // real executor, every published prediction retires exactly once —
 //   fills_issued + dedup_saved_fetches == predictions_published
@@ -374,6 +540,87 @@ TEST(PrefetchSchedulerPropertyTest, AccountingBalancesUnderConcurrentPublishers)
             cache_stats.insertions + cache_stats.admission_rejects);
   EXPECT_EQ(cache_stats.insertions - cache_stats.evictions,
             static_cast<std::uint64_t>(shared.size()));
+}
+
+// ---------------------------------------------------------------------------
+// TSan stress: concurrent publishers + BATCHED executor drains + lingering
+// + cancellations + shutdown while fills are in flight. Run in the CI TSan
+// job; the accounting invariant must survive an abrupt teardown too.
+
+TEST(PrefetchSchedulerBatchTest, ConcurrentBatchedDrainAndTeardownStress) {
+  constexpr int kPublishers = 6;
+  constexpr int kPublishesPerSession = 30;
+
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  storage::SingleFlightTileStore single_flight(&store);
+  SharedTileCacheOptions cache_options;
+  cache_options.l1_bytes = 12 * 8 * 8 * sizeof(double);  // eviction churn
+  cache_options.num_shards = 2;
+  cache_options.admission.policy = AdmissionPolicyKind::kTinyLfu;
+  cache_options.admission.sketch_counters = 256;
+  SharedTileCache shared(cache_options);
+  Executor executor(4);
+  SimClock clock;
+  PrefetchSchedulerOptions scheduler_options;
+  scheduler_options.max_in_flight = 3;
+  scheduler_options.batch.max_batch_tiles = 4;
+  scheduler_options.batch.max_linger_ms = 5.0;  // exercise deferrals
+  scheduler_options.clock = &clock;
+  PrefetchScheduler scheduler(&single_flight, &executor, &shared,
+                              scheduler_options);
+
+  const auto keys = pyramid->spec().AllKeys();
+  std::atomic<std::uint64_t> delivered{0};
+  std::vector<std::uint64_t> ids(kPublishers);
+  for (int s = 0; s < kPublishers; ++s) {
+    ids[s] = scheduler.RegisterSession(
+        static_cast<std::uint64_t>(s) + 1,
+        [&delivered](const tiles::TileKey&, const tiles::TilePtr& tile,
+                     std::uint64_t) {
+          EXPECT_NE(tile, nullptr);
+          delivered.fetch_add(1);
+        });
+  }
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kPublishers; ++s) {
+    threads.emplace_back([&, s] {
+      Rng rng(/*seed=*/7100 + s);
+      for (int p = 0; p < kPublishesPerSession; ++p) {
+        std::vector<PrefetchCandidate> list;
+        const std::size_t len = 1 + rng.UniformUint32(6);
+        for (std::size_t i = 0; i < len; ++i) {
+          const auto& key =
+              keys[rng.UniformUint32(static_cast<std::uint32_t>(keys.size()))];
+          list.push_back({key, 0.1 + 0.2 * rng.UniformUint32(5)});
+        }
+        scheduler.Publish(ids[s], static_cast<std::uint64_t>(p) + 1,
+                          std::move(list));
+        clock.AdvanceMillis(1.0);  // ages pending entries past the linger
+        if (p % 9 == 8) scheduler.CancelSession(ids[s]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Abrupt teardown: shut down while the queue may still hold entries and
+  // batched fills may be mid-flight. Shutdown must retire everything and
+  // leave the books balanced.
+  scheduler.Shutdown();
+  auto stats = scheduler.Stats();
+  EXPECT_GT(stats.predictions_published, 0u);
+  EXPECT_EQ(stats.fills_issued + stats.dedup_saved_fetches,
+            stats.predictions_published);
+  EXPECT_EQ(stats.fill_failures, 0u);
+  EXPECT_EQ(scheduler.pending(), 0u);
+  EXPECT_EQ(stats.deliveries, delivered.load());
+
+  auto cache_stats = shared.Stats();
+  EXPECT_EQ(cache_stats.admission_attempts,
+            cache_stats.insertions + cache_stats.admission_rejects);
+  EXPECT_EQ(cache_stats.fetch_rounds_saved,
+            cache_stats.batched_tiles - cache_stats.batches_issued);
 }
 
 }  // namespace

@@ -79,6 +79,8 @@ TEST(MemoryTileStoreTest, FetchAndCount) {
   EXPECT_EQ(store.fetch_count(), 1u);
   EXPECT_FALSE(store.Fetch({7, 0, 0}).ok());
   EXPECT_EQ(store.fetch_count(), 2u);
+  // On the single-tile path, every fetch is its own backend query.
+  EXPECT_EQ(store.query_count(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -97,6 +99,8 @@ TEST(SimulatedDbmsStoreTest, ChargesVirtualClock) {
   EXPECT_NEAR(store.total_query_millis(), clock.NowMillis(), 1e-3);
   ASSERT_TRUE(store.Fetch({2, 1, 0}).ok());
   EXPECT_NEAR(clock.NowMillis(), 2 * 984.0, 2.0);
+  EXPECT_EQ(store.fetch_count(), 2u);
+  EXPECT_EQ(store.query_count(), 2u);  // tiles == round trips without batching
 }
 
 TEST(SimulatedDbmsStoreTest, MissingTileChargesNothing) {
