@@ -243,6 +243,54 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
       ++stats_.batch_deferrals;
       return DrainVerdict::kDeferred;
     }
+    if (batcher_.adjacency_enabled() && budget > 1) {
+      // Adjacency-aware pop: collect the valid entries clearing the
+      // priority bar as candidates, let the batcher pick a run-shaped
+      // subset, and RE-PUSH the rest. Their heap nodes carry the stamps
+      // they were popped with, and their pending_ entries were never
+      // touched, so lazy invalidation still recognizes them as current.
+      std::vector<HeapNode> nodes;
+      std::vector<storage::BatchCandidate> candidates;
+      const std::size_t cap = batcher_.CandidateCap(budget);
+      double bar = 0.0;
+      while (candidates.size() < cap && !heap_.empty()) {
+        HeapNode node = heap_.top();
+        auto eit = pending_.find(node.key);
+        if (eit == pending_.end() || eit->second.stamp != node.stamp) {
+          heap_.pop();  // superseded score or retired entry
+          continue;
+        }
+        if (!candidates.empty() && node.priority < bar) break;
+        heap_.pop();
+        if (candidates.empty()) bar = batcher_.PriorityBar(node.priority);
+        nodes.push_back(node);
+        candidates.push_back(
+            storage::BatchCandidate{node.key, node.priority});
+      }
+      const std::vector<std::size_t> chosen =
+          batcher_.SelectAdjacent(candidates, budget);
+      std::vector<bool> take(candidates.size(), false);
+      for (std::size_t i : chosen) {
+        take[i] = true;
+        // An index the strict-priority pop would not have reached yet was
+        // pulled forward to complete a run.
+        if (i >= chosen.size()) ++stats_.adjacency_reorders;
+      }
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!take[i]) {
+          heap_.push(nodes[i]);
+          continue;
+        }
+        auto eit = pending_.find(nodes[i].key);
+        batch.push_back(PoppedEntry{nodes[i].key, std::move(eit->second.subs)});
+        pending_.erase(eit);
+      }
+    }
+    // Strict-priority pop. Also the backfill after an adjacency-aware pop:
+    // the bar bounds which entries may be PROMOTED over higher-priority
+    // ones, never how many ride the round trip, so a batch the selection
+    // left partial (too few candidates cleared the bar) tops up here in
+    // plain priority order from the re-pushed and below-bar entries.
     while (batch.size() < budget && !heap_.empty()) {
       HeapNode node = heap_.top();
       heap_.pop();

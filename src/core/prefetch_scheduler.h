@@ -114,6 +114,11 @@ struct PrefetchSchedulerStats {
   std::uint64_t batched_fills = 0;
   /// Drain rounds that deferred a partial batch to linger for more keys.
   std::uint64_t batch_deferrals = 0;
+  /// Entries that rode a batch ahead of strictly higher-priority entries
+  /// because they completed a spatial run (bounded by
+  /// BatchProfile::adjacency_priority_window; see FetchBatcher::
+  /// SelectAdjacent). 0 whenever the window is 0.
+  std::uint64_t adjacency_reorders = 0;
 };
 
 /// A pending queue entry, as reported by SnapshotQueue().

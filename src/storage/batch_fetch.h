@@ -24,6 +24,9 @@
 #define FORECACHE_STORAGE_BATCH_FETCH_H_
 
 #include <cstddef>
+#include <vector>
+
+#include "tiles/tile_key.h"
 
 namespace fc::storage {
 
@@ -48,6 +51,26 @@ struct BatchProfile {
   /// queue is always re-examined when that fill completes — the planner
   /// can defer, never deadlock.
   double max_linger_ms = 0.0;
+
+  /// Bounded priority inversion for spatially coherent batches. 0 (the
+  /// default) pops in strict priority order. A window w in (0, 1] lets
+  /// batch formation choose among every queued entry whose priority is at
+  /// least (1 - w) x the top entry's priority — all "close enough to the
+  /// bar" — preferring entries that COMPLETE a spatial run (nearest on the
+  /// Morton curve to what the batch already holds) over strictly higher
+  /// priority. A run-shaped batch is what the range planner
+  /// (storage/range_plan.h) turns into few merged-extent scans or vectored
+  /// reads, so a small inversion here multiplies downstream. Entries below
+  /// the bar are never popped early, which bounds the inversion: nothing
+  /// yields its slot to an entry more than w of its priority away.
+  double adjacency_priority_window = 0.0;
+};
+
+/// One pending queue entry offered to adjacency-aware batch formation,
+/// in strict priority order (index 0 = top of queue).
+struct BatchCandidate {
+  tiles::TileKey key;
+  double priority = 0.0;
 };
 
 /// Turns (queue depth, oldest entry age, in-flight state) into "pop this
@@ -77,6 +100,33 @@ class FetchBatcher {
   /// completing fill).
   std::size_t PlanPop(std::size_t depth, double oldest_enqueue_ms,
                       double now_ms, bool can_defer) const;
+
+  /// True when batch formation should collect candidates and call
+  /// SelectAdjacent instead of popping in strict priority order: an
+  /// adjacency window is configured and round trips can carry > 1 tile.
+  bool adjacency_enabled() const {
+    return profile_.adjacency_priority_window > 0.0 && max_tiles_ > 1;
+  }
+
+  /// The lowest priority allowed to displace a strict-priority pop, given
+  /// the queue's top priority: (1 - window) x top, window clamped to [0, 1].
+  double PriorityBar(double top_priority) const;
+
+  /// How many queue entries (those clearing the bar) are worth collecting
+  /// as candidates for a batch of `budget`: a small multiple, so the
+  /// selection scan stays O(batch^2) regardless of queue depth.
+  std::size_t CandidateCap(std::size_t budget) const;
+
+  /// Picks up to `budget` of `candidates` (ALL of which must already clear
+  /// the priority bar; index 0 is the top of the queue and is always
+  /// taken). Greedy run completion: repeatedly take the candidate nearest
+  /// on the Morton curve to anything already selected — cross-level
+  /// distances are astronomical under MortonCode's level separation, so
+  /// runs naturally stay within one zoom level — breaking ties toward the
+  /// higher-priority (earlier) index. Returns selected indices into
+  /// `candidates`; unselected entries stay queued for the next round.
+  std::vector<std::size_t> SelectAdjacent(
+      const std::vector<BatchCandidate>& candidates, std::size_t budget) const;
 
  private:
   BatchProfile profile_;

@@ -1,0 +1,111 @@
+#include "storage/range_plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fc::storage {
+
+namespace {
+
+/// Chunk-grid extent of [min_c, max_c] when every chunk spans `span` tiles
+/// along the axis: the count of chunk indices floor(c / span) touches.
+std::int64_t ChunkExtent(std::int64_t min_c, std::int64_t max_c,
+                         std::int64_t span) {
+  return max_c / span - min_c / span + 1;
+}
+
+}  // namespace
+
+RangePlan PlanTileRuns(std::vector<tiles::TileKey> keys,
+                       const RangeCoalesceOptions& options,
+                       std::int64_t tile_cells) {
+  FC_CHECK_MSG(tile_cells > 0, "tile_cells must be positive");
+  const double waste_cap = std::max(options.max_waste_ratio, 1.0);
+  const std::size_t run_cap = std::max<std::size_t>(options.max_run_tiles, 1);
+  const std::int64_t span = std::max<std::int64_t>(options.chunk_tile_span, 1);
+
+  RangePlan plan;
+  std::sort(keys.begin(), keys.end(),
+            [](const tiles::TileKey& a, const tiles::TileKey& b) {
+              return tiles::MortonCode(a) < tiles::MortonCode(b);
+            });
+  plan.keys = std::move(keys);
+  plan.naive_chunks = static_cast<std::int64_t>(plan.keys.size());
+
+  std::size_t i = 0;
+  while (i < plan.keys.size()) {
+    TileRun run;
+    run.begin = i;
+    run.level = plan.keys[i].level;
+    run.min_x = run.max_x = plan.keys[i].x;
+    run.min_y = run.max_y = plan.keys[i].y;
+    std::size_t j = i + 1;
+    // Greedily absorb the next key while the run stays on one level, under
+    // the tile cap, and the grown bounding box stays under the waste cap.
+    while (j < plan.keys.size() && j - i < run_cap &&
+           plan.keys[j].level == run.level) {
+      const std::int64_t min_x = std::min(run.min_x, plan.keys[j].x);
+      const std::int64_t max_x = std::max(run.max_x, plan.keys[j].x);
+      const std::int64_t min_y = std::min(run.min_y, plan.keys[j].y);
+      const std::int64_t max_y = std::max(run.max_y, plan.keys[j].y);
+      const std::int64_t extent = (max_x - min_x + 1) * (max_y - min_y + 1);
+      const auto requested = static_cast<double>(j - i + 1);
+      if (static_cast<double>(extent) > waste_cap * requested) break;
+      run.min_x = min_x;
+      run.max_x = max_x;
+      run.min_y = min_y;
+      run.max_y = max_y;
+      ++j;
+    }
+    run.end = j;
+    run.extent_tiles = (run.max_x - run.min_x + 1) * (run.max_y - run.min_y + 1);
+    run.chunks = ChunkExtent(run.min_x, run.max_x, span) *
+                 ChunkExtent(run.min_y, run.max_y, span);
+    plan.coalesced_chunks += run.chunks;
+    plan.waste_cells +=
+        (run.extent_tiles - static_cast<std::int64_t>(run.size())) * tile_cells;
+    plan.runs.push_back(run);
+    i = j;
+  }
+  return plan;
+}
+
+ByteRunPlan PlanByteRuns(const std::vector<PackedSpan>& spans,
+                         const RangeCoalesceOptions& options) {
+  const double waste_cap = std::max(options.max_waste_ratio, 1.0);
+  const std::size_t run_cap = std::max<std::size_t>(options.max_run_tiles, 1);
+
+  ByteRunPlan plan;
+  std::size_t i = 0;
+  while (i < spans.size()) {
+    ByteRun run;
+    run.begin = i;
+    run.offset = spans[i].offset;
+    run.length = spans[i].length;
+    run.requested_bytes = spans[i].length;
+    std::size_t j = i + 1;
+    while (j < spans.size() && j - i < run_cap) {
+      FC_CHECK_MSG(spans[j].offset >= run.offset + run.length,
+                   "packed spans must be offset-sorted and non-overlapping");
+      const std::uint64_t spanned =
+          spans[j].offset + spans[j].length - run.offset;
+      const std::uint64_t requested = run.requested_bytes + spans[j].length;
+      if (static_cast<double>(spanned) >
+          waste_cap * static_cast<double>(requested)) {
+        break;
+      }
+      run.length = spanned;
+      run.requested_bytes = requested;
+      ++j;
+    }
+    run.end = j;
+    plan.spanned_bytes += run.length;
+    plan.requested_bytes += run.requested_bytes;
+    plan.runs.push_back(run);
+    i = j;
+  }
+  return plan;
+}
+
+}  // namespace fc::storage

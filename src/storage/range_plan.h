@@ -1,0 +1,146 @@
+// Range-coalesced batched I/O planning: turning one batch of tile keys into
+// few contiguous RUNS that a backend can serve with a single merged-extent
+// scan (a SciDB `between` over the run's bounding box) or a single vectored
+// read (one pread over a contiguous span of the packed extent file).
+//
+// PR 5's FetchBatch amortized the *per-query* overhead — one round trip for
+// many keys — but every backend still walked its keys independently inside
+// the batch, so *per-chunk* and *per-syscall* work scaled with tile count
+// even when the tiles were spatially adjacent. An array DBMS answering a
+// multi-tile query over a merged extent shares chunk scans across adjacent
+// tiles, and a disk store with a packed layout serves an adjacent group
+// with one contiguous read. This header is the shared planning layer: sort
+// the batch by (level, Morton order), group it into runs whose merged
+// extent wastes at most a bounded ratio of scanned-but-unrequested cells,
+// and report per-batch stats (runs, coalesced chunks, waste cells) so the
+// win is observable.
+//
+// Two planners share RangeCoalesceOptions:
+//  * PlanTileRuns  — spatial runs on the tile grid, priced in DBMS chunks
+//                    (SimulatedDbmsStore's merged-extent cost model);
+//  * PlanByteRuns  — contiguous byte spans over a packed extent file's
+//                    offset index (DiskTileStore's vectored read path).
+//
+// Thread-safety: pure functions over value types; call from any thread.
+
+#ifndef FORECACHE_STORAGE_RANGE_PLAN_H_
+#define FORECACHE_STORAGE_RANGE_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tiles/tile_key.h"
+
+namespace fc::storage {
+
+/// Spatial-locality knobs for batched backend I/O. The default keeps
+/// coalescing OFF so every embedding opts in deliberately — existing
+/// configurations (and the tier-1 replay) are bit-identical.
+struct RangeCoalesceOptions {
+  /// Master switch. Off: batches are priced/read one key at a time (the
+  /// PR 5 behavior, exactly).
+  bool enabled = false;
+
+  /// Bound on (merged-extent cells or bytes) / (requested cells or bytes)
+  /// per run. 1.0 admits only gap-free runs; larger values let a run scan
+  /// a bounded amount of unrequested data to bridge small gaps, trading
+  /// cells for chunk seeks (DBMS) or bytes for syscalls (disk). Values
+  /// below 1 behave as 1.
+  double max_waste_ratio = 2.0;
+
+  /// Upper bound on tiles per run (a backend's largest single scan/read).
+  /// 0 is treated as 1.
+  std::size_t max_run_tiles = 64;
+
+  /// Tiles per DBMS storage chunk along each axis: the simulated backend's
+  /// chunk grid is `chunk_tile_span` times coarser than the tile grid, so
+  /// adjacent tiles in one run share chunk scans. 1 reproduces the paper's
+  /// one-tile-per-chunk layout (a run of k tiles still prices >= k chunks);
+  /// SciDB deployments commonly hold several tiles per chunk. Only
+  /// PlanTileRuns uses this.
+  std::int64_t chunk_tile_span = 1;
+};
+
+/// One contiguous run of a RangePlan: the half-open range [begin, end) into
+/// the plan's sorted `keys`, plus its merged extent on the tile and chunk
+/// grids.
+struct TileRun {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int level = 0;
+  std::int64_t min_x = 0, max_x = 0;  ///< Merged extent, tile coordinates.
+  std::int64_t min_y = 0, max_y = 0;
+  std::int64_t extent_tiles = 0;  ///< Bounding-box area in tiles.
+  std::int64_t chunks = 0;        ///< Bounding-box area on the chunk grid.
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// A batch's run decomposition plus the stats the stores export.
+struct RangePlan {
+  /// The input keys, re-sorted by (level, Morton order). Runs index into
+  /// this vector, not into the caller's original order.
+  std::vector<tiles::TileKey> keys;
+  std::vector<TileRun> runs;
+
+  /// Sum of run chunk extents — what a merged-extent scan per run charges.
+  std::int64_t coalesced_chunks = 0;
+  /// One chunk per requested tile — what the per-key path charges.
+  std::int64_t naive_chunks = 0;
+  /// Cells the merged extents scan beyond the requested tiles, at nominal
+  /// (full-size) tile granularity: (extent_tiles - run size) x tile_cells
+  /// summed over runs. Edge tiles smaller than nominal make this an upper
+  /// bound on the true waste.
+  std::int64_t waste_cells = 0;
+};
+
+/// Plans spatial runs over `keys` for a merged-extent DBMS scan: sorts by
+/// (level, Morton), then greedily extends each run while the run stays
+/// within one level, holds at most max_run_tiles tiles, and its bounding
+/// box wastes at most max_waste_ratio (extent tiles per requested tile).
+/// `tile_cells` is the nominal cell count of one tile (spec tile_width x
+/// tile_height), used only for the waste_cells stat. Duplicate keys are
+/// planned as distinct requests. options.enabled is NOT consulted — callers
+/// gate on it before planning.
+RangePlan PlanTileRuns(std::vector<tiles::TileKey> keys,
+                       const RangeCoalesceOptions& options,
+                       std::int64_t tile_cells);
+
+/// One slot of a packed extent file a byte-run planner coalesces over.
+struct PackedSpan {
+  std::uint64_t offset = 0;  ///< File offset of the slot's first byte.
+  std::uint64_t length = 0;  ///< Encoded blob length in bytes.
+};
+
+/// One contiguous vectored read: the half-open range [begin, end) into the
+/// caller's offset-sorted slot list, covered by a single read of `length`
+/// bytes starting at `offset` (requested blobs plus bounded gap waste).
+struct ByteRun {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;           ///< Bytes spanned, gaps included.
+  std::uint64_t requested_bytes = 0;  ///< Bytes of the requested blobs only.
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// A packed file's vectored read plan plus the stats the store exports.
+struct ByteRunPlan {
+  std::vector<ByteRun> runs;
+  std::uint64_t spanned_bytes = 0;    ///< Sum of run lengths (bytes read).
+  std::uint64_t requested_bytes = 0;  ///< Sum of requested blob lengths.
+};
+
+/// Plans vectored reads over `spans`, which MUST be sorted by ascending
+/// offset and non-overlapping (a packed extent index is both). Each run is
+/// extended while it holds at most max_run_tiles slots and reading the span
+/// in one shot wastes at most max_waste_ratio (spanned bytes per requested
+/// byte). chunk_tile_span is ignored. options.enabled is NOT consulted.
+ByteRunPlan PlanByteRuns(const std::vector<PackedSpan>& spans,
+                         const RangeCoalesceOptions& options);
+
+}  // namespace fc::storage
+
+#endif  // FORECACHE_STORAGE_RANGE_PLAN_H_

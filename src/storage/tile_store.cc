@@ -1,8 +1,17 @@
 #include "storage/tile_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "common/logging.h"
 #include "common/string_utils.h"
 #include "storage/tile_codec.h"
 
@@ -52,8 +61,12 @@ const tiles::PyramidSpec& MemoryTileStore::spec() const { return pyramid_->spec(
 
 SimulatedDbmsStore::SimulatedDbmsStore(
     std::shared_ptr<const tiles::TilePyramid> pyramid,
-    array::QueryCostModel cost_model, SimClock* clock)
-    : pyramid_(std::move(pyramid)), cost_model_(cost_model), clock_(clock) {}
+    array::QueryCostModel cost_model, SimClock* clock,
+    RangeCoalesceOptions coalesce)
+    : pyramid_(std::move(pyramid)),
+      cost_model_(cost_model),
+      clock_(clock),
+      coalesce_(coalesce) {}
 
 Result<tiles::TilePtr> SimulatedDbmsStore::Fetch(const tiles::TileKey& key) {
   ++fetches_;
@@ -62,6 +75,7 @@ Result<tiles::TilePtr> SimulatedDbmsStore::Fetch(const tiles::TileKey& key) {
   if (!tile.ok()) return tile;
   // Each tile is one storage chunk in the materialized view (section 2.3);
   // the query scans the tile's cells.
+  ++chunk_scans_;
   double ms;
   {
     std::lock_guard<std::mutex> lock(charge_mu_);
@@ -78,20 +92,67 @@ std::vector<Result<tiles::TilePtr>> SimulatedDbmsStore::FetchBatch(
   if (!keys.empty()) ++queries_;
   std::vector<Result<tiles::TilePtr>> out;
   out.reserve(keys.size());
-  // One multi-range query: every tile found is one chunk of the same scan,
-  // so the fixed per-query overhead is charged once for the whole batch
-  // while per-chunk and per-cell costs still scale with what it returns.
-  // Missing keys fail their own slot and charge nothing (as in Fetch).
+  // One multi-range query either way — ONE QueryMillis call (one jitter
+  // draw) per non-empty batch, so the coalesced and per-tile pricings stay
+  // interchangeable without perturbing the RNG stream. What coalescing
+  // changes is only the chunks/cells fed to that call.
   std::int64_t chunks = 0;
   std::int64_t cells = 0;
-  for (const auto& key : keys) {
-    out.push_back(pyramid_->GetTile(key));
-    if (out.back().ok()) {
-      ++chunks;
-      cells += (*out.back())->cell_count();
+  if (!coalesce_.enabled) {
+    // Per-tile-chunk pricing (PR 5): every tile found is one chunk of the
+    // same scan. Missing keys fail their own slot and charge nothing.
+    for (const auto& key : keys) {
+      out.push_back(pyramid_->GetTile(key));
+      if (out.back().ok()) {
+        ++chunks;
+        cells += (*out.back())->cell_count();
+      }
+    }
+  } else {
+    // Merged-extent pricing: plan the batch into Morton-contiguous runs and
+    // charge each run's chunk-grid bounding box once, plus its bounded
+    // cell waste. Results must land in the CALLER's key order, so fetch
+    // through an argsort permutation rather than the plan's sorted keys.
+    std::vector<std::size_t> order(keys.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](std::size_t a, std::size_t b) {
+                       return tiles::MortonCode(keys[a]) <
+                              tiles::MortonCode(keys[b]);
+                     });
+    std::vector<tiles::TileKey> sorted;
+    sorted.reserve(keys.size());
+    for (std::size_t i : order) sorted.push_back(keys[i]);
+    const std::int64_t tile_cells = spec().tile_width * spec().tile_height;
+    RangePlan plan = PlanTileRuns(std::move(sorted), coalesce_, tile_cells);
+    out.assign(keys.size(),
+               Result<tiles::TilePtr>(Status::Internal("batch slot unset")));
+    for (const TileRun& run : plan.runs) {
+      std::int64_t found_cells = 0;
+      std::size_t found = 0;
+      for (std::size_t i = run.begin; i < run.end; ++i) {
+        auto tile = pyramid_->GetTile(plan.keys[i]);
+        if (tile.ok()) {
+          ++found;
+          found_cells += (*tile)->cell_count();
+        }
+        out[order[i]] = std::move(tile);
+      }
+      if (found == 0) continue;  // Nothing materialized: no scan issued.
+      const std::int64_t run_waste =
+          (run.extent_tiles - static_cast<std::int64_t>(run.size())) *
+          tile_cells;
+      chunks += run.chunks;
+      cells += found_cells + run_waste;
+      ++runs_;
+      chunk_scans_ += static_cast<std::uint64_t>(run.chunks);
+      waste_cells_ += static_cast<std::uint64_t>(run_waste);
     }
   }
   if (chunks > 0) {
+    if (!coalesce_.enabled) {
+      chunk_scans_ += static_cast<std::uint64_t>(chunks);
+    }
     double ms;
     {
       std::lock_guard<std::mutex> lock(charge_mu_);
@@ -114,21 +175,99 @@ const tiles::PyramidSpec& SimulatedDbmsStore::spec() const {
 // ---------------------------------------------------------------------------
 // DiskTileStore
 
-DiskTileStore::DiskTileStore(std::string directory, tiles::PyramidSpec spec,
-                             TileCodecOptions codec)
-    : directory_(std::move(directory)), spec_(spec), codec_(codec) {}
+namespace {
 
-Result<std::unique_ptr<DiskTileStore>> DiskTileStore::Open(std::string directory,
-                                                           tiles::PyramidSpec spec,
-                                                           TileCodecOptions codec) {
+// Packed extent file layout (host-endian; a local cache artifact, not an
+// interchange format):
+//   u32 magic "FCPX" | u32 version | u64 entry count
+//   count x { i32 level | i64 x | i64 y | u64 offset | u64 length }
+//   blobs (each entry's encoded tile at [offset, offset+length))
+// Entries — and therefore blobs — are sorted by MortonCode(key), so tiles
+// adjacent on the space-filling curve are adjacent in the file and a
+// spatial run coalesces into one contiguous pread.
+constexpr std::uint32_t kPackedMagic = 0x58504346;  // "FCPX" little-endian.
+constexpr std::uint32_t kPackedVersion = 1;
+constexpr std::size_t kPackedHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kPackedEntryBytes = 4 + 8 + 8 + 8 + 8;
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(const std::string& bytes, std::size_t* pos, T* v) {
+  if (bytes.size() - *pos < sizeof(T)) return false;
+  std::memcpy(v, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+// Every on-disk write publishes via write-temp-then-rename: a reader that
+// opens the destination path sees either the complete old file or the
+// complete new one, never a truncated in-place rewrite — and an already
+// open fd (the packed extent snapshot) keeps reading its original inode.
+// The counter keeps concurrent writers of one path off each other's temp.
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path + ".tmp" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DiskTileStore::PackedExtent::~PackedExtent() {
+  if (fd >= 0) ::close(fd);
+}
+
+DiskTileStore::DiskTileStore(std::string directory, tiles::PyramidSpec spec,
+                             TileCodecOptions codec,
+                             RangeCoalesceOptions coalesce)
+    : directory_(std::move(directory)),
+      spec_(spec),
+      codec_(codec),
+      coalesce_(coalesce) {}
+
+Result<std::unique_ptr<DiskTileStore>> DiskTileStore::Open(
+    std::string directory, tiles::PyramidSpec spec, TileCodecOptions codec,
+    RangeCoalesceOptions coalesce) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
     return Status::IoError("cannot create tile directory " + directory + ": " +
                            ec.message());
   }
-  return std::unique_ptr<DiskTileStore>(
-      new DiskTileStore(std::move(directory), spec, codec));
+  auto store = std::unique_ptr<DiskTileStore>(
+      new DiskTileStore(std::move(directory), spec, codec, coalesce));
+  if (std::filesystem::exists(store->PackedExtentPath())) {
+    auto packed = store->LoadPackedExtent();
+    if (packed.ok()) {
+      std::lock_guard<std::mutex> lock(store->io_mu_);
+      store->packed_ = *packed;
+    } else {
+      // A bad extent only loses the fast path; per-tile files still serve.
+      FC_LOG_WARNING << "ignoring unreadable packed extent "
+                     << store->PackedExtentPath() << ": "
+                     << packed.status().ToString();
+    }
+  }
+  return store;
 }
 
 std::string DiskTileStore::PathFor(const tiles::TileKey& key) const {
@@ -136,14 +275,25 @@ std::string DiskTileStore::PathFor(const tiles::TileKey& key) const {
                    static_cast<long long>(key.x), static_cast<long long>(key.y));
 }
 
+std::string DiskTileStore::PackedExtentPath() const {
+  return directory_ + "/extent.fcpk";
+}
+
+bool DiskTileStore::packed_loaded() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return packed_ != nullptr;
+}
+
 Status DiskTileStore::Save(const tiles::Tile& tile) {
-  std::string path = PathFor(tile.key());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  std::string bytes = codec_.Encode(tile);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
+  FC_RETURN_IF_ERROR(
+      WriteFileAtomic(PathFor(tile.key()), codec_.Encode(tile)));
+  {
+    // The packed slot (if any) now holds older bytes than this file.
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (packed_ && packed_->index.count(tile.key()) > 0) {
+      stale_packed_.insert(tile.key());
+    }
+  }
   return Status::OK();
 }
 
@@ -151,6 +301,145 @@ Status DiskTileStore::SavePyramid(const tiles::TilePyramid& pyramid) {
   for (const auto& key : pyramid.spec().AllKeys()) {
     FC_ASSIGN_OR_RETURN(auto tile, pyramid.GetTile(key));
     FC_RETURN_IF_ERROR(Save(*tile));
+  }
+  return BuildPackedExtent(pyramid);
+}
+
+Status DiskTileStore::BuildPackedExtent(const tiles::TilePyramid& pyramid) {
+  std::vector<tiles::TileKey> keys = pyramid.spec().AllKeys();
+  std::sort(keys.begin(), keys.end(),
+            [](const tiles::TileKey& a, const tiles::TileKey& b) {
+              return tiles::MortonCode(a) < tiles::MortonCode(b);
+            });
+
+  auto packed = std::make_shared<PackedExtent>();
+  packed->entries.reserve(keys.size());
+  std::string blobs;
+  std::uint64_t offset =
+      kPackedHeaderBytes + kPackedEntryBytes * keys.size();
+  for (const auto& key : keys) {
+    FC_ASSIGN_OR_RETURN(auto tile, pyramid.GetTile(key));
+    std::string bytes = codec_.Encode(*tile);
+    packed->index.emplace(key, packed->entries.size());
+    packed->entries.push_back(
+        PackedEntry{key, offset, static_cast<std::uint64_t>(bytes.size())});
+    offset += bytes.size();
+    blobs += bytes;
+  }
+
+  std::string header;
+  header.reserve(kPackedHeaderBytes + kPackedEntryBytes * keys.size());
+  AppendPod(&header, kPackedMagic);
+  AppendPod(&header, kPackedVersion);
+  AppendPod(&header, static_cast<std::uint64_t>(packed->entries.size()));
+  for (const auto& e : packed->entries) {
+    AppendPod(&header, static_cast<std::int32_t>(e.key.level));
+    AppendPod(&header, static_cast<std::int64_t>(e.key.x));
+    AppendPod(&header, static_cast<std::int64_t>(e.key.y));
+    AppendPod(&header, e.offset);
+    AppendPod(&header, e.length);
+  }
+
+  const std::string path = PackedExtentPath();
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(blobs.data(), static_cast<std::streamsize>(blobs.size()));
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+
+  // Open the fd on the temp file BEFORE the rename: the snapshot's offsets
+  // must describe the inode its fd reads even if another repack renames a
+  // newer extent over the path in between. Readers holding the previous
+  // snapshot likewise keep their own inode; rename never truncates it.
+  packed->fd = ::open(tmp.c_str(), O_RDONLY);
+  if (packed->fd < 0) {
+    return Status::IoError("cannot reopen packed extent " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::lock_guard<std::mutex> lock(io_mu_);
+  packed_ = std::move(packed);
+  stale_packed_.clear();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const DiskTileStore::PackedExtent>>
+DiskTileStore::LoadPackedExtent() const {
+  const std::string path = PackedExtentPath();
+  FC_ASSIGN_OR_RETURN(auto header, ReadFile(path));
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t count = 0;
+  if (!ReadPod(header, &pos, &magic) || magic != kPackedMagic) {
+    return Status::Corruption("packed extent has bad magic: " + path);
+  }
+  if (!ReadPod(header, &pos, &version) || version != kPackedVersion) {
+    return Status::Corruption("packed extent has unknown version: " + path);
+  }
+  if (!ReadPod(header, &pos, &count)) {
+    return Status::Corruption("packed extent truncated: " + path);
+  }
+  auto packed = std::make_shared<PackedExtent>();
+  packed->entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int32_t level = 0;
+    std::int64_t x = 0, y = 0;
+    PackedEntry e;
+    if (!ReadPod(header, &pos, &level) || !ReadPod(header, &pos, &x) ||
+        !ReadPod(header, &pos, &y) || !ReadPod(header, &pos, &e.offset) ||
+        !ReadPod(header, &pos, &e.length)) {
+      return Status::Corruption("packed extent index truncated: " + path);
+    }
+    e.key = tiles::TileKey{static_cast<int>(level), x, y};
+    if (e.offset + e.length > header.size()) {
+      return Status::Corruption("packed extent blob out of bounds: " + path);
+    }
+    packed->index.emplace(e.key, packed->entries.size());
+    packed->entries.push_back(e);
+  }
+  packed->fd = ::open(path.c_str(), O_RDONLY);
+  if (packed->fd < 0) {
+    return Status::IoError("cannot open packed extent " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::shared_ptr<const PackedExtent>(std::move(packed));
+}
+
+std::shared_ptr<const DiskTileStore::PackedExtent> DiskTileStore::PackedFor(
+    const tiles::TileKey& key) const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (!packed_ || packed_->index.count(key) == 0 ||
+      stale_packed_.count(key) > 0) {
+    return nullptr;
+  }
+  return packed_;
+}
+
+Status DiskTileStore::PreadInto(int fd, std::uint64_t offset, char* dst,
+                                std::uint64_t length) {
+  std::uint64_t done = 0;
+  while (done < length) {
+    const ssize_t n =
+        ::pread(fd, dst + done, static_cast<std::size_t>(length - done),
+                static_cast<off_t>(offset + done));
+    ++syscalls_;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread failed on packed extent: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Corruption("packed extent shorter than its index");
+    }
+    bytes_read_ += static_cast<std::uint64_t>(n);
+    done += static_cast<std::uint64_t>(n);
   }
   return Status::OK();
 }
@@ -175,7 +464,15 @@ Result<tiles::TilePtr> DiskTileStore::DecodeFile(const tiles::TileKey& key,
 Result<tiles::TilePtr> DiskTileStore::Fetch(const tiles::TileKey& key) {
   ++fetches_;
   ++queries_;
+  if (auto packed = PackedFor(key)) {
+    const PackedEntry& e = packed->entries[packed->index.at(key)];
+    std::string bytes(e.length, '\0');
+    FC_RETURN_IF_ERROR(PreadInto(packed->fd, e.offset, bytes.data(), e.length));
+    return DecodeFile(key, bytes);
+  }
   FC_ASSIGN_OR_RETURN(auto bytes, ReadFile(PathFor(key)));
+  ++syscalls_;
+  bytes_read_ += bytes.size();
   return DecodeFile(key, bytes);
 }
 
@@ -183,25 +480,109 @@ std::vector<Result<tiles::TilePtr>> DiskTileStore::FetchBatch(
     const std::vector<tiles::TileKey>& keys) {
   fetches_ += keys.size();
   if (!keys.empty()) ++queries_;
-  // Pass 1: slurp every file back to back (the sequential submission an
-  // io_uring/readv backend would coalesce); pass 2: decode the payloads.
-  // No per-tile open/decode interleaving, and the whole pass is one query.
-  std::vector<Result<std::string>> raw;
-  raw.reserve(keys.size());
-  for (const auto& key : keys) raw.push_back(ReadFile(PathFor(key)));
-  std::vector<Result<tiles::TilePtr>> out;
-  out.reserve(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    if (!raw[i].ok()) {
-      out.push_back(raw[i].status());
+  std::vector<Result<tiles::TilePtr>> out(
+      keys.size(), Result<tiles::TilePtr>(Status::Internal("batch slot unset")));
+
+  // Partition in one snapshot: slots the packed extent serves vs per-file
+  // fallbacks (no extent, key never packed, or overwritten since packing).
+  std::shared_ptr<const PackedExtent> packed;
+  std::vector<std::size_t> packed_slots;
+  std::vector<std::size_t> fallback_slots;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    packed = packed_;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (packed && packed->index.count(keys[i]) > 0 &&
+          stale_packed_.count(keys[i]) == 0) {
+        packed_slots.push_back(i);
+      } else {
+        fallback_slots.push_back(i);
+      }
+    }
+  }
+
+  if (!packed_slots.empty() && coalesce_.enabled) {
+    // Vectored path: plan over each DISTINCT key once (duplicate slots copy
+    // the first slot's result afterwards, as the loop fallback's repeated
+    // reads would produce bit-identically), sorted by file offset. Morton
+    // order == file order, so spatially adjacent tiles become one
+    // contiguous span; one pread serves each planned run into a single
+    // buffer the per-slot decodes then slice.
+    std::vector<std::size_t> unique_slots;
+    std::vector<std::pair<std::size_t, std::size_t>> dup_slots;  // dup, first
+    {
+      std::unordered_map<tiles::TileKey, std::size_t, tiles::TileKeyHash> first;
+      for (std::size_t slot : packed_slots) {
+        auto [it, inserted] = first.emplace(keys[slot], slot);
+        if (inserted) {
+          unique_slots.push_back(slot);
+        } else {
+          dup_slots.emplace_back(slot, it->second);
+        }
+      }
+    }
+    std::sort(unique_slots.begin(), unique_slots.end(),
+              [&](std::size_t a, std::size_t b) {
+                return packed->entries[packed->index.at(keys[a])].offset <
+                       packed->entries[packed->index.at(keys[b])].offset;
+              });
+    std::vector<PackedSpan> spans;
+    spans.reserve(unique_slots.size());
+    for (std::size_t slot : unique_slots) {
+      const PackedEntry& e = packed->entries[packed->index.at(keys[slot])];
+      spans.push_back(PackedSpan{e.offset, e.length});
+    }
+    ByteRunPlan plan = PlanByteRuns(spans, coalesce_);
+    for (const ByteRun& run : plan.runs) {
+      std::string buffer(run.length, '\0');
+      Status read =
+          PreadInto(packed->fd, run.offset, buffer.data(), run.length);
+      if (read.ok()) ++vectored_runs_;
+      for (std::size_t j = run.begin; j < run.end; ++j) {
+        const std::size_t slot = unique_slots[j];
+        if (!read.ok()) {
+          out[slot] = read;
+          continue;
+        }
+        const PackedEntry& e = packed->entries[packed->index.at(keys[slot])];
+        out[slot] = DecodeFile(
+            keys[slot], buffer.substr(e.offset - run.offset, e.length));
+      }
+    }
+    for (const auto& [dup, original] : dup_slots) out[dup] = out[original];
+  } else {
+    // Uncoalesced packed path: still the cached fd, one pread per slot.
+    for (std::size_t slot : packed_slots) {
+      const PackedEntry& e = packed->entries[packed->index.at(keys[slot])];
+      std::string bytes(e.length, '\0');
+      Status read = PreadInto(packed->fd, e.offset, bytes.data(), e.length);
+      out[slot] = read.ok() ? DecodeFile(keys[slot], bytes)
+                            : Result<tiles::TilePtr>(read);
+    }
+  }
+
+  // Per-file fallback: slurp then decode, as before the packed extent.
+  for (std::size_t slot : fallback_slots) {
+    auto raw = ReadFile(PathFor(keys[slot]));
+    if (!raw.ok()) {
+      out[slot] = raw.status();
       continue;
     }
-    out.push_back(DecodeFile(keys[i], *raw[i]));
+    ++syscalls_;
+    bytes_read_ += raw->size();
+    out[slot] = DecodeFile(keys[slot], *raw);
   }
   return out;
 }
 
 bool DiskTileStore::Contains(const tiles::TileKey& key) const {
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (packed_ && packed_->index.count(key) > 0 &&
+        stale_packed_.count(key) == 0) {
+      return true;
+    }
+  }
   return std::filesystem::exists(PathFor(key));
 }
 

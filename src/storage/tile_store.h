@@ -26,11 +26,13 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "array/cost_model.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
+#include "storage/range_plan.h"
 #include "storage/tile_codec.h"
 #include "tiles/pyramid.h"
 #include "tiles/tile.h"
@@ -53,6 +55,13 @@ class TileStore {
   /// failing the batch. The base implementation is the correct-but-
   /// unamortized loop fallback: one Fetch (and hence one backend query) per
   /// key. Native implementations charge their per-query overhead once.
+  ///
+  /// Loop-fallback contract: every override must be observationally
+  /// equivalent to the fallback — per-slot results bit-identical to what
+  /// Fetch would return for that key, in the caller's key order, with
+  /// duplicates served as distinct slots. Overrides may only change HOW
+  /// the bytes are produced (amortization, range coalescing, vectored
+  /// reads) and the fetch_count/query_count split, never WHAT comes back.
   virtual std::vector<Result<tiles::TilePtr>> FetchBatch(
       const std::vector<tiles::TileKey>& keys);
 
@@ -101,11 +110,22 @@ class MemoryTileStore : public TileStore {
 /// once per round trip while the per-tile costs (per_chunk_ms + per_cell_us
 /// per tile) still scale with batch size. A one-key batch draws the same
 /// jitter and charges the same millis as Fetch, bit-identical.
+///
+/// With range coalescing enabled (RangeCoalesceOptions::enabled), FetchBatch
+/// first plans the batch into spatial runs (storage/range_plan.h) and prices
+/// each run as ONE merged-extent scan: chunks = the run's bounding box on
+/// the chunk grid (charged once per run, not once per tile), cells = the
+/// run's found cells plus its bounded waste. The whole batch is still one
+/// round trip — one QueryMillis call, one jitter draw — so a 1-key batch
+/// stays bit-identical to Fetch with coalescing on or off. Runs that find
+/// no tiles charge nothing.
 class SimulatedDbmsStore : public TileStore {
  public:
-  /// `clock` must outlive the store.
+  /// `clock` must outlive the store. `coalesce` defaults to OFF, which
+  /// reproduces the per-tile-chunk batch pricing exactly.
   SimulatedDbmsStore(std::shared_ptr<const tiles::TilePyramid> pyramid,
-                     array::QueryCostModel cost_model, SimClock* clock);
+                     array::QueryCostModel cost_model, SimClock* clock,
+                     RangeCoalesceOptions coalesce = {});
 
   Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
   std::vector<Result<tiles::TilePtr>> FetchBatch(
@@ -125,39 +145,84 @@ class SimulatedDbmsStore : public TileStore {
   /// directly must not race with concurrent Fetch calls.
   array::QueryCostModel* cost_model() { return &cost_model_; }
 
+  /// Cumulative chunk scans charged across all queries: 1 per Fetch, tiles
+  /// found per uncoalesced batch, sum of run chunk extents per coalesced
+  /// batch. The coalescing win in chunk terms is this counter's delta
+  /// between the two configurations over the same workload.
+  std::uint64_t chunk_scan_count() const { return chunk_scans_; }
+
+  /// Merged-extent runs priced across all coalesced batches.
+  std::uint64_t run_count() const { return runs_; }
+
+  /// Cells scanned beyond the requested tiles by merged extents (nominal
+  /// tile granularity) — the price paid for fewer chunk scans, bounded per
+  /// run by RangeCoalesceOptions::max_waste_ratio.
+  std::uint64_t waste_cell_count() const { return waste_cells_; }
+
+  const RangeCoalesceOptions& coalesce_options() const { return coalesce_; }
+
  private:
   std::shared_ptr<const tiles::TilePyramid> pyramid_;
   array::QueryCostModel cost_model_;
   SimClock* clock_;
+  RangeCoalesceOptions coalesce_;
   std::atomic<std::uint64_t> fetches_{0};
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> chunk_scans_{0};
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<std::uint64_t> waste_cells_{0};
   /// Guards cost_model_ (its jitter RNG advances per query) and the
   /// total-millis accumulator while charging the clock.
   mutable std::mutex charge_mu_;
   double total_query_millis_ = 0.0;
 };
 
-/// Serves tiles from one file per tile under a directory.
+/// Serves tiles from disk: one file per tile, plus an optional PACKED
+/// EXTENT — a single "extent.fcpk" file laying every tile of the pyramid
+/// out in Morton order behind an offset index, written by SavePyramid.
+///
+/// When the packed extent is present, reads go through one cached file
+/// descriptor via pread (no per-call ifstream open), and FetchBatch with
+/// range coalescing enabled plans Morton-adjacent keys into contiguous
+/// byte runs served by ONE pread each — the true vectored read path.
+/// Because the file is Morton-ordered, spatial adjacency IS file
+/// contiguity, so adjacency-heavy batches collapse to a few syscalls.
+/// syscall_count()/bytes_read() make the win observable.
+///
+/// Tiles Save()d after the packed extent was built are marked stale in it
+/// and served from their per-tile file until the next SavePyramid rebuilds
+/// the extent. Without a packed extent the store behaves as before: one
+/// file slurp per tile.
 class DiskTileStore : public TileStore {
  public:
   /// Creates the directory if needed; Save writes tiles, Fetch reads them.
   /// `codec` picks the on-disk encoding for newly saved tiles; reads are
-  /// self-describing, so a store can hold a mix of encodings.
-  static Result<std::unique_ptr<DiskTileStore>> Open(std::string directory,
-                                                     tiles::PyramidSpec spec,
-                                                     TileCodecOptions codec = {});
+  /// self-describing, so a store can hold a mix of encodings. If the
+  /// directory already holds a packed extent (a previous SavePyramid), it
+  /// is loaded and served from; a corrupt one is ignored with a warning.
+  /// `coalesce` gates the vectored FetchBatch path and defaults to OFF
+  /// (per-slot pread, still through the cached fd).
+  static Result<std::unique_ptr<DiskTileStore>> Open(
+      std::string directory, tiles::PyramidSpec spec,
+      TileCodecOptions codec = {}, RangeCoalesceOptions coalesce = {});
 
-  /// Persists one tile (overwrites).
+  /// Persists one tile (overwrites). If a packed extent is loaded, the key
+  /// is marked stale there so readers see this newer file.
   Status Save(const tiles::Tile& tile);
 
-  /// Persists every tile of a pyramid.
+  /// Persists every tile of a pyramid — per-tile files for compatibility
+  /// plus the Morton-ordered packed extent — then serves reads from the
+  /// freshly built extent (all staleness cleared).
   Status SavePyramid(const tiles::TilePyramid& pyramid);
 
   Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override;
 
-  /// One coalesced read pass (the stand-in for readv/io_uring submission):
-  /// all files are slurped first, then all payloads decoded, and the whole
-  /// pass counts as ONE backend query instead of keys.size() of them.
+  /// One coalesced read pass, ONE backend query. Keys in the packed extent
+  /// are served by pread through the cached fd — with coalescing enabled,
+  /// one pread per planned byte run (storage/range_plan.h) into a single
+  /// buffer; otherwise one pread per key. Keys outside the extent (never
+  /// packed, or stale) fall back to per-file slurps. Results follow the
+  /// loop-fallback contract: per-slot, caller's order, bit-identical.
   std::vector<Result<tiles::TilePtr>> FetchBatch(
       const std::vector<tiles::TileKey>& keys) override;
 
@@ -166,23 +231,85 @@ class DiskTileStore : public TileStore {
   std::uint64_t fetch_count() const override { return fetches_; }
   std::uint64_t query_count() const override { return queries_; }
 
+  /// Read submissions issued: one per pread call, one per fallback file
+  /// slurp. The vectored path's whole point is to shrink this number.
+  std::uint64_t syscall_count() const { return syscalls_; }
+
+  /// Payload bytes read, including bounded gap waste spanned by vectored
+  /// runs (compare against useful bytes to see the waste-ratio cost).
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+  /// Coalesced byte runs served (each was one pread over >= 1 tiles).
+  std::uint64_t vectored_run_count() const { return vectored_runs_; }
+
+  /// True if a packed extent is loaded and serving reads.
+  bool packed_loaded() const;
+
   /// Filesystem path for a tile key.
   std::string PathFor(const tiles::TileKey& key) const;
 
+  /// Path of the packed extent file under this store's directory.
+  std::string PackedExtentPath() const;
+
  private:
+  /// One tile's slot in the packed extent index.
+  struct PackedEntry {
+    tiles::TileKey key;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+  };
+
+  /// An open packed extent: cached fd + Morton-ordered index. Immutable
+  /// once published; readers hold it by shared_ptr and pread without any
+  /// lock (pread is positioned, so concurrent reads never race on a file
+  /// offset). The destructor closes the fd after the last reader drops it.
+  struct PackedExtent {
+    ~PackedExtent();
+    int fd = -1;
+    std::vector<PackedEntry> entries;  ///< Sorted by MortonCode(key).
+    std::unordered_map<tiles::TileKey, std::size_t, tiles::TileKeyHash> index;
+  };
+
   DiskTileStore(std::string directory, tiles::PyramidSpec spec,
-                TileCodecOptions codec);
+                TileCodecOptions codec, RangeCoalesceOptions coalesce);
 
   /// Reads and validates one tile file (shared by Fetch and FetchBatch).
   Result<tiles::TilePtr> DecodeFile(const tiles::TileKey& key,
                                     const std::string& bytes) const;
   static Result<std::string> ReadFile(const std::string& path);
 
+  /// pread loop reading exactly [offset, offset+length) into dst; bumps
+  /// syscalls_ per pread call and bytes_read_ per byte landed.
+  Status PreadInto(int fd, std::uint64_t offset, char* dst,
+                   std::uint64_t length);
+
+  /// Writes the packed extent file for `pyramid`, opens it, and publishes
+  /// the new PackedExtent (clearing all staleness).
+  Status BuildPackedExtent(const tiles::TilePyramid& pyramid);
+
+  /// Parses + opens an existing packed extent file.
+  Result<std::shared_ptr<const PackedExtent>> LoadPackedExtent() const;
+
+  /// Snapshot of the packed extent IF it serves `key` (present, not
+  /// stale); nullptr directs the caller to the per-file fallback.
+  std::shared_ptr<const PackedExtent> PackedFor(const tiles::TileKey& key) const;
+
   std::string directory_;
   tiles::PyramidSpec spec_;
   TileCodec codec_;
+  RangeCoalesceOptions coalesce_;
   std::atomic<std::uint64_t> fetches_{0};
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> syscalls_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> vectored_runs_{0};
+  /// Guards packed_ (the published extent pointer) and stale_packed_.
+  /// Readers only hold it long enough to snapshot; I/O runs lock-free.
+  mutable std::mutex io_mu_;
+  std::shared_ptr<const PackedExtent> packed_;
+  /// Keys overwritten by Save() since the extent was built — their packed
+  /// slots hold old bytes, so reads divert to the per-tile file.
+  std::unordered_set<tiles::TileKey, tiles::TileKeyHash> stale_packed_;
 };
 
 /// Decorator that collapses concurrent fetches of the same key into one

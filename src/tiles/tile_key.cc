@@ -64,6 +64,37 @@ std::int64_t TileKey::ManhattanDistance(const TileKey& a, const TileKey& b) {
   return std::abs(ax - bx) + std::abs(ay - by) + level_gap;
 }
 
+namespace {
+
+/// Spreads the low 26 bits of v so bit i lands at bit 2i (the classic
+/// parallel-prefix bit spread, one mask-and-shift round per bit stride).
+std::uint64_t SpreadBits26(std::uint64_t v) {
+  v &= (1ull << 26) - 1;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  v = (v | (v << 2)) & 0x3333333333333333ull;
+  v = (v | (v << 1)) & 0x5555555555555555ull;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t MortonInterleave(std::uint64_t x, std::uint64_t y) {
+  FC_CHECK_MSG(x < (1ull << 26) && y < (1ull << 26),
+               "tile coordinate exceeds the 26-bit Morton range");
+  return SpreadBits26(x) | (SpreadBits26(y) << 1);
+}
+
+std::uint64_t MortonCode(const TileKey& key) {
+  FC_CHECK_MSG(key.level >= 0 && key.level < (1 << 12),
+               "tile level exceeds the 12-bit Morton range");
+  FC_CHECK_MSG(key.x >= 0 && key.y >= 0, "negative tile coordinate");
+  return (static_cast<std::uint64_t>(key.level) << 52) |
+         MortonInterleave(static_cast<std::uint64_t>(key.x),
+                          static_cast<std::uint64_t>(key.y));
+}
+
 Status PyramidSpec::Validate() const {
   if (num_levels <= 0) return Status::InvalidArgument("num_levels must be positive");
   if (tile_width <= 0 || tile_height <= 0) {

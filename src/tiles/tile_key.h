@@ -47,6 +47,23 @@ struct TileKey {
   static std::int64_t ManhattanDistance(const TileKey& a, const TileKey& b);
 };
 
+/// Interleaves the low 26 bits of x (even bit positions) and y (odd bit
+/// positions): the Z-order / Morton curve index of a tile within its
+/// level's grid. Tiles that are close on the curve are close in space, and
+/// every aligned 2^k x 2^k block occupies one contiguous code range — the
+/// locality property the range planner (storage/range_plan.h) and the
+/// packed on-disk extent layout both key off. Precondition: x, y in
+/// [0, 2^26) — checked; a 67-million-tile axis is far beyond any pyramid.
+std::uint64_t MortonInterleave(std::uint64_t x, std::uint64_t y);
+
+/// Total order over tile keys: zoom level in the high 12 bits (every
+/// level-L code sorts before every level-(L+1) code — "level separation"),
+/// Morton curve position within the level in the low 52. Sorting a batch by
+/// MortonCode groups it by level and then by spatial locality, which is
+/// exactly the order the packed disk extent is laid out in and the order
+/// the range planner coalesces over. Precondition: level in [0, 4096).
+std::uint64_t MortonCode(const TileKey& key);
+
 struct TileKeyHash {
   std::size_t operator()(const TileKey& k) const {
     std::size_t h = std::hash<int>()(k.level);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "array/dense_array.h"
 #include "tiles/metadata.h"
 #include "tiles/pyramid.h"
@@ -81,6 +83,54 @@ TEST(TileKeyTest, ManhattanDistanceAcrossLevels) {
   EXPECT_EQ(TileKey::ManhattanDistance({0, 0, 0}, {1, 1, 1}), 3);
   // Symmetric.
   EXPECT_EQ(TileKey::ManhattanDistance({1, 1, 1}, {0, 0, 0}), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Morton codes (shared by the range planner and the packed disk layout)
+
+TEST(MortonCodeTest, InterleaveGoldens) {
+  // Bit i of x lands at bit 2i, bit i of y at bit 2i+1.
+  EXPECT_EQ(MortonInterleave(0, 0), 0u);
+  EXPECT_EQ(MortonInterleave(1, 0), 1u);
+  EXPECT_EQ(MortonInterleave(0, 1), 2u);
+  EXPECT_EQ(MortonInterleave(1, 1), 3u);
+  // x=5 (101), y=3 (011): 1<<0 | 1<<1 | 1<<3 | 1<<4 = 27.
+  EXPECT_EQ(MortonInterleave(5, 3), 27u);
+  EXPECT_EQ(MortonInterleave(7, 7), 63u);
+  // The top representable bit of each axis.
+  EXPECT_EQ(MortonInterleave(1ull << 25, 0), 1ull << 50);
+  EXPECT_EQ(MortonInterleave(0, 1ull << 25), 1ull << 51);
+}
+
+TEST(MortonCodeTest, QuadBlocksAreContiguous) {
+  // An aligned 2x2 block occupies one contiguous code range — the property
+  // that makes Morton-sorted batches coalesce into runs.
+  EXPECT_EQ(MortonInterleave(2, 0), 4u);
+  EXPECT_EQ(MortonInterleave(3, 0), 5u);
+  EXPECT_EQ(MortonInterleave(2, 1), 6u);
+  EXPECT_EQ(MortonInterleave(3, 1), 7u);
+}
+
+TEST(MortonCodeTest, LevelSeparation) {
+  // Every level-L code sorts before every level-(L+1) code, even for the
+  // largest representable coordinates.
+  const std::int64_t max_coord = (1ll << 26) - 1;
+  EXPECT_LT(MortonCode({1, max_coord, max_coord}), MortonCode({2, 0, 0}));
+  EXPECT_LT(MortonCode({0, max_coord, max_coord}), MortonCode({1, 0, 0}));
+  // Within a level the order is the interleave order.
+  EXPECT_EQ(MortonCode({3, 5, 3}) - MortonCode({3, 0, 0}), 27u);
+}
+
+TEST(MortonCodeTest, DistinctOverAGrid) {
+  std::set<std::uint64_t> codes;
+  for (int level = 0; level < 3; ++level) {
+    for (std::int64_t y = 0; y < 8; ++y) {
+      for (std::int64_t x = 0; x < 8; ++x) {
+        codes.insert(MortonCode({level, x, y}));
+      }
+    }
+  }
+  EXPECT_EQ(codes.size(), 3u * 64u);
 }
 
 // ---------------------------------------------------------------------------
