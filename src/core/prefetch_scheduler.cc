@@ -54,10 +54,119 @@ std::uint64_t PrefetchScheduler::RegisterSession(std::uint64_t session_id,
 
 void PrefetchScheduler::RescoreLocked(const tiles::TileKey& key, Entry& entry) {
   double aggregate = 0.0;
-  for (const auto& sub : entry.subs) aggregate += sub.confidence;
+  double deadline = kNoDeadline;
+  for (const auto& sub : entry.subs) {
+    aggregate += sub.confidence;
+    deadline = std::min(deadline, sub.deadline_ms);
+  }
   entry.priority = aggregate * static_cast<double>(entry.subs.size());
+  entry.deadline_ms = deadline;
   entry.stamp = ++stamp_counter_;
   heap_.push(HeapNode{entry.priority, entry.stamp, key});
+  // The deadline heap only ever holds finite-deadline entries: an entry
+  // nobody is waiting on urgently is reachable through the utility
+  // backfill alone. Both heaps share the stamp, so this one push
+  // invalidates any older node for the key in BOTH.
+  if (DeadlineEnabledLocked() && deadline < kNoDeadline) {
+    deadline_heap_.push(DeadlineNode{deadline, entry.stamp, key});
+  }
+}
+
+std::size_t PrefetchScheduler::PopDeadlinesLocked(
+    std::size_t budget, double now_ms, std::vector<PoppedEntry>& batch) {
+  // Round-start top utility score, for promotion accounting. A lazy peek:
+  // stale nodes encountered on the way are discarded for good.
+  double top_priority = 0.0;
+  bool have_top = false;
+  while (!heap_.empty()) {
+    const HeapNode& node = heap_.top();
+    auto eit = pending_.find(node.key);
+    if (eit == pending_.end() || eit->second.stamp != node.stamp) {
+      heap_.pop();
+      continue;
+    }
+    top_priority = node.priority;
+    have_top = true;
+    break;
+  }
+  // Collect the earliest-deadline entries clearing the absolute utility
+  // bar. With the adjacency window on, over-collect (CandidateCap) so the
+  // batcher can complete a spatial run around the most urgent entry
+  // instead of scattering the batch across the curve.
+  const bool adjacency = batcher_.adjacency_enabled() && budget > 1;
+  const std::size_t cap = adjacency ? batcher_.CandidateCap(budget) : budget;
+  std::vector<DeadlineNode> nodes;
+  std::vector<storage::BatchCandidate> candidates;
+  while (candidates.size() < cap && !deadline_heap_.empty()) {
+    DeadlineNode node = deadline_heap_.top();
+    auto eit = pending_.find(node.key);
+    if (eit == pending_.end() || eit->second.stamp != node.stamp) {
+      deadline_heap_.pop();  // superseded score or retired entry
+      continue;
+    }
+    if (eit->second.priority < options_.deadline_utility_bar) {
+      // Below the bar: never deadline-promoted; the entry still drains
+      // through the utility backfill. Dropping the node outright is safe —
+      // any future rescore pushes a fresh one.
+      deadline_heap_.pop();
+      continue;
+    }
+    if (now_ms > node.deadline_ms) {
+      // The window this entry was racing has closed: every subscriber
+      // whose think time set the deadline has statistically moved on, so
+      // spending the scarce EDF budget here would starve entries that can
+      // still make their deadlines (under sustained overload the expired
+      // backlog would otherwise consume the whole drain rate). Count the
+      // miss and demote the entry to utility order, where supersession
+      // sheds it if its subscribers really have moved on — and a session
+      // still hovering on the tile re-arms a fresh deadline with its next
+      // publish.
+      deadline_heap_.pop();
+      ++stats_.deadline_misses;
+      continue;
+    }
+    deadline_heap_.pop();
+    nodes.push_back(node);
+    candidates.push_back(storage::BatchCandidate{node.key,
+                                                 eit->second.priority});
+  }
+  // Candidate order is EDF, so SelectAdjacent's "index 0 always taken"
+  // anchors the run on the most urgent entry and its index-order
+  // tie-breaks prefer nearer deadlines.
+  std::vector<std::size_t> chosen;
+  if (adjacency && candidates.size() > 1) {
+    chosen = batcher_.SelectAdjacent(candidates, budget);
+  } else {
+    for (std::size_t i = 0; i < std::min(budget, candidates.size()); ++i) {
+      chosen.push_back(i);
+    }
+  }
+  std::vector<bool> take(candidates.size(), false);
+  for (std::size_t i : chosen) {
+    take[i] = true;
+    // Pulled forward past strictly nearer-deadline candidates to complete
+    // a spatial run — same bounded-inversion accounting as the utility
+    // path.
+    if (i >= chosen.size()) ++stats_.adjacency_reorders;
+  }
+  std::size_t popped = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!take[i]) {
+      // Unselected candidates return with their original stamps; their
+      // pending_ entries (and enqueue_ms / deadline_ms) were never
+      // touched, so lazy invalidation still recognizes them as current.
+      deadline_heap_.push(nodes[i]);
+      continue;
+    }
+    auto eit = pending_.find(nodes[i].key);
+    if (have_top && eit->second.priority < top_priority) {
+      ++stats_.deadline_promotions;
+    }
+    batch.push_back(PoppedEntry{nodes[i].key, std::move(eit->second.subs)});
+    pending_.erase(eit);
+    ++popped;
+  }
+  return popped;
 }
 
 void PrefetchScheduler::InvalidateLocked(SessionState& state,
@@ -123,7 +232,8 @@ void PrefetchScheduler::WorkerLoop() {
 
 void PrefetchScheduler::Publish(std::uint64_t session_id,
                                 std::uint64_t generation,
-                                std::vector<PrefetchCandidate> candidates) {
+                                std::vector<PrefetchCandidate> candidates,
+                                double think_ms) {
   // Residency probe BEFORE the scheduler lock: one shard-locked Lookup per
   // candidate, on the publishing session's own thread. The Lookup both
   // captures already-resident tiles for immediate delivery (no second
@@ -158,6 +268,16 @@ void PrefetchScheduler::Publish(std::uint64_t session_id,
       if (shared_ != nullptr) shared_->NoteStaleDrops(candidates.size());
       return;
     }
+    // Every subscription of this publication shares one deadline: the
+    // session statistically moves again think_ms from now. Free when
+    // deadline scheduling is off (sub_deadline stays kNoDeadline and the
+    // deadline heap is never touched).
+    double sub_deadline = kNoDeadline;
+    if (DeadlineEnabledLocked()) {
+      const double think =
+          think_ms > 0.0 ? think_ms : options_.default_think_ms;
+      if (think > 0.0) sub_deadline = options_.clock->NowMillis() + think;
+    }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       const PrefetchCandidate& candidate = candidates[i];
       ++stats_.predictions_published;
@@ -186,7 +306,7 @@ void PrefetchScheduler::Publish(std::uint64_t session_id,
         continue;
       }
       entry.subs.push_back(Subscription{session_id, generation,
-                                        candidate.confidence});
+                                        candidate.confidence, sub_deadline});
       if (!fresh) ++stats_.merged_predictions;
       state->pending_keys.push_back(candidate.key);
       RescoreLocked(candidate.key, entry);
@@ -226,7 +346,11 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
         pending_.size() < batcher_.max_tiles()) {
       // The linger decision needs the oldest entry's age; only scanned for
       // partial batches, so the scan is bounded by one batch's size.
+      // Entries stamped before a clock was wired carry kNoEnqueueStamp —
+      // skipped here, or they would read as infinitely old and force-flush
+      // every partial batch.
       for (const auto& [key, entry] : pending_) {
+        if (entry.enqueue_ms < 0.0) continue;
         oldest_ms = std::min(oldest_ms, entry.enqueue_ms);
       }
     }
@@ -243,7 +367,13 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
       ++stats_.batch_deferrals;
       return DrainVerdict::kDeferred;
     }
-    if (batcher_.adjacency_enabled() && budget > 1) {
+    if (DeadlineEnabledLocked()) {
+      // Earliest-deadline-first pass: the most urgent above-the-bar
+      // entries claim the batch before utility order gets a say. Whatever
+      // budget remains (always, when nothing carries a deadline) backfills
+      // below in plain utility order.
+      PopDeadlinesLocked(budget, now_ms, batch);
+    } else if (batcher_.adjacency_enabled() && budget > 1) {
       // Adjacency-aware pop: collect the valid entries clearing the
       // priority bar as candidates, let the batcher pick a run-shaped
       // subset, and RE-PUSH the rest. Their heap nodes carry the stamps
@@ -468,6 +598,7 @@ void PrefetchScheduler::Shutdown() {
     InvalidateLocked(*state, session_id);
   }
   heap_ = {};
+  deadline_heap_ = {};
   FC_CHECK_MSG(pending_.empty(), "pending entry with no live subscription");
   // Wake WaitForSession callers whose subscriptions were just retired —
   // this is the only site that invalidates on behalf of OTHER sessions.
@@ -492,8 +623,9 @@ std::vector<PrefetchQueueEntry> PrefetchScheduler::SnapshotQueue() const {
   for (const auto& [key, entry] : pending_) {
     double aggregate = 0.0;
     for (const auto& sub : entry.subs) aggregate += sub.confidence;
-    snapshot.push_back(
-        PrefetchQueueEntry{key, entry.priority, aggregate, entry.subs.size()});
+    snapshot.push_back(PrefetchQueueEntry{key, entry.priority, aggregate,
+                                          entry.subs.size(), entry.enqueue_ms,
+                                          entry.deadline_ms});
   }
   std::sort(snapshot.begin(), snapshot.end(),
             [](const PrefetchQueueEntry& a, const PrefetchQueueEntry& b) {

@@ -28,6 +28,20 @@
 //    so batch formation happens here — and fetches them in ONE backend
 //    round trip, amortizing the DBMS's fixed per-query overhead across the
 //    batch. The default profile (1 tile/round trip) is the per-tile drain.
+//  * Deadline-aware draining (opt-in, PrefetchSchedulerOptions::
+//    deadline_aware): pure utility order starves a session whose
+//    predictions are persistently outvoted — its low-aggregate entries sit
+//    behind every merged hot entry for the whole saturation episode. The
+//    paper models user think time explicitly: a fill that lands after the
+//    session's next move is worthless no matter how cheap it was. So each
+//    Publish may carry the session's estimated think time; the entry's
+//    deadline is the earliest deadline of its live subscriptions, and the
+//    drain serves entries earliest-deadline-first among those whose utility
+//    clears an absolute bar (deadline_utility_bar), topping the batch up in
+//    plain utility order afterwards. This bounds per-session staleness
+//    while keeping the dedup win; deadline_promotions / deadline_misses
+//    count entries served ahead of higher-utility work and entries popped
+//    past their deadline.
 //
 // Accounting invariant (drained queue, see Stats()):
 //   fills_issued + dedup_saved_fetches == predictions_published.
@@ -43,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -87,6 +102,27 @@ struct PrefetchSchedulerOptions {
   /// is the right source). 0 derives a single-attribute estimate from the
   /// store's pyramid spec.
   std::size_t nominal_tile_bytes = 0;
+
+  /// Deadline-aware drain order (requires `clock`; ignored without one).
+  /// Off (the default), drains are pure utility order — bit-identical to
+  /// the deadline-free scheduler. On, entries whose priority clears
+  /// deadline_utility_bar drain earliest-deadline-first; the remaining
+  /// batch budget backfills in utility order (which also covers entries
+  /// published without a think-time estimate).
+  bool deadline_aware = false;
+
+  /// ABSOLUTE priority floor for deadline promotion. An entry below the
+  /// bar never jumps the utility order on deadline grounds (it still
+  /// drains via the utility backfill). The default 0.0 makes every
+  /// deadline-stamped entry eligible — deliberately: a relative
+  /// (fraction-of-top) bar would re-starve exactly the outvoted sessions
+  /// this mode exists to protect.
+  double deadline_utility_bar = 0.0;
+
+  /// Fallback think time (ms) for publishes that carry none (think_ms <=
+  /// 0) while deadline_aware is on. 0 leaves such entries deadline-free:
+  /// they drain only through the utility backfill.
+  double default_think_ms = 0.0;
 };
 
 /// Point-in-time counters. Every published prediction retires exactly once:
@@ -119,6 +155,16 @@ struct PrefetchSchedulerStats {
   /// BatchProfile::adjacency_priority_window; see FetchBatcher::
   /// SelectAdjacent). 0 whenever the window is 0.
   std::uint64_t adjacency_reorders = 0;
+
+  /// Deadline-aware drains (0 whenever deadline_aware is off). Entries
+  /// popped by the earliest-deadline-first pass ahead of a strictly
+  /// higher-priority pending entry — the anti-starvation promotions.
+  std::uint64_t deadline_promotions = 0;
+  /// Entries whose deadline had already passed when the EDF pass reached
+  /// them: the subscribing user statistically moved on, so the entry is
+  /// demoted to plain utility order (it still drains — or supersession
+  /// sheds it) instead of consuming the urgent-drain budget.
+  std::uint64_t deadline_misses = 0;
 };
 
 /// A pending queue entry, as reported by SnapshotQueue().
@@ -127,12 +173,31 @@ struct PrefetchQueueEntry {
   double priority = 0.0;
   double aggregate_confidence = 0.0;
   std::size_t sessions = 0;  ///< Distinct subscribed sessions.
+  /// Virtual time the entry first became pending; negative
+  /// (kNoEnqueueStamp) when published without a clock. Preserved across
+  /// merges and adjacency re-pushes.
+  double enqueue_ms = -1.0;
+  /// Earliest subscription deadline (virtual ms); +infinity when no live
+  /// subscription carries one.
+  double deadline_ms = 0.0;
 };
 
 /// Process-wide prefetch queue merging overlapping predictions across
 /// sessions. One instance serves every session of a SessionManager.
 class PrefetchScheduler {
  public:
+  /// Entry::enqueue_ms / PrefetchQueueEntry::enqueue_ms value for entries
+  /// published while no clock was wired. A sentinel, NOT virtual time 0:
+  /// the linger scan must skip these instead of treating them as
+  /// infinitely old (which would force-flush every partial batch once a
+  /// clock appears).
+  static constexpr double kNoEnqueueStamp = -1.0;
+
+  /// Subscription/entry deadline for publishes without a think-time
+  /// estimate: never urgent.
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
   /// Called when a fill completes for a still-current subscription: the
   /// tile, and the publish generation the subscription was made under (the
   /// receiver re-checks it against its own current fill — see
@@ -181,8 +246,16 @@ class PrefetchScheduler {
   /// per session — the ForeCacheServer passes its per-request counter.
   /// Predictions already resident in the shared cache are delivered
   /// immediately on the calling thread and never enqueued.
+  ///
+  /// `think_ms` is the session's estimated think time before its NEXT move
+  /// (server::ThinkTimeEstimator is the usual source): with deadline_aware
+  /// on, every subscription of this publication carries deadline
+  /// now + think_ms. <= 0 means "no estimate" (options_.default_think_ms
+  /// applies, else the subscriptions are deadline-free). Ignored — at zero
+  /// cost — when deadline scheduling is off.
   void Publish(std::uint64_t session_id, std::uint64_t generation,
-               std::vector<PrefetchCandidate> candidates);
+               std::vector<PrefetchCandidate> candidates,
+               double think_ms = 0.0);
 
   /// Drops the session's pending subscriptions and waits for its in-flight
   /// deliveries to settle, without unregistering it (session reset).
@@ -227,6 +300,9 @@ class PrefetchScheduler {
     std::uint64_t session_id = 0;
     std::uint64_t generation = 0;  ///< Publish generation; delivery re-checks it.
     double confidence = 0.0;
+    /// Virtual time by which this session statistically needs the tile
+    /// (publish time + its think estimate); kNoDeadline when none.
+    double deadline_ms = kNoDeadline;
   };
 
   /// The single pending entry for a tile key.
@@ -235,11 +311,16 @@ class PrefetchScheduler {
     double priority = 0.0;
     /// Validity stamp for lazy heap invalidation: a heap node whose stamp
     /// no longer matches is a superseded score and is skipped at pop.
+    /// Shared by the utility and deadline heaps.
     std::uint64_t stamp = 0;
-    /// Virtual time the entry first became pending (0 without a clock).
-    /// Merges keep the original time — lingering is bounded by the OLDEST
-    /// waiting subscription, not refreshed by new arrivals.
-    double enqueue_ms = 0.0;
+    /// Virtual time the entry first became pending (kNoEnqueueStamp
+    /// without a clock — the linger scan skips those). Merges keep the
+    /// original time — lingering is bounded by the OLDEST waiting
+    /// subscription, not refreshed by new arrivals.
+    double enqueue_ms = kNoEnqueueStamp;
+    /// Earliest deadline over live subscriptions (kNoDeadline when none
+    /// carries one). Recomputed with the priority on every rescore.
+    double deadline_ms = kNoDeadline;
   };
 
   struct HeapNode {
@@ -249,6 +330,20 @@ class PrefetchScheduler {
     bool operator<(const HeapNode& other) const {
       if (priority != other.priority) return priority < other.priority;
       return stamp > other.stamp;  // equal priority: earlier publication first
+    }
+  };
+
+  /// Node in the deadline min-heap (earliest deadline at the top). Shares
+  /// Entry::stamp with the utility heap, so one rescore invalidates both
+  /// heaps' stale nodes lazily.
+  struct DeadlineNode {
+    double deadline_ms = kNoDeadline;
+    std::uint64_t stamp = 0;
+    tiles::TileKey key;
+    bool operator<(const DeadlineNode& other) const {
+      if (deadline_ms != other.deadline_ms)
+        return deadline_ms > other.deadline_ms;  // min-heap on deadline
+      return stamp > other.stamp;  // ties: earlier publication first
     }
   };
 
@@ -280,9 +375,23 @@ class PrefetchScheduler {
   /// backend round trip, and delivers to still-current subscribers.
   DrainVerdict DrainBatch();
 
-  /// Recomputes the entry's priority from its live subscriptions and
-  /// pushes a freshly stamped heap node. Caller holds mu_.
+  /// Recomputes the entry's priority and earliest deadline from its live
+  /// subscriptions and pushes freshly stamped nodes (both heaps share the
+  /// stamp). Caller holds mu_.
   void RescoreLocked(const tiles::TileKey& key, Entry& entry);
+
+  /// Whether this instance schedules by deadline at all (option on AND a
+  /// clock to measure deadlines against). Caller holds mu_.
+  bool DeadlineEnabledLocked() const {
+    return options_.deadline_aware && options_.clock != nullptr;
+  }
+
+  /// Pops up to `budget` earliest-deadline entries whose priority clears
+  /// the bar into `batch` (adjacency-aware when the window is on),
+  /// updating promotion/miss stats. Caller holds mu_. Returns the number
+  /// popped.
+  std::size_t PopDeadlinesLocked(std::size_t budget, double now_ms,
+                                 std::vector<PoppedEntry>& batch);
 
   /// Retires every pending subscription of `state` as stale. Caller holds
   /// mu_.
@@ -304,6 +413,10 @@ class PrefetchScheduler {
   std::condition_variable cv_;  ///< Fill/delivery completion, worker exit.
   std::unordered_map<tiles::TileKey, Entry, tiles::TileKeyHash> pending_;
   std::priority_queue<HeapNode> heap_;  ///< May hold stale (re-scored) nodes.
+  /// Deadline-ordered companion to heap_, populated only while deadline
+  /// scheduling is enabled and only with finite-deadline entries. Shares
+  /// the lazy-invalidation stamps.
+  std::priority_queue<DeadlineNode> deadline_heap_;
   std::unordered_map<std::uint64_t, std::unique_ptr<SessionState>> sessions_;
   std::uint64_t next_auto_id_ = 1ull << 48;  ///< Clear of SessionManager ids.
   std::uint64_t stamp_counter_ = 0;

@@ -18,7 +18,8 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
       options_(options),
       executor_(executor),
       scheduler_(scheduler),
-      cache_manager_(store, options.cache, shared) {
+      cache_manager_(store, options.cache, shared),
+      think_time_(options.think_time) {
   FC_CHECK_MSG(engine_ != nullptr || !options_.prefetching_enabled,
                "prefetching requires a prediction engine");
   if (scheduler_ != nullptr) {
@@ -43,6 +44,7 @@ ForeCacheServer::~ForeCacheServer() {
 void ForeCacheServer::StartSession() {
   CancelAndWaitForPrefetch();
   cache_manager_.Clear();
+  think_time_.Reset();
   if (engine_ != nullptr) engine_->Reset();
 }
 
@@ -120,6 +122,10 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
   // clock delta, which in the concurrent configuration is an upper bound
   // when other sessions charge the shared clock inside the window.
   std::int64_t t0 = clock_->NowMicros();
+  // The gap since the previous request — think time plus the previous
+  // service time — feeds the think-time EWMA before any service charge for
+  // THIS request lands on the clock.
+  think_time_.Observe(static_cast<double>(t0) / 1000.0);
   FC_ASSIGN_OR_RETURN(auto outcome, cache_manager_.Request(request.tile));
   served.tile = outcome.tile;
   served.cache_hit = outcome.cache_hit;
@@ -146,7 +152,12 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
           prefetch_generation_.load(std::memory_order_acquire);
       auto plan = cache_manager_.BeginPrefetch(
           served.prediction.tiles, served.prediction.confidences, generation);
-      scheduler_->Publish(scheduler_session_, generation, std::move(plan));
+      // The think estimate rides along with every publication; the
+      // scheduler prices it into per-subscription deadlines only when its
+      // deadline mode is on (keyed to the phase the engine inferred for
+      // the position these predictions fan out from).
+      scheduler_->Publish(scheduler_session_, generation, std::move(plan),
+                          think_time_.EstimateMs(served.prediction.phase));
     } else if (executor_ != nullptr) {
       SchedulePrefetch(served.prediction.tiles, served.prediction.confidences);
     } else {

@@ -39,6 +39,7 @@
 #include "core/prediction_engine.h"
 #include "core/prefetch_scheduler.h"
 #include "core/shared_tile_cache.h"
+#include "server/think_time.h"
 #include "storage/tile_store.h"
 
 namespace fc::server {
@@ -50,6 +51,12 @@ struct ServerOptions {
   /// When false, the prediction engine is bypassed entirely — the
   /// "traditional system" baseline of section 5.5.
   bool prefetching_enabled = true;
+  /// Think-time estimation feeding the scheduler's deadline mode: the
+  /// server observes this session's inter-request gaps and publishes the
+  /// estimate with every prediction (core/prefetch_scheduler.h). The
+  /// estimate rides along at negligible cost even when the scheduler
+  /// ignores it (deadline_aware off).
+  ThinkTimeOptions think_time;
 };
 
 /// One served request, with its simulated response latency.
@@ -108,6 +115,9 @@ class ForeCacheServer {
   const std::vector<double>& latency_log() const { return latency_log_; }
   double AverageLatencyMs() const;
 
+  /// This session's think-time tracker (reset by StartSession).
+  const ThinkTimeEstimator& think_time() const { return think_time_; }
+
  private:
   /// `confidences` parallels `tiles` (the engine's per-rank confidence) so
   /// background fills carry priority-admission hints into the shared cache.
@@ -129,6 +139,7 @@ class ForeCacheServer {
   std::uint64_t scheduler_session_ = 0;
   core::CacheManager cache_manager_;
   std::vector<double> latency_log_;
+  ThinkTimeEstimator think_time_;
 
   /// Monotonic id of the latest request; a background fill aborts once a
   /// newer request has superseded it.

@@ -103,6 +103,15 @@ struct SessionManagerOptions {
   /// fills into one backend round trip — the manager wires its SimClock
   /// into the scheduler so batch.max_linger_ms ages against virtual time.
   /// The default profile (max_batch_tiles = 1) keeps the per-tile drain.
+  ///
+  /// Deadline-aware draining: set prefetch_scheduler.deadline_aware to
+  /// bound per-session staleness under saturation. Every session's server
+  /// already tracks its think time (server.think_time — see
+  /// server/think_time.h) and publishes the estimate with each
+  /// prediction; the auto-wired SimClock turns those estimates into
+  /// deadlines. Off (the default), the estimates are published but
+  /// ignored and drain order is bit-identical to the utility-only
+  /// scheduler.
   bool use_prefetch_scheduler = true;
   core::PrefetchSchedulerOptions prefetch_scheduler;
 };

@@ -1,0 +1,39 @@
+#include "sim/think_time.h"
+
+#include <algorithm>
+
+namespace fc::sim {
+
+double MeanThinkMs(const PhaseThinkTimeModel& model,
+                   core::AnalysisPhase phase) {
+  switch (phase) {
+    case core::AnalysisPhase::kForaging:
+      return model.foraging_mean_ms;
+    case core::AnalysisPhase::kNavigation:
+      return model.navigation_mean_ms;
+    case core::AnalysisPhase::kSensemaking:
+      return model.sensemaking_mean_ms;
+  }
+  return model.foraging_mean_ms;
+}
+
+double SampleThinkMs(const PhaseThinkTimeModel& model,
+                     core::AnalysisPhase phase, Rng& rng) {
+  const double mean = MeanThinkMs(model, phase);
+  const double sample = rng.Gaussian(mean, mean * model.rel_stddev);
+  return std::max(model.min_ms, sample);
+}
+
+std::array<double, core::kNumPhases> PhasePriorMs(
+    const PhaseThinkTimeModel& model) {
+  std::array<double, core::kNumPhases> priors{};
+  priors[static_cast<std::size_t>(core::AnalysisPhase::kForaging)] =
+      model.foraging_mean_ms;
+  priors[static_cast<std::size_t>(core::AnalysisPhase::kSensemaking)] =
+      model.sensemaking_mean_ms;
+  priors[static_cast<std::size_t>(core::AnalysisPhase::kNavigation)] =
+      model.navigation_mean_ms;
+  return priors;
+}
+
+}  // namespace fc::sim

@@ -1,0 +1,59 @@
+// Per-phase think-time distributions for the simulated study users.
+//
+// The paper models user think time explicitly: prefetching only wins when
+// the fill lands inside the gap between two moves, and that gap depends on
+// what the user is doing. Foraging is rapid coarse scanning (short dwells),
+// navigation is a deliberate zoom with a moderate pause, and sensemaking is
+// the long analytical dwell over detailed tiles. This model turns those
+// observations into per-phase distributions the harnesses sample inter-move
+// gaps from, and into the priors that seed the server layer's
+// ThinkTimeEstimator (server/think_time.h) before it has observed enough
+// gaps of its own — the sim layer is the canonical source of what "typical"
+// think time per phase means.
+//
+// The server cannot link against the sim layer, so the priors cross the
+// boundary as a plain array (PhasePriorMs) wired through ServerOptions by
+// whoever assembles the stack (benches, tests, SessionManager embeddings).
+
+#ifndef FORECACHE_SIM_THINK_TIME_H_
+#define FORECACHE_SIM_THINK_TIME_H_
+
+#include <array>
+
+#include "common/rng.h"
+#include "core/request.h"
+
+namespace fc::sim {
+
+/// Mean think time per analysis phase, plus a shared relative spread.
+/// Means are virtual SimClock milliseconds.
+struct PhaseThinkTimeModel {
+  /// Rapid coarse scanning: the user glances and pans on.
+  double foraging_mean_ms = 800.0;
+  /// Deliberate zoom toward (or away from) a candidate region.
+  double navigation_mean_ms = 1500.0;
+  /// The long analytical dwell over detailed tiles.
+  double sensemaking_mean_ms = 3000.0;
+  /// Relative standard deviation applied to every phase's Gaussian.
+  double rel_stddev = 0.35;
+  /// Floor on sampled gaps: no human issues back-to-back moves faster.
+  double min_ms = 100.0;
+};
+
+/// The model's mean gap for `phase`.
+double MeanThinkMs(const PhaseThinkTimeModel& model, core::AnalysisPhase phase);
+
+/// One sampled inter-move gap for `phase`: a Gaussian at the phase mean
+/// with rel_stddev spread, truncated below at min_ms. Deterministic for a
+/// seeded Rng.
+double SampleThinkMs(const PhaseThinkTimeModel& model,
+                     core::AnalysisPhase phase, Rng& rng);
+
+/// The per-phase prior means indexed by AnalysisPhase, in the layout
+/// server::ThinkTimeOptions::phase_prior_ms expects.
+std::array<double, core::kNumPhases> PhasePriorMs(
+    const PhaseThinkTimeModel& model);
+
+}  // namespace fc::sim
+
+#endif  // FORECACHE_SIM_THINK_TIME_H_

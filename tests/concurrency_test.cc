@@ -601,7 +601,7 @@ class SlowStore : public storage::TileStore {
   storage::MemoryTileStore inner_;
 };
 
-TEST(MultiSessionStressTest, TeardownUnderInFlightMergedFills) {
+void RunTeardownUnderInFlightMergedFills(bool deadline_aware) {
   constexpr std::size_t kSessions = 8;
   constexpr std::size_t kMovesPerSession = 6;
 
@@ -620,6 +620,17 @@ TEST(MultiSessionStressTest, TeardownUnderInFlightMergedFills) {
   options.shared_cache.l1_bytes = 64ull << 20;
   options.single_flight = true;
   options.prefetch_scheduler.max_in_flight = 4;
+  if (deadline_aware) {
+    // Deadline mode with deadlines that expire almost immediately on the
+    // frozen virtual clock: every drain round mixes expired and live
+    // entries while the manager is being torn down. An expiry must never
+    // reach a destroyed delivery callback — the manager still shuts the
+    // scheduler down before any session dies; deadlines only reorder
+    // drains, they add no timer with its own lifetime.
+    options.prefetch_scheduler.deadline_aware = true;
+    options.prefetch_scheduler.default_think_ms = 0.5;
+    options.server.think_time.min_ms = 0.5;
+  }
 
   core::PrefetchSchedulerStats stats;
   {
@@ -650,6 +661,19 @@ TEST(MultiSessionStressTest, TeardownUnderInFlightMergedFills) {
 
   EXPECT_GT(stats.predictions_published, 0u);
   EXPECT_GT(stats.merged_predictions, 0u);
+  // The snapshot is taken with entries still pending (the drained-queue
+  // equality is asserted elsewhere, after Shutdown), but retirement never
+  // outruns publication.
+  EXPECT_LE(stats.fills_issued + stats.dedup_saved_fetches,
+            stats.predictions_published);
+}
+
+TEST(MultiSessionStressTest, TeardownUnderInFlightMergedFills) {
+  RunTeardownUnderInFlightMergedFills(/*deadline_aware=*/false);
+}
+
+TEST(MultiSessionStressTest, TeardownUnderInFlightDeadlineExpiries) {
+  RunTeardownUnderInFlightMergedFills(/*deadline_aware=*/true);
 }
 
 }  // namespace

@@ -609,6 +609,82 @@ TEST(SchedulerAdjacencyTest, WindowPullsRunCompletersIntoTheBatch) {
   scheduler.Shutdown();
 }
 
+TEST(SchedulerAdjacencyTest, RepushedCandidateKeepsEnqueueStamp) {
+  // Regression: an adjacency candidate the selection passes over is
+  // re-pushed for the next round — with its ORIGINAL enqueue time, not
+  // re-stamped at the re-push. A reset stamp would silently restart the
+  // entry's linger age (and, in deadline mode, its deadline bookkeeping).
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SimClock clock;
+  PrefetchSchedulerOptions options;
+  options.batch.max_batch_tiles = 4;
+  options.batch.adjacency_priority_window = 0.5;
+  options.clock = &clock;
+  PrefetchScheduler scheduler(&store, /*executor=*/nullptr, /*shared=*/nullptr,
+                              options);
+  const auto id = scheduler.RegisterSession(
+      1, [](const tiles::TileKey&, const tiles::TilePtr&, std::uint64_t) {});
+
+  clock.AdvanceMillis(7.0);
+  scheduler.Publish(id, 1,
+                    {{{2, 0, 0}, 1.0},     // anchor
+                     {{2, 3, 3}, 0.9},     // far: collected, then re-pushed
+                     {{2, 1, 0}, 0.8},
+                     {{2, 0, 1}, 0.7},
+                     {{2, 1, 1}, 0.6}});
+  clock.AdvanceMillis(23.0);
+  ASSERT_TRUE(scheduler.DrainOne());
+
+  auto queue = scheduler.SnapshotQueue();
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0].key, (tiles::TileKey{2, 3, 3}));
+  EXPECT_DOUBLE_EQ(queue[0].enqueue_ms, 7.0);  // publish time, not 30.0
+  scheduler.Shutdown();
+}
+
+TEST(SchedulerAdjacencyTest, DeadlineRepushKeepsDeadlineStamp) {
+  // Same regression through the deadline-mode pop: the unselected
+  // earliest-deadline candidate returns to the deadline heap with its
+  // original deadline and enqueue time intact.
+  auto pyramid = SmallPyramid();
+  storage::MemoryTileStore store(pyramid);
+  SimClock clock;
+  PrefetchSchedulerOptions options;
+  options.batch.max_batch_tiles = 4;
+  options.batch.adjacency_priority_window = 0.5;
+  options.clock = &clock;
+  options.deadline_aware = true;
+  PrefetchScheduler scheduler(&store, /*executor=*/nullptr, /*shared=*/nullptr,
+                              options);
+  const auto id = scheduler.RegisterSession(
+      1, [](const tiles::TileKey&, const tiles::TilePtr&, std::uint64_t) {});
+
+  clock.AdvanceMillis(7.0);
+  scheduler.Publish(id, 1,
+                    {{{2, 0, 0}, 1.0},
+                     {{2, 3, 3}, 0.9},
+                     {{2, 1, 0}, 0.8},
+                     {{2, 0, 1}, 0.7},
+                     {{2, 1, 1}, 0.6}},
+                    /*think_ms=*/50.0);
+  clock.AdvanceMillis(23.0);
+  ASSERT_TRUE(scheduler.DrainOne());
+
+  auto queue = scheduler.SnapshotQueue();
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0].key, (tiles::TileKey{2, 3, 3}));
+  EXPECT_DOUBLE_EQ(queue[0].enqueue_ms, 7.0);
+  EXPECT_DOUBLE_EQ(queue[0].deadline_ms, 57.0);  // publish + think, unmoved
+
+  // The survivor drains next round despite its clock-relative age.
+  ASSERT_TRUE(scheduler.DrainOne());
+  auto stats = scheduler.Stats();
+  EXPECT_EQ(stats.fills_issued + stats.dedup_saved_fetches,
+            stats.predictions_published);
+  scheduler.Shutdown();
+}
+
 TEST(SchedulerAdjacencyTest, ZeroWindowKeepsStrictPriorityOrder) {
   auto pyramid = SmallPyramid();
   storage::MemoryTileStore store(pyramid);
