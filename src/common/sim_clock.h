@@ -9,18 +9,23 @@
 #define FORECACHE_COMMON_SIM_CLOCK_H_
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+
+#include "common/clock.h"
 
 namespace fc {
 
-/// Monotonic virtual clock, microsecond resolution.
+/// Monotonic virtual clock, microsecond resolution. Implements the Clock
+/// read interface (common/clock.h), so deadline scheduling and batch
+/// lingering run against it interchangeably with the wall-clock adapter.
 ///
 /// Thread-safe: concurrent sessions share one clock, and background prefetch
 /// tasks charge DBMS time to it while request threads read it. Advances are
 /// atomic, so no charged microsecond is ever lost; under concurrency the
 /// interleaving of advances (and hence any single thread's observed elapsed
 /// time) is of course schedule-dependent.
-class SimClock {
+class SimClock : public Clock {
  public:
   SimClock() = default;
 
@@ -30,7 +35,7 @@ class SimClock {
   }
 
   /// Current virtual time in (fractional) milliseconds.
-  double NowMillis() const {
+  double NowMillis() const override {
     return static_cast<double>(NowMicros()) / 1000.0;
   }
 
@@ -39,8 +44,12 @@ class SimClock {
     if (micros > 0) now_micros_.fetch_add(micros, std::memory_order_relaxed);
   }
 
+  /// Rounds to the nearest microsecond. Truncation here would make repeated
+  /// sub-microsecond advances (e.g. many tiny per-item charge fractions)
+  /// silently lose virtual time: 1000 advances of 0.0009 ms must move the
+  /// clock ~0.9 ms, not 0.
   void AdvanceMillis(double millis) {
-    AdvanceMicros(static_cast<std::int64_t>(millis * 1000.0));
+    AdvanceMicros(static_cast<std::int64_t>(std::llround(millis * 1000.0)));
   }
 
   /// Resets to time zero. Not safe to race with concurrent advances.

@@ -1,6 +1,9 @@
 #include "core/prefetch_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -36,6 +39,7 @@ PrefetchScheduler::PrefetchScheduler(storage::TileStore* store,
       batcher_(MakeBatcher(options, store)) {
   FC_CHECK_MSG(store_ != nullptr, "PrefetchScheduler requires a tile store");
   if (options_.max_in_flight == 0) options_.max_in_flight = 1;
+  options_.fairness_share = std::clamp(options_.fairness_share, 0.0, 1.0);
 }
 
 PrefetchScheduler::~PrefetchScheduler() { Shutdown(); }
@@ -50,6 +54,15 @@ std::uint64_t PrefetchScheduler::RegisterSession(std::uint64_t session_id,
   state->deliver = std::move(deliver);
   sessions_.emplace(session_id, std::move(state));
   return session_id;
+}
+
+void PrefetchScheduler::SetSessionWeight(std::uint64_t session_id,
+                                         double weight) {
+  if (!(weight > 0.0)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  it->second->weight = weight;
 }
 
 void PrefetchScheduler::RescoreLocked(const tiles::TileKey& key, Entry& entry) {
@@ -167,6 +180,134 @@ std::size_t PrefetchScheduler::PopDeadlinesLocked(
     ++popped;
   }
   return popped;
+}
+
+void PrefetchScheduler::AccrueFairnessLocked(std::size_t budget) {
+  // Pass 1: classic DRR resets a queue-empty session's credit (it is not
+  // underserved — it has nothing to serve) and sizes the active pool.
+  double total_weight = 0.0;
+  for (auto& [session_id, state] : sessions_) {
+    if (state->pending_keys.empty()) {
+      state->deficit = 0.0;
+    } else {
+      total_weight += state->weight;
+    }
+  }
+  if (total_weight <= 0.0) return;
+  // Pass 2: the round reserves budget x share slots for the fairness
+  // slice; each active session's claim on them is its weight share. A fill
+  // serving the session (any pass) charges 1 back, so a session served at
+  // or above its share hovers at / below zero and never claims a slot.
+  const double reserved =
+      static_cast<double>(budget) * options_.fairness_share;
+  for (auto& [session_id, state] : sessions_) {
+    if (state->pending_keys.empty()) continue;
+    state->deficit += reserved * state->weight / total_weight;
+  }
+  // Fractional slots bank across rounds (share 0.25 at batch size 1 =
+  // every fourth slot), capped at one full batch so an idle stretch or an
+  // EDF-saturated streak cannot bank an unbounded burst.
+  fairness_credit_ =
+      std::min(fairness_credit_ + reserved,
+               static_cast<double>(batcher_.max_tiles()));
+}
+
+std::size_t PrefetchScheduler::FairnessClaimLocked(std::size_t budget) const {
+  const auto credit = static_cast<std::size_t>(fairness_credit_);
+  if (credit == 0) return 0;
+  double claims = 0.0;
+  for (const auto& [session_id, state] : sessions_) {
+    if (state->pending_keys.empty() || state->deficit <= 0.0) continue;
+    claims += std::ceil(state->deficit);
+    if (claims >= static_cast<double>(budget)) break;
+  }
+  return std::min({budget, credit, static_cast<std::size_t>(claims)});
+}
+
+void PrefetchScheduler::PopFairnessLocked(std::size_t budget,
+                                          std::vector<PoppedEntry>& batch) {
+  std::size_t slots =
+      std::min(budget, static_cast<std::size_t>(fairness_credit_));
+  if (slots == 0) return;
+  // Round-start top utility score, for promotion accounting — the same
+  // lazy peek PopDeadlinesLocked uses (discarded stale nodes stay gone).
+  double top_priority = 0.0;
+  bool have_top = false;
+  while (!heap_.empty()) {
+    const HeapNode& node = heap_.top();
+    auto eit = pending_.find(node.key);
+    if (eit == pending_.end() || eit->second.stamp != node.stamp) {
+      heap_.pop();
+      continue;
+    }
+    top_priority = node.priority;
+    have_top = true;
+    break;
+  }
+  // Shadow charges: fills already popped this round (the EDF pass) serve
+  // their subscribers before any deficit is actually charged (that happens
+  // once the whole batch is formed), so selection must count them here or
+  // one session could sweep several slots on a single round's credit.
+  std::unordered_map<std::uint64_t, double> charged;
+  for (const auto& popped : batch) {
+    for (const auto& sub : popped.subs) charged[sub.session_id] += 1.0;
+  }
+  // Sessions whose every pending key was already popped this round: their
+  // pending_keys lists are only pruned at pin time, so they can look
+  // serveable without a live entry left.
+  std::unordered_set<std::uint64_t> exhausted;
+  while (slots > 0) {
+    // The most-underserved session: largest (shadow-adjusted) positive
+    // deficit, ties to the smaller id for determinism.
+    SessionState* best = nullptr;
+    std::uint64_t best_id = 0;
+    double best_deficit = 0.0;
+    for (auto& [session_id, state] : sessions_) {
+      if (state->pending_keys.empty() || exhausted.count(session_id) > 0) {
+        continue;
+      }
+      const auto cit = charged.find(session_id);
+      const double deficit =
+          state->deficit - (cit == charged.end() ? 0.0 : cit->second);
+      if (deficit <= 0.0) continue;
+      if (best == nullptr || deficit > best_deficit ||
+          (deficit == best_deficit && session_id < best_id)) {
+        best = state.get();
+        best_id = session_id;
+        best_deficit = deficit;
+      }
+    }
+    if (best == nullptr) break;  // nobody underserved: credit stays banked
+    // Serve the winner's best pending entry — the highest-priority one, so
+    // the guaranteed slot also buys the most aggregate utility (and the
+    // most co-subscribers) the session can offer.
+    const tiles::TileKey* best_key = nullptr;
+    Entry* best_entry = nullptr;
+    for (const auto& key : best->pending_keys) {
+      auto eit = pending_.find(key);
+      if (eit == pending_.end()) continue;  // popped earlier this round
+      if (best_entry == nullptr ||
+          eit->second.priority > best_entry->priority) {
+        best_key = &key;
+        best_entry = &eit->second;
+      }
+    }
+    if (best_entry == nullptr) {
+      exhausted.insert(best_id);
+      continue;
+    }
+    ++stats_.fairness_picks;
+    if (have_top && best_entry->priority < top_priority) {
+      ++stats_.fairness_promotions;
+    }
+    for (const auto& sub : best_entry->subs) {
+      charged[sub.session_id] += 1.0;
+    }
+    batch.push_back(PoppedEntry{*best_key, std::move(best_entry->subs)});
+    pending_.erase(*best_key);  // its heap nodes are skipped by stamp at pop
+    fairness_credit_ -= 1.0;
+    --slots;
+  }
 }
 
 void PrefetchScheduler::InvalidateLocked(SessionState& state,
@@ -367,21 +508,36 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
       ++stats_.batch_deferrals;
       return DrainVerdict::kDeferred;
     }
+    if (FairnessEnabledLocked()) AccrueFairnessLocked(budget);
     if (DeadlineEnabledLocked()) {
       // Earliest-deadline-first pass: the most urgent above-the-bar
-      // entries claim the batch before utility order gets a say. Whatever
-      // budget remains (always, when nothing carries a deadline) backfills
-      // below in plain utility order.
-      PopDeadlinesLocked(budget, now_ms, batch);
-    } else if (batcher_.adjacency_enabled() && budget > 1) {
+      // entries claim the batch before utility order gets a say — minus
+      // whatever the fairness slice has banked claims for. Under
+      // saturation EDF would otherwise fill every slot of every round
+      // (all the hot entries carry deadlines) and the guaranteed share
+      // would never be paid. Whatever budget remains backfills below in
+      // plain utility order.
+      std::size_t edf_budget = budget;
+      if (FairnessEnabledLocked()) edf_budget -= FairnessClaimLocked(budget);
+      if (edf_budget > 0) PopDeadlinesLocked(edf_budget, now_ms, batch);
+    }
+    if (FairnessEnabledLocked() && batch.size() < budget) {
+      // Fairness slice: after EDF (urgency outranks the floor — a missed
+      // deadline is unrecoverable, a delayed share is not), before utility
+      // order (or the floor would only ever serve the popular sessions).
+      PopFairnessLocked(budget - batch.size(), batch);
+    }
+    if (!DeadlineEnabledLocked() && batcher_.adjacency_enabled() &&
+        budget - batch.size() > 1) {
       // Adjacency-aware pop: collect the valid entries clearing the
       // priority bar as candidates, let the batcher pick a run-shaped
       // subset, and RE-PUSH the rest. Their heap nodes carry the stamps
       // they were popped with, and their pending_ entries were never
       // touched, so lazy invalidation still recognizes them as current.
+      const std::size_t remaining = budget - batch.size();
       std::vector<HeapNode> nodes;
       std::vector<storage::BatchCandidate> candidates;
-      const std::size_t cap = batcher_.CandidateCap(budget);
+      const std::size_t cap = batcher_.CandidateCap(remaining);
       double bar = 0.0;
       while (candidates.size() < cap && !heap_.empty()) {
         HeapNode node = heap_.top();
@@ -398,7 +554,7 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
             storage::BatchCandidate{node.key, node.priority});
       }
       const std::vector<std::size_t> chosen =
-          batcher_.SelectAdjacent(candidates, budget);
+          batcher_.SelectAdjacent(candidates, remaining);
       std::vector<bool> take(candidates.size(), false);
       for (std::size_t i : chosen) {
         take[i] = true;
@@ -439,6 +595,13 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
         auto& keys = sit->second->pending_keys;
         auto kit = std::find(keys.begin(), keys.end(), popped.key);
         if (kit != keys.end()) keys.erase(kit);
+        if (FairnessEnabledLocked()) {
+          // Every fill serving this session repays its share claim,
+          // whichever pass popped it. Floored just below zero so a
+          // popular session cannot amass unbounded debt and then be
+          // locked out for an era once its co-subscribers drop away.
+          sit->second->deficit = std::max(sit->second->deficit - 1.0, -1.0);
+        }
         // Pins the session (and its Delivery) until this fill settles.
         ++sit->second->in_flight;
       }

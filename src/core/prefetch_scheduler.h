@@ -42,6 +42,21 @@
 //    while keeping the dedup win; deadline_promotions / deadline_misses
 //    count entries served ahead of higher-utility work and entries popped
 //    past their deadline.
+//  * Per-session fairness shares (opt-in, PrefetchSchedulerOptions::
+//    fairness_share): deadlines bound staleness per ENTRY, not per
+//    session — a session whose entries sit below the utility bar, or that
+//    loses every tie at it, can still be starved for a whole saturation
+//    episode. Following Khameleon's argument that the server must allocate
+//    the shared fill channel across SESSIONS, a weighted deficit-round-
+//    robin layer reserves a configurable fraction of each drain round's
+//    slots: every drained fill charges the deficit counters of the
+//    sessions it serves, sessions with pending work accrue credit in
+//    proportion to their weight (SetSessionWeight, default 1), and the
+//    reserved slice serves the most-underserved session's best pending
+//    entry. The slice runs AFTER the earliest-deadline pass and BEFORE the
+//    utility backfill, so EDF urgency, the fairness floor, and utility
+//    throughput compose in that order. Defaults (fairness_share = 0) keep
+//    the drain order bit-identical to the share-free scheduler.
 //
 // Accounting invariant (drained queue, see Stats()):
 //   fills_issued + dedup_saved_fetches == predictions_published.
@@ -64,6 +79,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/executor.h"
 #include "common/sim_clock.h"
 #include "core/shared_tile_cache.h"
@@ -93,9 +109,12 @@ struct PrefetchSchedulerOptions {
   /// (max_batch_tiles = 1) reproduces the per-tile drain exactly.
   storage::BatchProfile batch;
 
-  /// Virtual clock for batch.max_linger_ms (aging pending entries). Null
-  /// disables lingering: partial batches always drain immediately.
-  const SimClock* clock = nullptr;
+  /// Time source for batch.max_linger_ms (aging pending entries) and for
+  /// deadline arithmetic: the replay harness's SimClock, or a SteadyClock
+  /// (common/clock.h) in real deployments — the scheduler only ever READS
+  /// it. Null disables lingering (partial batches always drain
+  /// immediately) and deadline scheduling.
+  const Clock* clock = nullptr;
 
   /// Nominal decoded tile payload bytes, for converting
   /// batch.max_batch_bytes into a tile cap (TilePyramid::NominalTileBytes
@@ -123,6 +142,23 @@ struct PrefetchSchedulerOptions {
   /// 0) while deadline_aware is on. 0 leaves such entries deadline-free:
   /// they drain only through the utility backfill.
   double default_think_ms = 0.0;
+
+  /// Fraction of each drain round's slots reserved for the per-session
+  /// weighted deficit-round-robin slice, in [0, 1] (clamped). 0 (the
+  /// default) disables the fairness layer entirely — drain order stays
+  /// bit-identical to the share-free scheduler, and SetSessionWeight calls
+  /// are recorded but never consulted.
+  ///
+  /// With a share s, a registered session of weight w (default 1) that
+  /// keeps pending work queued is guaranteed a long-run fraction of at
+  /// least s x w / W of drained fills, where W is the total weight of
+  /// sessions with pending work — regardless of how badly its entries are
+  /// outvoted in utility order or gated below deadline_utility_bar.
+  /// Sub-slot reservations accumulate across rounds (a share of 0.25 at
+  /// batch size 1 grants every fourth slot), so the floor holds at every
+  /// batch size. EDF urgency still runs first: a round whose budget the
+  /// deadline pass consumed carries its reservation over to the next.
+  double fairness_share = 0.0;
 };
 
 /// Point-in-time counters. Every published prediction retires exactly once:
@@ -165,6 +201,14 @@ struct PrefetchSchedulerStats {
   /// demoted to plain utility order (it still drains — or supersession
   /// sheds it) instead of consuming the urgent-drain budget.
   std::uint64_t deadline_misses = 0;
+
+  /// Per-session fairness shares (0 whenever fairness_share is 0).
+  /// Entries drained through the deficit-round-robin slice.
+  std::uint64_t fairness_picks = 0;
+  /// The subset of fairness_picks that jumped a strictly higher-priority
+  /// pending entry — slots the starved session would not have won on
+  /// utility (or deadline) grounds.
+  std::uint64_t fairness_promotions = 0;
 };
 
 /// A pending queue entry, as reported by SnapshotQueue().
@@ -178,8 +222,10 @@ struct PrefetchQueueEntry {
   /// merges and adjacency re-pushes.
   double enqueue_ms = -1.0;
   /// Earliest subscription deadline (virtual ms); +infinity when no live
-  /// subscription carries one.
-  double deadline_ms = 0.0;
+  /// subscription carries one. The default matches that documented
+  /// "no deadline" value — a default-constructed entry must never read as
+  /// already expired (deadline 0.0 is the epoch, i.e. the distant past).
+  double deadline_ms = std::numeric_limits<double>::infinity();
 };
 
 /// Process-wide prefetch queue merging overlapping predictions across
@@ -239,6 +285,14 @@ class PrefetchScheduler {
   /// for any in-flight deliveries to it to settle, and forgets it. After
   /// return its Delivery is never invoked again. No-op for unknown ids.
   void UnregisterSession(std::uint64_t session_id);
+
+  /// Sets the session's fairness weight (default 1.0 at registration).
+  /// Consulted only while fairness_share > 0: a session of weight w is
+  /// guaranteed fairness_share x w / W of drain slots while it has pending
+  /// work (W = total weight of such sessions). Non-positive weights and
+  /// unknown ids are ignored. Safe to call at any time; takes effect from
+  /// the next drain round's accrual.
+  void SetSessionWeight(std::uint64_t session_id, double weight);
 
   /// Publishes `session_id`'s ranked predictions for request `generation`,
   /// superseding its previous publication (whose unfilled subscriptions
@@ -357,6 +411,16 @@ class PrefetchScheduler {
     /// may not be erased (and its Delivery not destroyed) while nonzero.
     std::size_t in_flight = 0;
     bool unregistering = false;
+    /// Fairness share weight (SetSessionWeight; consulted only while
+    /// fairness_share > 0).
+    double weight = 1.0;
+    /// Deficit-round-robin credit: accrues weight-proportionally each
+    /// drain round the session has pending work, is charged 1 per drained
+    /// fill serving it (floored at -1 so a long well-served streak cannot
+    /// bank unbounded debt against a later starvation episode), and resets
+    /// to 0 whenever the session's queue empties (classic DRR). The
+    /// fairness slice serves the session with the largest deficit.
+    double deficit = 0.0;
   };
 
   /// One drain round's outcome. kDeferred: a partial batch chose to linger
@@ -393,6 +457,32 @@ class PrefetchScheduler {
   std::size_t PopDeadlinesLocked(std::size_t budget, double now_ms,
                                  std::vector<PoppedEntry>& batch);
 
+  /// Whether the per-session fairness layer is active. Caller holds mu_.
+  bool FairnessEnabledLocked() const { return options_.fairness_share > 0.0; }
+
+  /// One drain round's DRR bookkeeping: resets the deficit of every
+  /// session whose queue emptied, accrues weight-proportional credit to
+  /// sessions with pending work, and banks this round's slot reservation
+  /// (budget x fairness_share, carried fractionally across rounds in
+  /// fairness_credit_). Caller holds mu_.
+  void AccrueFairnessLocked(std::size_t budget);
+
+  /// Slots the fairness slice can actually use this round: bounded by the
+  /// banked credit and by the underserved sessions' outstanding claims
+  /// (sum of positive deficits, rounded up per session). The EDF pass is
+  /// capped at budget minus this reservation — under saturation every
+  /// above-the-bar entry carries a deadline, so without ceding slots EDF
+  /// would consume the whole batch and the guaranteed share would only
+  /// ever be paid out of idle rounds. Caller holds mu_.
+  std::size_t FairnessClaimLocked(std::size_t budget) const;
+
+  /// Serves up to `budget` banked fairness slots: each slot pops the
+  /// most-underserved (largest-deficit) session's highest-priority pending
+  /// entry into `batch`. Entries already popped by the EDF pass count
+  /// against their subscribers via `batch`, so one session cannot sweep a
+  /// whole round on one round's credit. Caller holds mu_.
+  void PopFairnessLocked(std::size_t budget, std::vector<PoppedEntry>& batch);
+
   /// Retires every pending subscription of `state` as stale. Caller holds
   /// mu_.
   void InvalidateLocked(SessionState& state, std::uint64_t session_id);
@@ -420,6 +510,10 @@ class PrefetchScheduler {
   std::unordered_map<std::uint64_t, std::unique_ptr<SessionState>> sessions_;
   std::uint64_t next_auto_id_ = 1ull << 48;  ///< Clear of SessionManager ids.
   std::uint64_t stamp_counter_ = 0;
+  /// Banked fairness slots (fractional): each round adds budget x
+  /// fairness_share, each served fairness slot subtracts 1. Capped at one
+  /// full batch so an idle stretch cannot bank an unbounded burst.
+  double fairness_credit_ = 0.0;
   std::size_t workers_ = 0;          ///< Executor drain tasks alive.
   std::size_t in_flight_fills_ = 0;  ///< Entries popped, fill not finished.
   bool shutdown_ = false;

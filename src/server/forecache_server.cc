@@ -15,13 +15,24 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
     : store_(store),
       engine_(engine),
       clock_(clock),
+      time_(options.wall_clock != nullptr
+                ? options.wall_clock
+                : static_cast<const Clock*>(clock)),
       options_(options),
       executor_(executor),
       scheduler_(scheduler),
       cache_manager_(store, options.cache, shared),
-      think_time_(options.think_time) {
+      think_time_([&options, this] {
+        // The no-argument Observe() overload defaults to the server's own
+        // time base so embedders never have to wire the clock twice.
+        ThinkTimeOptions tt = options.think_time;
+        if (tt.clock == nullptr) tt.clock = time_;
+        return tt;
+      }()) {
   FC_CHECK_MSG(engine_ != nullptr || !options_.prefetching_enabled,
                "prefetching requires a prediction engine");
+  FC_CHECK_MSG(time_ != nullptr,
+               "ForeCacheServer requires a SimClock or options.wall_clock");
   if (scheduler_ != nullptr) {
     // Completed fills land in the prefetch region iff their generation is
     // still current (AcceptPrefetched re-checks under the region lock).
@@ -115,26 +126,33 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
   // is about to be re-planned around this newer position anyway.
   prefetch_generation_.fetch_add(1, std::memory_order_release);
 
-  // Step 1: serve the tile, measuring user-perceived latency on the
-  // virtual clock. A cache hit costs exactly the middleware service time
-  // (logged as such — a clock delta would absorb other sessions' DBMS
-  // charges under concurrency); a miss runs a DBMS query and logs the
-  // clock delta, which in the concurrent configuration is an upper bound
-  // when other sessions charge the shared clock inside the window.
-  std::int64_t t0 = clock_->NowMicros();
+  // Step 1: serve the tile, measuring user-perceived latency. In
+  // simulation mode this runs on the virtual clock: a cache hit costs
+  // exactly the middleware service time (logged as such — a clock delta
+  // would absorb other sessions' DBMS charges under concurrency); a miss
+  // runs a DBMS query and logs the clock delta, which in the concurrent
+  // configuration is an upper bound when other sessions charge the shared
+  // clock inside the window. In wall-clock mode nothing is charged — real
+  // time passes on its own — and both hit and miss log the measured delta.
+  const bool sim = clock_ != nullptr;
+  std::int64_t t0 = sim ? clock_->NowMicros() : 0;
+  const double t0_ms =
+      sim ? static_cast<double>(t0) / 1000.0 : time_->NowMillis();
   // The gap since the previous request — think time plus the previous
   // service time — feeds the think-time EWMA before any service charge for
   // THIS request lands on the clock.
-  think_time_.Observe(static_cast<double>(t0) / 1000.0);
+  think_time_.Observe(t0_ms);
   FC_ASSIGN_OR_RETURN(auto outcome, cache_manager_.Request(request.tile));
   served.tile = outcome.tile;
   served.cache_hit = outcome.cache_hit;
   if (outcome.cache_hit) {
-    clock_->AdvanceMillis(options_.cache_hit_service_ms);
-    served.latency_ms = options_.cache_hit_service_ms;
+    if (sim) clock_->AdvanceMillis(options_.cache_hit_service_ms);
+    served.latency_ms =
+        sim ? options_.cache_hit_service_ms : time_->NowMillis() - t0_ms;
   } else {
     served.latency_ms =
-        static_cast<double>(clock_->NowMicros() - t0) / 1000.0;
+        sim ? static_cast<double>(clock_->NowMicros() - t0) / 1000.0
+            : time_->NowMillis() - t0_ms;
   }
   latency_log_.push_back(served.latency_ms);
 

@@ -57,6 +57,14 @@ struct ServerOptions {
   /// estimate rides along at negligible cost even when the scheduler
   /// ignores it (deadline_aware off).
   ThinkTimeOptions think_time;
+  /// Real-time deployment mode: a monotonic wall clock (common/clock.h)
+  /// the server reads instead of the virtual SimClock. When set, the
+  /// SimClock constructor argument may be null — request latencies and
+  /// think-time gaps are measured as NowMillis() deltas on this clock, and
+  /// no service time is ever charged (real time passes on its own). When
+  /// null (the default), the server runs in simulation mode and the
+  /// SimClock is required. Must outlive the server.
+  const Clock* wall_clock = nullptr;
 };
 
 /// One served request, with its simulated response latency.
@@ -70,7 +78,8 @@ struct ServedRequest {
 class ForeCacheServer {
  public:
   /// `store`, `engine`, and `clock` must outlive the server. `engine` may be
-  /// null only when options.prefetching_enabled is false.
+  /// null only when options.prefetching_enabled is false; `clock` may be
+  /// null only when options.wall_clock supplies the time base instead.
   ///
   /// `executor` (optional) makes prefetch fills asynchronous; `shared`
   /// (optional) layers the session cache over a process-wide tile cache;
@@ -131,7 +140,10 @@ class ForeCacheServer {
 
   storage::TileStore* store_;
   core::PredictionEngine* engine_;
-  SimClock* clock_;
+  SimClock* clock_;  ///< Virtual time base; null in wall-clock mode.
+  /// The time base actually read for latency and think-time measurement:
+  /// options_.wall_clock when set, else clock_. Never null.
+  const Clock* time_;
   ServerOptions options_;
   Executor* executor_;
   core::PrefetchScheduler* scheduler_;

@@ -76,11 +76,17 @@ SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
   // would silently stop being private.
   if (options_.use_prefetch_scheduler && executor_ != nullptr &&
       shared_cache_ != nullptr) {
-    // Batch lingering ages against the same virtual clock the stores
-    // charge, unless the caller wired an explicit one.
+    // Batch lingering and deadlines age against the same time base the
+    // servers measure on — the wall clock in a real deployment, else the
+    // virtual clock the stores charge — unless the caller wired an
+    // explicit one.
     core::PrefetchSchedulerOptions scheduler_options =
         options_.prefetch_scheduler;
-    if (scheduler_options.clock == nullptr) scheduler_options.clock = clock_;
+    if (scheduler_options.clock == nullptr) {
+      scheduler_options.clock = options_.server.wall_clock != nullptr
+                                    ? options_.server.wall_clock
+                                    : static_cast<const Clock*>(clock_);
+    }
     prefetch_scheduler_ = std::make_unique<core::PrefetchScheduler>(
         store_, executor_.get(), shared_cache_.get(), scheduler_options);
   }

@@ -108,10 +108,21 @@ struct SessionManagerOptions {
   /// bound per-session staleness under saturation. Every session's server
   /// already tracks its think time (server.think_time — see
   /// server/think_time.h) and publishes the estimate with each
-  /// prediction; the auto-wired SimClock turns those estimates into
+  /// prediction; the auto-wired clock turns those estimates into
   /// deadlines. Off (the default), the estimates are published but
   /// ignored and drain order is bit-identical to the utility-only
   /// scheduler.
+  ///
+  /// Per-session fairness shares: set prefetch_scheduler.fairness_share to
+  /// reserve that fraction of every drain round for a weighted
+  /// deficit-round-robin slice across sessions with pending work, so a
+  /// session whose predictions keep losing the utility vote still makes
+  /// progress (core/prefetch_scheduler.h). 0 (the default) keeps drain
+  /// order bit-identical to the shares-less scheduler.
+  ///
+  /// Real deployments: set server.wall_clock (and leave
+  /// prefetch_scheduler.clock null) to run think-time gaps, deadlines, and
+  /// linger aging against monotonic wall time instead of the SimClock.
   bool use_prefetch_scheduler = true;
   core::PrefetchSchedulerOptions prefetch_scheduler;
 };

@@ -19,11 +19,18 @@
 #include <array>
 #include <cstddef>
 
+#include "common/clock.h"
 #include "core/request.h"
 
 namespace fc::server {
 
 struct ThinkTimeOptions {
+  /// Time base the no-argument Observe() overload reads. Any Clock works —
+  /// SimClock in replay, SteadyClock in a real deployment — because the
+  /// estimator only consumes gaps between readings. Null is fine as long
+  /// as callers stick to Observe(now_ms) and supply their own timestamps.
+  const Clock* clock = nullptr;
+
   /// Weight of the newest observed gap in the EWMA.
   double ewma_alpha = 0.3;
 
@@ -51,10 +58,16 @@ class ThinkTimeEstimator {
  public:
   explicit ThinkTimeEstimator(ThinkTimeOptions options = {});
 
-  /// Records a request arriving at virtual time `now_ms`; the gap since
+  /// Records a request arriving at time `now_ms` on whatever time base the
+  /// caller measures (virtual or wall — only gaps matter); the gap since
   /// the previous request (clamped into [min_ms, max_ms]) feeds the EWMA.
   /// The first observation only anchors the gap measurement.
   void Observe(double now_ms);
+
+  /// Records a request arriving now, as read from options.clock. No-op
+  /// when no clock was wired (the estimator keeps answering from priors
+  /// rather than feeding garbage gaps into the EWMA).
+  void Observe();
 
   /// Expected think time before the next move, given the phase the
   /// prediction engine inferred for the session's current position: the
