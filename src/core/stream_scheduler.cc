@@ -1,0 +1,502 @@
+#include "core/stream_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fc::core {
+
+namespace {
+
+/// Class-then-utility-then-submission order: every usable chunk outranks
+/// every refinement; within a class higher utility-per-byte wins; ties go
+/// to the earlier submission (deterministic pull-mode pumps).
+bool BetterJob(bool a_usable, double a_util, std::uint64_t a_seq,
+               bool b_usable, double b_util, std::uint64_t b_seq) {
+  if (a_usable != b_usable) return a_usable;
+  if (a_util != b_util) return a_util > b_util;
+  return a_seq < b_seq;
+}
+
+}  // namespace
+
+StreamScheduler::StreamScheduler(Executor* executor,
+                                 StreamSchedulerOptions options)
+    : executor_(executor), options_(options), codec_(options.codec) {
+  if (options_.max_pump_chunks == 0) options_.max_pump_chunks = 1;
+  options_.fairness_share =
+      std::clamp(options_.fairness_share, 0.0, 1.0);
+  total_tokens_ = static_cast<double>(options_.total_burst_bytes);
+}
+
+StreamScheduler::~StreamScheduler() { Shutdown(); }
+
+std::uint64_t StreamScheduler::RegisterSession(std::uint64_t session_id,
+                                               StreamSessionLimits limits,
+                                               ChunkSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (session_id == 0 || sessions_.count(session_id) > 0) {
+    session_id = next_auto_id_++;
+  }
+  auto state = std::make_unique<SessionState>();
+  state->sink = std::move(sink);
+  state->limits = limits;
+  if (!(state->limits.weight > 0.0)) state->limits.weight = 1.0;
+  state->tokens = static_cast<double>(limits.burst_bytes);
+  sessions_[session_id] = std::move(state);
+  return session_id;
+}
+
+void StreamScheduler::UnregisterSession(std::uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  SessionState* state = it->second.get();
+  state->unregistering = true;
+  for (auto job = jobs_.begin(); job != jobs_.end();) {
+    if (job->session_id == session_id) {
+      job = DropLocked(job, &stats_.stale_chunks_dropped);
+    } else {
+      ++job;
+    }
+  }
+  cv_.wait(lock, [&] { return state->in_flight == 0; });
+  sessions_.erase(session_id);
+}
+
+void StreamScheduler::CancelSession(std::uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  SessionState* state = it->second.get();
+  for (auto job = jobs_.begin(); job != jobs_.end();) {
+    if (job->session_id == session_id) {
+      job = DropLocked(job, &stats_.stale_chunks_dropped);
+    } else {
+      ++job;
+    }
+  }
+  cv_.wait(lock, [&] { return state->in_flight == 0; });
+}
+
+void StreamScheduler::CancelStaleGenerations(std::uint64_t session_id,
+                                             std::uint64_t live_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto job = jobs_.begin(); job != jobs_.end();) {
+    if (job->session_id == session_id && job->generation != live_generation) {
+      job = DropLocked(job, &stats_.stale_chunks_dropped);
+    } else {
+      ++job;
+    }
+  }
+}
+
+void StreamScheduler::SetClock(const Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.clock = clock;
+}
+
+void StreamScheduler::SubmitTile(std::uint64_t session_id,
+                                 const tiles::TileKey& key,
+                                 const tiles::TilePtr& tile,
+                                 std::uint64_t generation, double confidence,
+                                 double deadline_ms) {
+  if (tile == nullptr) return;
+
+  // Encode before the lock: splitting the tile is the CPU-heavy part.
+  // The usable chunk's rank divides by the ALL-OR-NOTHING payload size in
+  // both modes, so the progressive schedule visits tiles in exactly the
+  // order the all-or-nothing one would (see header notes).
+  const std::string full = codec_.Encode(*tile);
+  const double usable_rank = options_.base_utility_weight *
+                             std::max(confidence, 0.0) /
+                             static_cast<double>(full.size());
+
+  tiles::TilePtr usable_payload;
+  tiles::TilePtr exact_payload;
+  std::size_t usable_bytes = 0;
+  std::size_t refine_bytes = 0;
+  bool usable_is_exact = true;
+  if (options_.progressive) {
+    storage::ProgressiveEncoding prog = codec_.EncodeProgressive(*tile);
+    auto reassembled = storage::TileCodec::Reassemble(prog.base,
+                                                      prog.refinement);
+    auto base_only = storage::TileCodec::Decode(prog.base);
+    if (reassembled.ok() && base_only.ok()) {
+      usable_bytes = prog.base.size();
+      refine_bytes = prog.refinement.size();
+      usable_is_exact = prog.refinement.empty();
+      usable_payload = std::make_shared<const tiles::Tile>(
+          usable_is_exact ? std::move(reassembled).value()
+                          : std::move(base_only).value());
+      if (!usable_is_exact) {
+        exact_payload = std::make_shared<const tiles::Tile>(
+            std::move(reassembled).value());
+      }
+    }
+  }
+  if (usable_payload == nullptr) {
+    // All-or-nothing mode — or a defensive fallback if the progressive
+    // pair failed to validate: one exact chunk carrying what a client
+    // decodes from the full blob.
+    auto decoded = storage::TileCodec::Decode(full);
+    usable_payload =
+        decoded.ok()
+            ? std::make_shared<const tiles::Tile>(std::move(decoded).value())
+            : tile;
+    usable_bytes = full.size();
+    refine_bytes = 0;
+    usable_is_exact = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (shutdown_ || it == sessions_.end() || it->second->unregistering) {
+    stats_.stale_chunks_dropped += usable_is_exact ? 1 : 2;
+    return;
+  }
+  const double now = options_.clock != nullptr ? options_.clock->NowMillis()
+                                               : kNoEnqueueStamp;
+  ++stats_.tiles_submitted;
+
+  ChunkJob base;
+  base.session_id = session_id;
+  base.key = key;
+  base.generation = generation;
+  base.exact = usable_is_exact;
+  base.usable = true;
+  base.bytes = usable_bytes;
+  base.utility_per_byte = usable_rank;
+  base.enqueue_ms = now;
+  base.deadline_ms = deadline_ms;
+  base.seq = ++seq_counter_;
+  base.payload = usable_payload;
+  jobs_.push_back(std::move(base));
+  ++stats_.chunks_enqueued;
+
+  if (!usable_is_exact) {
+    ChunkJob refine;
+    refine.session_id = session_id;
+    refine.key = key;
+    refine.generation = generation;
+    refine.exact = true;
+    refine.usable = false;
+    refine.awaiting_base = true;
+    refine.bytes = refine_bytes;
+    refine.utility_per_byte = options_.refine_utility_weight *
+                              std::max(confidence, 0.0) /
+                              static_cast<double>(refine_bytes);
+    refine.enqueue_ms = now;
+    refine.deadline_ms = deadline_ms;
+    refine.seq = ++seq_counter_;
+    refine.payload = exact_payload;
+    jobs_.push_back(std::move(refine));
+    ++stats_.chunks_enqueued;
+  }
+  SpawnPumpLocked();
+}
+
+void StreamScheduler::RefillBudgetsLocked(double now_ms) {
+  if (options_.total_bytes_per_ms > 0.0) {
+    if (total_last_refill_ms_ < 0.0) total_last_refill_ms_ = now_ms;
+    double earned =
+        (now_ms - total_last_refill_ms_) * options_.total_bytes_per_ms;
+    if (earned > 0.0) {
+      total_tokens_ =
+          std::min(static_cast<double>(options_.total_burst_bytes),
+                   total_tokens_ + earned);
+    }
+    total_last_refill_ms_ = now_ms;
+  }
+  for (auto& [id, state] : sessions_) {
+    if (!(state->limits.bytes_per_ms > 0.0)) continue;
+    if (state->last_refill_ms < 0.0) state->last_refill_ms = now_ms;
+    double earned = (now_ms - state->last_refill_ms) * state->limits.bytes_per_ms;
+    if (earned > 0.0) {
+      state->tokens = std::min(static_cast<double>(state->limits.burst_bytes),
+                               state->tokens + earned);
+    }
+    state->last_refill_ms = now_ms;
+  }
+}
+
+void StreamScheduler::ExpireLocked(double now_ms) {
+  if (!(options_.max_chunk_age_ms > 0.0)) return;
+  for (auto job = jobs_.begin(); job != jobs_.end();) {
+    // Sentinel-stamped chunks (submitted clockless) are exempt: the stamp
+    // is "unknown age", not virtual time 0, so a late-wired clock cannot
+    // force-flush the backlog.
+    if (job->enqueue_ms >= 0.0 &&
+        now_ms - job->enqueue_ms > options_.max_chunk_age_ms) {
+      job = DropLocked(job, &stats_.expired_chunks_dropped);
+    } else {
+      ++job;
+    }
+  }
+}
+
+bool StreamScheduler::EligibleLocked(const ChunkJob& job,
+                                     const SessionState& state) const {
+  if (state.unregistering || job.awaiting_base) return false;
+  if (options_.clock == nullptr) return true;  // budgets need a time source
+  const double bytes = static_cast<double>(job.bytes);
+  if (state.limits.bytes_per_ms > 0.0) {
+    const double burst = static_cast<double>(state.limits.burst_bytes);
+    // An oversized chunk (bytes > burst) goes out at a full bucket,
+    // driving the balance negative — it stalls but never deadlocks.
+    if (state.tokens < bytes && !(bytes > burst && state.tokens >= burst)) {
+      return false;
+    }
+  }
+  if (options_.total_bytes_per_ms > 0.0) {
+    const double burst = static_cast<double>(options_.total_burst_bytes);
+    if (total_tokens_ < bytes && !(bytes > burst && total_tokens_ >= burst)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::list<StreamScheduler::ChunkJob>::iterator StreamScheduler::SelectLocked(
+    double now_ms) {
+  const bool fairness = options_.fairness_share > 0.0;
+  const bool deadline =
+      options_.deadline_aware && options_.clock != nullptr;
+  for (;;) {
+    auto best = jobs_.end();
+    auto edf = jobs_.end();
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      auto session = sessions_.find(it->session_id);
+      if (session == sessions_.end() ||
+          !EligibleLocked(*it, *session->second)) {
+        continue;
+      }
+      if (best == jobs_.end() ||
+          BetterJob(it->usable, it->utility_per_byte, it->seq,
+                    best->usable, best->utility_per_byte, best->seq)) {
+        best = it;
+      }
+      if (deadline && it->deadline_ms < kNoDeadline &&
+          it->utility_per_byte >= options_.deadline_utility_bar) {
+        if (edf == jobs_.end() ||
+            (it->usable != edf->usable ? it->usable
+             : it->deadline_ms != edf->deadline_ms
+                 ? it->deadline_ms < edf->deadline_ms
+                 : it->seq < edf->seq)) {
+          edf = it;
+        }
+      }
+    }
+    if (best == jobs_.end()) return best;
+
+    // EDF urgency first: chunks above the bar push earliest-deadline-first
+    // within their class. Expired ones demote back to utility order so
+    // overload cannot consume the urgent budget (PR 7's rule).
+    if (edf != jobs_.end() && edf->usable == best->usable) {
+      if (now_ms >= 0.0 && edf->deadline_ms < now_ms) {
+        ++stats_.deadline_misses;
+        edf->deadline_ms = kNoDeadline;
+        continue;  // rescan without this deadline
+      }
+      ++stats_.deadline_picks;
+      if (edf != best) ++stats_.deadline_promotions;
+      return edf;
+    }
+
+    // Fairness slice: every 1/share picks serve the most-underserved-by-
+    // bytes session's best eligible chunk (weight-normalized; credit
+    // banked fractionally, carried over rounds EDF consumed).
+    if (fairness && fairness_credit_ >= 1.0) {
+      auto pick = jobs_.end();
+      double pick_served = 0.0;
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        auto session = sessions_.find(it->session_id);
+        if (session == sessions_.end() ||
+            !EligibleLocked(*it, *session->second)) {
+          continue;
+        }
+        double served =
+            session->second->bytes_served / session->second->limits.weight;
+        bool new_session = pick == jobs_.end() || served < pick_served ||
+                           (served == pick_served &&
+                            it->session_id < pick->session_id);
+        bool same_session =
+            pick != jobs_.end() && it->session_id == pick->session_id &&
+            BetterJob(it->usable, it->utility_per_byte, it->seq,
+                      pick->usable, pick->utility_per_byte, pick->seq);
+        if (new_session || same_session) {
+          pick = it;
+          pick_served = served;
+        }
+      }
+      if (pick != jobs_.end()) {
+        fairness_credit_ -= 1.0;
+        ++stats_.fairness_picks;
+        if (pick != best) ++stats_.fairness_promotions;
+        return pick;
+      }
+    }
+    return best;
+  }
+}
+
+std::list<StreamScheduler::ChunkJob>::iterator StreamScheduler::DropLocked(
+    std::list<ChunkJob>::iterator it, std::uint64_t* counter) {
+  // A dropped base strands its gated refinement — a refinement can never
+  // apply to a base the client did not receive — so the pair goes
+  // together.
+  if (it->usable && !it->exact) {
+    for (auto other = jobs_.begin(); other != jobs_.end();) {
+      if (other != it && other->awaiting_base &&
+          other->session_id == it->session_id && other->key == it->key &&
+          other->generation == it->generation) {
+        other = jobs_.erase(other);
+        ++*counter;
+      } else {
+        ++other;
+      }
+    }
+  }
+  ++*counter;
+  return jobs_.erase(it);
+}
+
+std::size_t StreamScheduler::Pump() {
+  std::vector<ReadyChunk> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return 0;
+    const double now = options_.clock != nullptr
+                           ? options_.clock->NowMillis()
+                           : kNoEnqueueStamp;
+    if (options_.clock != nullptr) {
+      RefillBudgetsLocked(now);
+      ExpireLocked(now);
+    }
+    const bool had_work = !jobs_.empty();
+    while (ready.size() < options_.max_pump_chunks) {
+      if (options_.fairness_share > 0.0) {
+        fairness_credit_ =
+            std::min(fairness_credit_ + options_.fairness_share,
+                     static_cast<double>(options_.max_pump_chunks));
+      }
+      auto it = SelectLocked(now);
+      if (it == jobs_.end()) break;
+      SessionState* state = sessions_.at(it->session_id).get();
+      if (options_.clock != nullptr) {
+        if (state->limits.bytes_per_ms > 0.0) {
+          state->tokens -= static_cast<double>(it->bytes);
+        }
+        if (options_.total_bytes_per_ms > 0.0) {
+          total_tokens_ -= static_cast<double>(it->bytes);
+        }
+      }
+      state->bytes_served += static_cast<double>(it->bytes);
+      if (it->usable && !it->exact) {
+        // The base is on its way: its refinement becomes eligible (and is
+        // pushed after it — ready keeps pick order).
+        for (auto& job : jobs_) {
+          if (job.awaiting_base && job.session_id == it->session_id &&
+              job.key == it->key && job.generation == it->generation) {
+            job.awaiting_base = false;
+            break;
+          }
+        }
+      }
+      ++stats_.chunks_pushed;
+      stats_.bytes_pushed += it->bytes;
+      if (it->exact) {
+        ++stats_.exact_chunks_pushed;
+      } else {
+        ++stats_.base_chunks_pushed;
+      }
+      if (it->usable) ++stats_.first_usable_pushes;
+      ++state->in_flight;
+      ++in_flight_pushes_;
+      ready.push_back(
+          {state, it->key, it->payload, it->exact, it->generation});
+      jobs_.erase(it);
+    }
+    if (had_work && ready.empty() && !jobs_.empty()) ++stats_.budget_stalls;
+  }
+
+  for (const ReadyChunk& chunk : ready) {
+    chunk.session->sink(chunk.key, chunk.payload, chunk.exact,
+                        chunk.generation);
+  }
+
+  if (!ready.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ReadyChunk& chunk : ready) --chunk.session->in_flight;
+    in_flight_pushes_ -= ready.size();
+    cv_.notify_all();
+  }
+  return ready.size();
+}
+
+std::size_t StreamScheduler::Flush() {
+  std::size_t total = 0;
+  for (;;) {
+    std::size_t pushed = Pump();
+    if (pushed == 0) return total;
+    total += pushed;
+  }
+}
+
+void StreamScheduler::SpawnPumpLocked() {
+  if (executor_ == nullptr || pump_armed_ || shutdown_ || jobs_.empty()) {
+    return;
+  }
+  pump_armed_ = true;
+  bool accepted = executor_->Submit([this] {
+    while (Pump() > 0) {
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    pump_armed_ = false;
+    cv_.notify_all();
+  });
+  if (!accepted) pump_armed_ = false;
+}
+
+void StreamScheduler::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpawnPumpLocked();
+}
+
+void StreamScheduler::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  stats_.stale_chunks_dropped += jobs_.size();
+  jobs_.clear();
+  cv_.wait(lock, [&] { return in_flight_pushes_ == 0 && !pump_armed_; });
+}
+
+std::size_t StreamScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+StreamSchedulerStats StreamScheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<StreamChunkInfo> StreamScheduler::SnapshotQueue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StreamChunkInfo> out;
+  out.reserve(jobs_.size());
+  for (const ChunkJob& job : jobs_) {
+    StreamChunkInfo info;
+    info.session_id = job.session_id;
+    info.key = job.key;
+    info.generation = job.generation;
+    info.exact = job.exact;
+    info.bytes = job.bytes;
+    info.utility_per_byte = job.utility_per_byte;
+    info.enqueue_ms = job.enqueue_ms;
+    info.deadline_ms = job.deadline_ms;
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace fc::core

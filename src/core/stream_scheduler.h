@@ -1,0 +1,373 @@
+// StreamScheduler: the process-wide continuous push channel for prefetched
+// tiles.
+//
+// The prefetch pipeline up to here is request-triggered and all-or-nothing
+// per tile: a fill only helps a session once its FULL payload has crossed
+// the client channel. Continuous Prefetch (Khameleon, PAPERS.md) shows the
+// bigger win — treat the client-facing channel as a continuously scheduled
+// resource — and HiFIVE motivates the coarse-first fidelity ladder. Fills
+// completed by the PrefetchScheduler are submitted here as they land (not
+// once per request), split by the progressive codec into a small coarse
+// BASE chunk plus an exact REFINEMENT chunk (storage/tile_codec.h), and
+// pushed to sessions under explicit byte-rate budgets:
+//
+//  * Utility-per-byte allocation. Every pending USABLE chunk (a tile's
+//    first chunk: the base, or the whole blob in all-or-nothing mode)
+//    outranks every refinement. Within the usable class a chunk's rank is
+//      base_utility_weight x confidence / exact_payload_bytes
+//    — the tile's end-state utility density, so the progressive schedule
+//    visits tiles in exactly the order the all-or-nothing schedule would,
+//    just with far fewer bytes before each tile becomes usable (the
+//    conformance property the stream harness enforces). Refinements rank
+//    refine_utility_weight x confidence / refinement_bytes. Ties break by
+//    submission order, so pull-mode pumps are fully deterministic.
+//  * Byte-rate budgets on the fc::Clock abstraction. Each session has a
+//    token bucket (bytes_per_ms, burst_bytes) and the scheduler has an
+//    optional global egress bucket shared by all sessions — the saturated
+//    resource the utility order allocates. A chunk larger than a full
+//    bucket is sent when the bucket is full, driving it negative, so
+//    oversized tiles stall but never deadlock. Without a clock (or with
+//    rate 0) budgets are unlimited.
+//  * Base-before-refinement: a refinement is ineligible until its base
+//    chunk has been pushed, and dropping a base (supersession, expiry)
+//    drops its refinement with it.
+//  * Generation supersession and expiry mirror the PrefetchScheduler:
+//    CancelStaleGenerations sheds chunks from publications the user has
+//    moved past; max_chunk_age_ms expires chunks that sat queued too long.
+//    Chunks submitted while no clock is wired carry kNoEnqueueStamp, NOT
+//    stamp 0 — the expiry scan skips them, so wiring a clock late cannot
+//    force-flush the backlog as infinitely old.
+//  * Deadline mode and fairness compose like the fetch-side scheduler:
+//    with deadline_aware on, chunks at or above deadline_utility_bar push
+//    earliest-deadline-first within their class (expired ones are demoted
+//    back to utility order, counted as deadline_misses); with
+//    fairness_share s, a weighted round-robin slice serves the
+//    most-underserved-by-bytes session every 1/s picks.
+//
+// Thread-safety: all methods are thread-safe. One mutex guards the chunk
+// list, the session registry, the buckets, and the counters; encoding
+// happens before the lock and sink invocations happen outside it, pinned
+// by per-session in-flight counts (a session is never erased mid-push).
+// Sinks must not call back into the scheduler.
+//
+// With an Executor the scheduler pumps itself whenever work is submitted;
+// with none it is in PULL MODE and the owner drives it via Pump()/Flush()
+// — deterministic, used by the conformance harness and the bench.
+
+#ifndef FORECACHE_CORE_STREAM_SCHEDULER_H_
+#define FORECACHE_CORE_STREAM_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/executor.h"
+#include "storage/tile_codec.h"
+#include "tiles/tile.h"
+#include "tiles/tile_key.h"
+
+namespace fc::core {
+
+/// Per-session push budget: a token bucket on the scheduler's clock.
+struct StreamSessionLimits {
+  /// Sustained push rate. 0 = unlimited (also the behavior while no clock
+  /// is wired — budgets need a time source).
+  double bytes_per_ms = 0.0;
+  /// Bucket capacity (also the initial balance). Chunks larger than this
+  /// are sent when the bucket is full, driving it negative.
+  std::size_t burst_bytes = 256 * 1024;
+  /// Fairness weight (consulted only while fairness_share > 0).
+  double weight = 1.0;
+};
+
+struct StreamSchedulerOptions {
+  /// Time source for budgets, expiry, and deadlines; the scheduler only
+  /// ever READS it. May be wired late via SetClock — chunks submitted
+  /// before that carry kNoEnqueueStamp and are exempt from expiry.
+  const Clock* clock = nullptr;
+
+  /// Progressive two-chunk streaming (base + refinement). Off, every tile
+  /// is pushed as ONE exact chunk — the request-triggered all-or-nothing
+  /// baseline the conformance property and the bench compare against.
+  bool progressive = true;
+
+  /// Final-fidelity encoding of the pushed payload (and the base fidelity
+  /// via progressive_base_step).
+  storage::TileCodecOptions codec;
+
+  /// Global egress bucket shared by every session (the server's outbound
+  /// channel). 0 = unlimited.
+  double total_bytes_per_ms = 0.0;
+  std::size_t total_burst_bytes = 1024 * 1024;
+
+  /// Utility weights of the two chunk classes (see the rank formula in the
+  /// header notes). Every usable chunk outranks every refinement
+  /// regardless of these weights.
+  double base_utility_weight = 1.0;
+  double refine_utility_weight = 0.25;
+
+  /// Queued chunks older than this (virtual ms) are dropped at pump time
+  /// as expired_chunks_dropped. 0 = never expire. Chunks stamped
+  /// kNoEnqueueStamp (submitted clockless) are exempt.
+  double max_chunk_age_ms = 0.0;
+
+  /// Earliest-deadline-first within each chunk class for chunks whose
+  /// utility-per-byte clears deadline_utility_bar (requires a clock).
+  /// Expired chunks demote back to utility order (deadline_misses).
+  bool deadline_aware = false;
+  double deadline_utility_bar = 0.0;
+
+  /// Fraction of pump picks reserved for the most-underserved-by-bytes
+  /// session (weighted by StreamSessionLimits::weight), in [0, 1]. 0
+  /// disables the fairness layer — pick order is pure class/utility.
+  double fairness_share = 0.0;
+
+  /// Chunks pushed per Pump() round at most (bounds sink work per call).
+  std::size_t max_pump_chunks = 64;
+};
+
+/// Point-in-time counters. Every submitted tile either pushes its usable
+/// chunk (first_usable_pushes) or is dropped (stale / expired), and
+/// chunks_pushed == base_chunks_pushed + exact_chunks_pushed.
+struct StreamSchedulerStats {
+  std::uint64_t tiles_submitted = 0;
+  std::uint64_t chunks_enqueued = 0;
+  std::uint64_t chunks_pushed = 0;
+  std::uint64_t base_chunks_pushed = 0;   ///< Coarse lossy payloads.
+  std::uint64_t exact_chunks_pushed = 0;  ///< Refinements and whole blobs.
+  std::uint64_t bytes_pushed = 0;
+  /// Tiles whose FIRST chunk (base, or the whole blob) was pushed — the
+  /// moment the tile became usable client-side.
+  std::uint64_t first_usable_pushes = 0;
+  /// Chunks dropped by supersession, cancellation, or shutdown.
+  std::uint64_t stale_chunks_dropped = 0;
+  /// Chunks dropped by the max_chunk_age_ms scan.
+  std::uint64_t expired_chunks_dropped = 0;
+  /// Pump rounds that found queued work but pushed nothing for budget.
+  std::uint64_t budget_stalls = 0;
+  /// Deadline mode: EDF picks, picks that jumped a strictly
+  /// higher-utility chunk, and chunks reached past their deadline.
+  std::uint64_t deadline_picks = 0;
+  std::uint64_t deadline_promotions = 0;
+  std::uint64_t deadline_misses = 0;
+  /// Fairness slice: picks, and picks that jumped a strictly
+  /// higher-utility chunk.
+  std::uint64_t fairness_picks = 0;
+  std::uint64_t fairness_promotions = 0;
+};
+
+/// A queued chunk, as reported by SnapshotQueue() (push order not implied).
+struct StreamChunkInfo {
+  std::uint64_t session_id = 0;
+  tiles::TileKey key;
+  std::uint64_t generation = 0;
+  bool exact = false;  ///< Refinement or whole blob (false: coarse base).
+  std::size_t bytes = 0;
+  double utility_per_byte = 0.0;
+  /// Virtual submit time; kNoEnqueueStamp when submitted clockless.
+  double enqueue_ms = -1.0;
+  double deadline_ms = std::numeric_limits<double>::infinity();
+};
+
+/// Process-wide continuous push channel. One instance serves every session
+/// of a SessionManager; server::PushStream is the per-session facade.
+class StreamScheduler {
+ public:
+  /// Enqueue stamp of chunks submitted while no clock was wired. A
+  /// sentinel, NOT virtual time 0: the expiry scan skips these instead of
+  /// treating them as infinitely old (which would force-flush the whole
+  /// backlog the moment a clock appears). Same convention as
+  /// PrefetchScheduler::kNoEnqueueStamp.
+  static constexpr double kNoEnqueueStamp = -1.0;
+
+  /// Deadline for submissions without one: never urgent.
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
+  /// Receives one pushed chunk: the decoded payload at that fidelity
+  /// (`exact` false = coarse base, true = exact tile) and the publish
+  /// generation it was submitted under. Invoked WITHOUT the scheduler
+  /// lock, possibly from an executor thread; must not call back into the
+  /// scheduler.
+  using ChunkSink = std::function<void(
+      const tiles::TileKey& key, const tiles::TilePtr& tile, bool exact,
+      std::uint64_t generation)>;
+
+  /// `executor` null puts the scheduler in pull mode (see header notes);
+  /// otherwise it must outlive the scheduler.
+  explicit StreamScheduler(Executor* executor,
+                           StreamSchedulerOptions options = {});
+
+  /// Shuts down: drops all queued chunks and joins in-flight pushes
+  /// (registered sessions need not be unregistered first).
+  ~StreamScheduler();
+
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  /// Registers a session. `session_id` is the caller's stable nonzero
+  /// identity; 0 — or a collision — auto-assigns a fresh one. Returns the
+  /// effective id, which all other per-session calls take.
+  std::uint64_t RegisterSession(std::uint64_t session_id,
+                                StreamSessionLimits limits, ChunkSink sink);
+
+  /// Drops the session's queued chunks (stale), waits for its in-flight
+  /// pushes to settle, and forgets it. After return its sink is never
+  /// invoked again. No-op for unknown ids.
+  void UnregisterSession(std::uint64_t session_id);
+
+  /// Drops the session's queued chunks and waits for its in-flight pushes,
+  /// without unregistering it (session reset / abort).
+  void CancelSession(std::uint64_t session_id);
+
+  /// Drops the session's queued chunks from generations other than
+  /// `live_generation` — the push-side supersession a new publication
+  /// triggers. Does not wait for in-flight pushes (their receivers
+  /// generation-check anyway, see CacheManager::AcceptPrefetched).
+  void CancelStaleGenerations(std::uint64_t session_id,
+                              std::uint64_t live_generation);
+
+  /// Wires (or replaces) the time source. Chunks already queued keep their
+  /// stamps — including the clockless sentinel, which stays exempt from
+  /// expiry. Budgets start metering from the next pump.
+  void SetClock(const Clock* clock);
+
+  /// Splits `tile` per the progressive codec (or encodes it whole in
+  /// all-or-nothing mode) and queues the chunks for `session_id`.
+  /// `confidence` feeds the utility rank; `deadline_ms` is an absolute
+  /// virtual time (kNoDeadline = none). Unknown/unregistering sessions
+  /// drop the submission as stale. With an executor, submission kicks the
+  /// self-pump.
+  void SubmitTile(std::uint64_t session_id, const tiles::TileKey& key,
+                  const tiles::TilePtr& tile, std::uint64_t generation,
+                  double confidence, double deadline_ms = kNoDeadline);
+
+  /// One bounded pump round: refills buckets from the clock, expires stale
+  /// chunks, then pushes up to max_pump_chunks budget-eligible chunks in
+  /// class/utility order. Returns the number pushed. This is the pull-mode
+  /// hook; safe to call concurrently with the self-pump.
+  std::size_t Pump();
+
+  /// Pumps until no further progress (budget-blocked or empty). Returns
+  /// total chunks pushed. With rate limits and a frozen clock this returns
+  /// once the buckets run dry — it never busy-waits.
+  std::size_t Flush();
+
+  /// Re-arms the self-pump if queued work exists (executor mode only; the
+  /// self-pump parks when budgets run dry, and time passing does not wake
+  /// it by itself).
+  void Kick();
+
+  /// Stops accepting work: drops every queued chunk and joins in-flight
+  /// pushes. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  /// Queued (not yet pushed) chunks.
+  std::size_t queued() const;
+
+  StreamSchedulerStats Stats() const;
+
+  /// Consistent snapshot of the queued chunks, in submission order.
+  std::vector<StreamChunkInfo> SnapshotQueue() const;
+
+ private:
+  struct ChunkJob {
+    std::uint64_t session_id = 0;
+    tiles::TileKey key;
+    std::uint64_t generation = 0;
+    bool exact = false;
+    /// Usable chunks (first chunk of a tile) form class 0 and always
+    /// outrank class-1 refinements.
+    bool usable = false;
+    /// Refinements start gated and become eligible when their base chunk
+    /// is picked for push.
+    bool awaiting_base = false;
+    std::size_t bytes = 0;
+    double utility_per_byte = 0.0;
+    double enqueue_ms = kNoEnqueueStamp;
+    double deadline_ms = kNoDeadline;
+    std::uint64_t seq = 0;  ///< Submission order; deterministic tie-break.
+    tiles::TilePtr payload;  ///< Decoded at this chunk's fidelity.
+  };
+
+  struct SessionState {
+    ChunkSink sink;
+    StreamSessionLimits limits;
+    /// Token bucket balance. Starts full; may go negative for chunks
+    /// larger than the burst (sent at full bucket).
+    double tokens = 0.0;
+    /// Virtual time of the last refill; kNoEnqueueStamp before the first
+    /// metered pump (no retroactive credit when a clock appears late).
+    double last_refill_ms = kNoEnqueueStamp;
+    /// Cumulative pushed bytes / weight drives the fairness slice.
+    double bytes_served = 0.0;
+    std::size_t in_flight = 0;  ///< Pushes handed to the sink, not settled.
+    bool unregistering = false;
+  };
+
+  /// A chunk picked for push this round, pinned for delivery outside the
+  /// lock.
+  struct ReadyChunk {
+    SessionState* session = nullptr;
+    tiles::TileKey key;
+    tiles::TilePtr payload;
+    bool exact = false;
+    std::uint64_t generation = 0;
+  };
+
+  /// Refills one session's bucket (and lazily the global bucket) from the
+  /// clock. Caller holds mu_.
+  void RefillBudgetsLocked(double now_ms);
+
+  /// Drops queued chunks older than max_chunk_age_ms (sentinel-stamped
+  /// chunks exempt). Caller holds mu_.
+  void ExpireLocked(double now_ms);
+
+  /// Whether `job` may be pushed right now (session live, base pushed,
+  /// both buckets can cover it). Caller holds mu_.
+  bool EligibleLocked(const ChunkJob& job, const SessionState& state) const;
+
+  /// Selects the next chunk to push per the class/deadline/fairness/
+  /// utility order, or jobs_.end(). Caller holds mu_.
+  std::list<ChunkJob>::iterator SelectLocked(double now_ms);
+
+  /// Removes `it` and, when it gates a refinement that can now never
+  /// apply, that refinement too. `counter` classifies the drop. Caller
+  /// holds mu_.
+  std::list<ChunkJob>::iterator DropLocked(std::list<ChunkJob>::iterator it,
+                                           std::uint64_t* counter);
+
+  /// Arms one self-pump task if queued work exists. Caller holds mu_.
+  void SpawnPumpLocked();
+
+  Executor* executor_;  ///< Null in pull mode.
+  StreamSchedulerOptions options_;
+  storage::TileCodec codec_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< Push settlement, pump exit.
+  std::list<ChunkJob> jobs_;    ///< Submission order.
+  std::unordered_map<std::uint64_t, std::unique_ptr<SessionState>> sessions_;
+  std::uint64_t next_auto_id_ = 1ull << 48;  ///< Clear of SessionManager ids.
+  std::uint64_t seq_counter_ = 0;
+  double total_tokens_ = 0.0;
+  double total_last_refill_ms_ = kNoEnqueueStamp;
+  /// Banked fairness picks (fractional): every pick adds fairness_share,
+  /// a served fairness pick subtracts 1. Capped at one pump round.
+  double fairness_credit_ = 0.0;
+  bool pump_armed_ = false;  ///< A self-pump task is queued or running.
+  std::size_t in_flight_pushes_ = 0;
+  bool shutdown_ = false;
+  StreamSchedulerStats stats_;
+};
+
+}  // namespace fc::core
+
+#endif  // FORECACHE_CORE_STREAM_SCHEDULER_H_

@@ -11,7 +11,8 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
                                  core::PredictionEngine* engine, SimClock* clock,
                                  ServerOptions options, Executor* executor,
                                  core::SharedTileCache* shared,
-                                 core::PrefetchScheduler* scheduler)
+                                 core::PrefetchScheduler* scheduler,
+                                 core::StreamScheduler* stream_scheduler)
     : store_(store),
       engine_(engine),
       clock_(clock),
@@ -21,6 +22,7 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
       options_(options),
       executor_(executor),
       scheduler_(scheduler),
+      stream_scheduler_(scheduler != nullptr ? stream_scheduler : nullptr),
       cache_manager_(store, options.cache, shared),
       think_time_([&options, this] {
         // The no-argument Observe() overload defaults to the server's own
@@ -33,6 +35,21 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
                "prefetching requires a prediction engine");
   FC_CHECK_MSG(time_ != nullptr,
                "ForeCacheServer requires a SimClock or options.wall_clock");
+  if (stream_scheduler_ != nullptr) {
+    // Streaming path: completed fills detour through the push channel,
+    // which re-delivers them chunk by chunk under the byte budget. Built
+    // BEFORE the scheduler registration below so a fill completing
+    // immediately already finds the stream.
+    stream_ = std::make_unique<PushStream>(
+        stream_scheduler_, options_.cache.session_id, options_.push_stream,
+        [this](const tiles::TileKey& key, const tiles::TilePtr& tile,
+               bool /*exact*/, std::uint64_t generation) {
+          // Both fidelities land through the same generation-gated door: a
+          // coarse base makes the tile usable now, its refinement replaces
+          // it with the exact payload.
+          cache_manager_.AcceptPrefetched(key, tile, generation);
+        });
+  }
   if (scheduler_ != nullptr) {
     // Completed fills land in the prefetch region iff their generation is
     // still current (AcceptPrefetched re-checks under the region lock).
@@ -40,7 +57,11 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
         options_.cache.session_id,
         [this](const tiles::TileKey& key, const tiles::TilePtr& tile,
                std::uint64_t generation) {
-          cache_manager_.AcceptPrefetched(key, tile, generation);
+          if (stream_ != nullptr) {
+            stream_->Accept(key, tile, generation);
+          } else {
+            cache_manager_.AcceptPrefetched(key, tile, generation);
+          }
         });
   }
 }
@@ -50,6 +71,9 @@ ForeCacheServer::~ForeCacheServer() {
   // After this, the scheduler never invokes the delivery callback again,
   // so cache_manager_ (destroyed next) cannot be touched by a late fill.
   if (scheduler_ != nullptr) scheduler_->UnregisterSession(scheduler_session_);
+  // The stream unregisters last: fills stopped arriving above, and its
+  // destructor waits out in-flight chunk pushes before cache_manager_ dies.
+  stream_.reset();
 }
 
 void ForeCacheServer::StartSession() {
@@ -62,6 +86,12 @@ void ForeCacheServer::StartSession() {
 void ForeCacheServer::WaitForPrefetch() {
   if (scheduler_ != nullptr) {
     scheduler_->WaitForSession(scheduler_session_);
+    if (stream_scheduler_ != nullptr) {
+      // Push what the byte budgets allow right now. Budget-blocked chunks
+      // stay queued — a rate-limited stream is SUPPOSED to leave the
+      // region partially coarse until bandwidth accrues.
+      stream_scheduler_->Flush();
+    }
     return;
   }
   if (executor_ == nullptr) return;
@@ -79,6 +109,10 @@ void ForeCacheServer::CancelAndWaitForPrefetch() {
     // this session's queued predictions and wait out its in-flight fills.
     cache_manager_.AbortPrefetch();
     scheduler_->CancelSession(scheduler_session_);
+    // Then shed the push queue: chunks for the abandoned region are dead
+    // weight on the channel (in-flight pushes settle against the closed
+    // gate).
+    if (stream_ != nullptr) stream_->Cancel();
     return;
   }
   WaitForPrefetch();
@@ -174,8 +208,18 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
       // scheduler prices it into per-subscription deadlines only when its
       // deadline mode is on (keyed to the phase the engine inferred for
       // the position these predictions fan out from).
+      const double think_ms = think_time_.EstimateMs(served.prediction.phase);
+      if (stream_ != nullptr) {
+        // Arm the push channel for this generation before the fills it
+        // will carry can possibly complete, shedding the previous
+        // generation's queued chunks.
+        stream_->BeginGeneration(
+            generation, plan,
+            think_ms > 0.0 ? time_->NowMillis() + think_ms
+                           : core::StreamScheduler::kNoDeadline);
+      }
       scheduler_->Publish(scheduler_session_, generation, std::move(plan),
-                          think_time_.EstimateMs(served.prediction.phase));
+                          think_ms);
     } else if (executor_ != nullptr) {
       SchedulePrefetch(served.prediction.tiles, served.prediction.confidences);
     } else {

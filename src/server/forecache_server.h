@@ -39,6 +39,8 @@
 #include "core/prediction_engine.h"
 #include "core/prefetch_scheduler.h"
 #include "core/shared_tile_cache.h"
+#include "core/stream_scheduler.h"
+#include "server/push_stream.h"
 #include "server/think_time.h"
 #include "storage/tile_store.h"
 
@@ -57,6 +59,9 @@ struct ServerOptions {
   /// estimate rides along at negligible cost even when the scheduler
   /// ignores it (deadline_aware off).
   ThinkTimeOptions think_time;
+  /// Per-session push budget for the continuous streaming path (consulted
+  /// only when a StreamScheduler is wired — see the constructor).
+  PushStreamOptions push_stream;
   /// Real-time deployment mode: a monotonic wall clock (common/clock.h)
   /// the server reads instead of the virtual SimClock. When set, the
   /// SimClock constructor argument may be null — request latencies and
@@ -86,12 +91,17 @@ class ForeCacheServer {
   /// `scheduler` (optional) routes predictions through the cross-session
   /// prefetch queue instead of per-session executor fills (it takes
   /// precedence over `executor` for prefetching and registers this session
-  /// under options.cache.session_id). All must outlive the server.
+  /// under options.cache.session_id); `stream_scheduler` (optional,
+  /// requires `scheduler`) routes completed fills through a per-session
+  /// PushStream — progressive chunks under options.push_stream's byte
+  /// budget — instead of landing them in the region whole. All must
+  /// outlive the server.
   ForeCacheServer(storage::TileStore* store, core::PredictionEngine* engine,
                   SimClock* clock, ServerOptions options = {},
                   Executor* executor = nullptr,
                   core::SharedTileCache* shared = nullptr,
-                  core::PrefetchScheduler* scheduler = nullptr);
+                  core::PrefetchScheduler* scheduler = nullptr,
+                  core::StreamScheduler* stream_scheduler = nullptr);
 
   /// Joins any in-flight prefetch task before destruction.
   ~ForeCacheServer();
@@ -127,6 +137,9 @@ class ForeCacheServer {
   /// This session's think-time tracker (reset by StartSession).
   const ThinkTimeEstimator& think_time() const { return think_time_; }
 
+  /// This session's push stream; null unless streaming is wired.
+  const PushStream* push_stream() const { return stream_.get(); }
+
  private:
   /// `confidences` parallels `tiles` (the engine's per-rank confidence) so
   /// background fills carry priority-admission hints into the shared cache.
@@ -147,8 +160,14 @@ class ForeCacheServer {
   ServerOptions options_;
   Executor* executor_;
   core::PrefetchScheduler* scheduler_;
+  core::StreamScheduler* stream_scheduler_;
   /// This session's registration with the scheduler (valid iff scheduler_).
   std::uint64_t scheduler_session_ = 0;
+  /// The per-session push channel (non-null iff scheduler_ and
+  /// stream_scheduler_ were both wired). Created before the scheduler
+  /// registration so the delivery callback can route through it, destroyed
+  /// after unregistration so late fills cannot touch a dead stream.
+  std::unique_ptr<PushStream> stream_;
   core::CacheManager cache_manager_;
   std::vector<double> latency_log_;
   ThinkTimeEstimator think_time_;

@@ -90,6 +90,19 @@ SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
     prefetch_scheduler_ = std::make_unique<core::PrefetchScheduler>(
         store_, executor_.get(), shared_cache_.get(), scheduler_options);
   }
+  // The push channel only exists downstream of the shared queue: it streams
+  // the queue's completed fills, so without the scheduler there is nothing
+  // to feed it and sessions keep the PR 8 delivery path bit-identically.
+  if (options_.use_push_streaming && prefetch_scheduler_ != nullptr) {
+    core::StreamSchedulerOptions stream_options = options_.stream_scheduler;
+    if (stream_options.clock == nullptr) {
+      stream_options.clock = options_.server.wall_clock != nullptr
+                                 ? options_.server.wall_clock
+                                 : static_cast<const Clock*>(clock_);
+    }
+    stream_scheduler_ = std::make_unique<core::StreamScheduler>(
+        executor_.get(), stream_options);
+  }
 }
 
 SessionManager::~SessionManager() {
@@ -99,6 +112,10 @@ SessionManager::~SessionManager() {
   // whose results nobody will use — one shutdown retires all of it and
   // joins the in-flight merged fills while every delivery target is alive.
   if (prefetch_scheduler_ != nullptr) prefetch_scheduler_->Shutdown();
+  // Then the push channel downstream of it: with fills settled, one
+  // shutdown drops the queued chunks and joins in-flight pushes while
+  // every delivery target is still alive.
+  if (stream_scheduler_ != nullptr) stream_scheduler_->Shutdown();
 }
 
 BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
@@ -116,7 +133,7 @@ BrowserSession* SessionManager::GetOrCreate(const std::string& session_id) {
   server_options.cache.session_id = ++next_session_number_;
   state.server = std::make_unique<ForeCacheServer>(
       store_, state.engine.get(), clock_, server_options, executor_.get(),
-      shared_cache_.get(), prefetch_scheduler_.get());
+      shared_cache_.get(), prefetch_scheduler_.get(), stream_scheduler_.get());
   state.browser = std::make_unique<BrowserSession>(state.server.get());
   auto [inserted, _] = sessions_.emplace(session_id, std::move(state));
   return inserted->second.browser.get();

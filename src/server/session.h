@@ -125,6 +125,16 @@ struct SessionManagerOptions {
   /// linger aging against monotonic wall time instead of the SimClock.
   bool use_prefetch_scheduler = true;
   core::PrefetchSchedulerOptions prefetch_scheduler;
+
+  /// Continuous push streaming (requires the prefetch scheduler): completed
+  /// fills detour through a process-wide StreamScheduler that splits them
+  /// into progressive chunks and pushes them to each session under
+  /// server.push_stream's byte budget, coarse-usable first
+  /// (core/stream_scheduler.h). The manager wires the same clock the
+  /// prefetch scheduler ages against. Off (the default), fills land in the
+  /// regions whole — bit-identical to the streaming-less serving core.
+  bool use_push_streaming = false;
+  core::StreamSchedulerOptions stream_scheduler;
 };
 
 /// Hosts concurrent per-user sessions over one backing store. Each session
@@ -190,6 +200,11 @@ class SessionManager {
   const core::PrefetchScheduler* prefetch_scheduler() const {
     return prefetch_scheduler_.get();
   }
+  /// Null unless continuous push streaming is enabled (see
+  /// SessionManagerOptions::use_push_streaming).
+  const core::StreamScheduler* stream_scheduler() const {
+    return stream_scheduler_.get();
+  }
 
  private:
   struct SessionState {
@@ -214,6 +229,10 @@ class SessionManager {
   std::unique_ptr<core::SharedTileCache> shared_cache_;
   std::unique_ptr<storage::SingleFlightTileStore> single_flight_;
   std::unique_ptr<core::PrefetchScheduler> prefetch_scheduler_;
+  /// Shut down after the prefetch scheduler (fills feed it) and declared
+  /// before sessions_ so per-session PushStreams can still unregister
+  /// during session destruction.
+  std::unique_ptr<core::StreamScheduler> stream_scheduler_;
 
   mutable std::mutex mu_;  ///< Guards sessions_ and next_session_number_.
   std::map<std::string, SessionState> sessions_;

@@ -5,12 +5,17 @@
 #include <limits>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace fc::storage {
 
 namespace {
 
 constexpr char kMagic[4] = {'F', 'C', 'T', 'L'};
 constexpr std::uint32_t kVersion = 2;
+
+constexpr char kRefinementMagic[4] = {'F', 'C', 'T', 'R'};
+constexpr std::uint32_t kRefinementVersion = 1;
 
 // FNV-1a 64-bit over the blob contents; appended as the trailing 8 bytes.
 std::uint64_t Fnv1a(const char* data, std::size_t len) {
@@ -121,6 +126,22 @@ std::int64_t Quantize(double v, double step) {
   if (q > kMaxQuantum) q = kMaxQuantum;
   if (q < -kMaxQuantum) q = -kMaxQuantum;
   return std::llround(q);
+}
+
+// Refinement residuals live in the IEEE-754 bit domain: close doubles have
+// close bit patterns (small varints), and wrapping uint64 arithmetic makes
+// the round trip exact for every payload including NaN bit patterns —
+// value-domain residuals could not promise that.
+std::uint64_t BitsOf(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double DoubleFromBits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
 }
 
 // Finite doubles beyond float range must saturate explicitly: the bare
@@ -248,6 +269,9 @@ const char* TileEncodingName(TileEncoding encoding) {
 
 TileCodec::TileCodec(TileCodecOptions options) : options_(options) {
   if (!(options_.quant_step > 0.0)) options_.quant_step = 1e-4;
+  if (!(options_.progressive_base_step > 0.0)) {
+    options_.progressive_base_step = 1.0;
+  }
 }
 
 std::string TileCodec::Encode(const tiles::Tile& tile) const {
@@ -324,6 +348,131 @@ Result<tiles::Tile> TileCodec::Decode(const std::string& bytes) {
   FC_RETURN_IF_ERROR(DecodePayload(&reader, encoding, quant_step, &tile));
   if (reader.pos() != body_len) {
     return Status::Corruption("trailing bytes after tile payload");
+  }
+  return tile;
+}
+
+ProgressiveEncoding TileCodec::EncodeProgressive(const tiles::Tile& tile) const {
+  ProgressiveEncoding out;
+  const std::string full = Encode(tile);
+
+  TileCodecOptions base_options;
+  base_options.encoding = TileEncoding::kDeltaVarint;
+  base_options.quant_step = options_.progressive_base_step;
+  out.base = TileCodec(base_options).Encode(tile);
+  if (out.base.size() >= full.size()) {
+    // The coarse base would not undercut the exact payload (tiny or
+    // incompressible tile): ship the exact blob as the base, no refinement.
+    out.base = full;
+    return out;
+  }
+
+  // The refinement reproduces what a client decodes from the all-or-nothing
+  // blob — including this codec's own lossiness — not the pre-encode cells.
+  auto final_tile = Decode(full);
+  auto base_tile = Decode(out.base);
+  FC_CHECK_MSG(final_tile.ok() && base_tile.ok(),
+               "progressive encode cannot fail to re-decode its own blobs");
+
+  std::string ref;
+  ref.reserve(64 + tile.SizeBytes());
+  AppendRaw(&ref, kRefinementMagic, sizeof(kRefinementMagic));
+  AppendValue(&ref, kRefinementVersion);
+  AppendValue(&ref, static_cast<std::uint8_t>(options_.encoding));
+  std::uint64_t base_sum;
+  std::memcpy(&base_sum, out.base.data() + out.base.size() - sizeof(base_sum),
+              sizeof(base_sum));
+  AppendValue(&ref, base_sum);
+  AppendValue(&ref, static_cast<std::int32_t>(tile.key().level));
+  AppendValue(&ref, tile.key().x);
+  AppendValue(&ref, tile.key().y);
+  AppendValue(&ref, tile.width());
+  AppendValue(&ref, tile.height());
+  AppendValue(&ref, static_cast<std::uint32_t>(tile.num_attrs()));
+  for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
+    const auto& final_data = final_tile->AttrData(a);
+    const auto& base_data = base_tile->AttrData(a);
+    std::string attr;
+    attr.reserve(final_data.size() * 2);
+    for (std::size_t i = 0; i < final_data.size(); ++i) {
+      std::uint64_t residual = BitsOf(final_data[i]) - BitsOf(base_data[i]);
+      AppendVarint(&attr, ZigZag(static_cast<std::int64_t>(residual)));
+    }
+    AppendValue(&ref, static_cast<std::uint64_t>(attr.size()));
+    ref.append(attr);
+  }
+  AppendValue(&ref, Fnv1a(ref.data(), ref.size()));
+  out.refinement = std::move(ref);
+  return out;
+}
+
+Result<tiles::Tile> TileCodec::Reassemble(const std::string& base,
+                                          const std::string& refinement) {
+  FC_ASSIGN_OR_RETURN(auto tile, Decode(base));
+  if (refinement.empty()) return tile;  // base already carries the exact payload
+
+  Reader reader(refinement);
+  char magic[4];
+  FC_RETURN_IF_ERROR(reader.ReadRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kRefinementMagic, sizeof(kRefinementMagic)) != 0) {
+    return Status::Corruption("bad refinement magic");
+  }
+  FC_ASSIGN_OR_RETURN(auto version, reader.ReadValue<std::uint32_t>());
+  if (version != kRefinementVersion) {
+    return Status::Corruption("unsupported refinement version");
+  }
+  FC_ASSIGN_OR_RETURN(auto encoding, reader.ReadValue<std::uint8_t>());
+  if (encoding > static_cast<std::uint8_t>(TileEncoding::kDeltaVarint)) {
+    return Status::Corruption("unknown refinement encoding");
+  }
+
+  // Verify the refinement's own trailing checksum before trusting the rest,
+  // mirroring Decode: corruption anywhere in the chunk must fail here, never
+  // surface as silently wrong residuals.
+  if (refinement.size() < reader.pos() + sizeof(std::uint64_t)) {
+    return Status::Corruption("refinement chunk truncated");
+  }
+  std::size_t body_len = refinement.size() - sizeof(std::uint64_t);
+  std::uint64_t stored;
+  std::memcpy(&stored, refinement.data() + body_len, sizeof(stored));
+  if (stored != Fnv1a(refinement.data(), body_len)) {
+    return Status::Corruption("refinement checksum mismatch");
+  }
+
+  FC_ASSIGN_OR_RETURN(auto bound_sum, reader.ReadValue<std::uint64_t>());
+  std::uint64_t base_sum;
+  std::memcpy(&base_sum, base.data() + base.size() - sizeof(base_sum),
+              sizeof(base_sum));
+  if (bound_sum != base_sum) {
+    return Status::Corruption("refinement does not match base chunk");
+  }
+
+  FC_ASSIGN_OR_RETURN(auto level, reader.ReadValue<std::int32_t>());
+  FC_ASSIGN_OR_RETURN(auto x, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto y, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto width, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto height, reader.ReadValue<std::int64_t>());
+  FC_ASSIGN_OR_RETURN(auto nattr, reader.ReadValue<std::uint32_t>());
+  if (level != tile.key().level || x != tile.key().x || y != tile.key().y ||
+      width != tile.width() || height != tile.height() ||
+      nattr != tile.num_attrs()) {
+    return Status::Corruption("refinement/base tile header mismatch");
+  }
+
+  for (std::size_t a = 0; a < tile.num_attrs(); ++a) {
+    FC_ASSIGN_OR_RETURN(auto attr_len, reader.ReadValue<std::uint64_t>());
+    std::size_t attr_end = reader.pos() + attr_len;
+    for (auto& v : tile.MutableAttrData(a)) {
+      FC_ASSIGN_OR_RETURN(auto z, reader.ReadVarint());
+      v = DoubleFromBits(BitsOf(v) +
+                         static_cast<std::uint64_t>(UnZigZag(z)));
+    }
+    if (reader.pos() != attr_end) {
+      return Status::Corruption("refinement attribute length mismatch");
+    }
+  }
+  if (reader.pos() != body_len) {
+    return Status::Corruption("trailing bytes after refinement payload");
   }
   return tile;
 }

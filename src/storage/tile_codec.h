@@ -25,6 +25,25 @@
 //
 // The encoding is recorded in the blob, so Decode is self-describing: any
 // TileCodec (or the free DecodeTile) can read any encoding's output.
+//
+// Progressive two-chunk encoding (EncodeProgressive / Reassemble): a tile
+// splits into
+//   * a BASE chunk — a standard format-v2 blob at coarse fidelity
+//     (kDeltaVarint quantized to progressive_base_step), self-describing
+//     and checksummed like any blob, so Decode(base) alone yields a usable
+//     lossy tile (absolute error <= progressive_base_step / 2); and
+//   * a REFINEMENT chunk — format "FCTR" v1: header (final encoding id,
+//     the base chunk's checksum binding the pair, tile key/dims/attr
+//     count), then per-attribute zigzag/varint residuals in the IEEE-754
+//     bit domain (bits(final) - bits(base), wrapping), then its own
+//     trailing FNV-1a checksum.
+// Reassemble(base, refinement) reproduces the configured encoding's
+// decoded payload BIT-IDENTICALLY (bit-domain residuals are exact even for
+// NaN payload bits), so streaming the pair is observationally equivalent
+// to shipping the all-or-nothing blob. Each chunk rejects corruption
+// independently, and a refinement applied to the wrong base fails the
+// bound checksum. Degenerate tiles whose coarse base would not undercut
+// the exact blob ship the exact blob AS the base with an empty refinement.
 
 #ifndef FORECACHE_STORAGE_TILE_CODEC_H_
 #define FORECACHE_STORAGE_TILE_CODEC_H_
@@ -52,6 +71,22 @@ struct TileCodecOptions {
   /// land on multiples of this step, so it bounds the absolute error at
   /// step/2. Must be > 0.
   double quant_step = 1e-4;
+
+  /// Quantization step of the coarse BASE chunk emitted by
+  /// EncodeProgressive. Base-only decodes carry absolute error up to
+  /// progressive_base_step / 2; the refinement chunk removes it exactly.
+  /// Must be > 0.
+  double progressive_base_step = 1.0;
+};
+
+/// A tile split for progressive streaming. `base` is a standard blob
+/// (coarse kDeltaVarint fidelity) that Decode turns into a usable lossy
+/// tile on its own; `refinement` upgrades it to the exact payload of the
+/// encoding that produced the pair. An empty `refinement` means the base
+/// already IS the exact payload (degenerate tiles ship as one chunk).
+struct ProgressiveEncoding {
+  std::string base;
+  std::string refinement;
 };
 
 /// Encodes tiles per the configured options; decodes blobs of any encoding.
@@ -75,6 +110,18 @@ class TileCodec {
   }
 
   std::string Encode(const tiles::Tile& tile) const;
+
+  /// Splits `tile` into a coarse base chunk plus an exact refinement chunk
+  /// (see the format notes above). Reassemble(base, refinement) is
+  /// bit-identical to Decode(Encode(tile)) for every encoding, and
+  /// Decode(base) alone is a usable lossy tile.
+  ProgressiveEncoding EncodeProgressive(const tiles::Tile& tile) const;
+
+  /// Rebuilds the exact tile from a progressive pair. Each chunk's checksum
+  /// is verified independently; a refinement bound to a different base (or
+  /// whose header disagrees with the base) is Corruption.
+  static Result<tiles::Tile> Reassemble(const std::string& base,
+                                        const std::string& refinement);
 
   /// Parses a blob produced by any TileCodec. Corruption on truncation,
   /// header damage, or checksum mismatch.

@@ -132,6 +132,69 @@ TEST(TileStoreBatchTest, LoopFallbackIsOneQueryPerKey) {
   EXPECT_EQ(store.query_count(), 3u);
 }
 
+/// Minimal custom store: implements ONLY the required Fetch/Contains/spec
+/// surface and records every key it is asked for, so the test can pin the
+/// exact backend interaction of the base-class FetchBatch fallback.
+class RecordingStore : public TileStore {
+ public:
+  explicit RecordingStore(std::shared_ptr<const tiles::TilePyramid> pyramid)
+      : inner_(std::move(pyramid)) {}
+  Result<tiles::TilePtr> Fetch(const tiles::TileKey& key) override {
+    asked_.push_back(key);
+    return inner_.Fetch(key);
+  }
+  bool Contains(const tiles::TileKey& key) const override {
+    return inner_.Contains(key);
+  }
+  const tiles::PyramidSpec& spec() const override { return inner_.spec(); }
+  std::uint64_t fetch_count() const override { return inner_.fetch_count(); }
+
+  const std::vector<tiles::TileKey>& asked() const { return asked_; }
+
+ private:
+  MemoryTileStore inner_;
+  std::vector<tiles::TileKey> asked_;
+};
+
+// Golden: on a store with no native batch path, FetchBatch(keys) is
+// observationally equivalent to calling Fetch(key) in a loop — the same
+// backend key sequence (order preserved, duplicates NOT coalesced), the
+// same per-slot outcomes, and the same counter evolution.
+TEST(TileStoreBatchTest, LoopFallbackMatchesFetchLoopObservationally) {
+  auto pyramid = SmallPyramid();
+  // Duplicates and a miss in the middle: slots stay independent.
+  const std::vector<tiles::TileKey> keys = {
+      {1, 0, 0}, {9, 9, 9}, {1, 1, 0}, {1, 0, 0}, {0, 0, 0}};
+
+  RecordingStore via_batch(pyramid);
+  auto batched = via_batch.FetchBatch(keys);
+
+  RecordingStore via_loop(pyramid);
+  std::vector<Result<tiles::TilePtr>> looped;
+  looped.reserve(keys.size());
+  for (const auto& key : keys) looped.push_back(via_loop.Fetch(key));
+
+  // Identical backend interaction, key for key.
+  EXPECT_EQ(via_batch.asked(), via_loop.asked());
+  EXPECT_EQ(via_batch.asked(), keys);
+  EXPECT_EQ(via_batch.fetch_count(), via_loop.fetch_count());
+  EXPECT_EQ(via_batch.query_count(), via_loop.query_count());
+
+  // Identical per-slot outcomes.
+  ASSERT_EQ(batched.size(), looped.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(batched[i].ok(), looped[i].ok()) << "slot " << i;
+    if (batched[i].ok()) {
+      EXPECT_EQ((*batched[i])->key(), keys[i]);
+      EXPECT_EQ((*batched[i])->key(), (*looped[i])->key());
+      EXPECT_EQ((*batched[i])->AttrData(0), (*looped[i])->AttrData(0));
+    } else {
+      EXPECT_TRUE(batched[i].status().IsNotFound());
+      EXPECT_TRUE(looped[i].status().IsNotFound());
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // MemoryTileStore
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <set>
 
@@ -404,6 +405,215 @@ TEST(CodecPropertyTest, ChecksumRejectsFlippedBytesEverywhere) {
                     .IsCorruption());
     EXPECT_TRUE(storage::TileCodec::Decode(bytes + "x").status().IsCorruption());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Progressive two-chunk encoding: base decodes alone within its fidelity
+// bound; base + refinement reassembles the exact payload bit-identically.
+
+namespace {
+
+// Per-cell IEEE-754 bit patterns — the reassembly contract is bit
+// identity, and operator== would miss it for NaN payloads.
+std::vector<std::uint64_t> CellBits(const tiles::Tile& tile) {
+  std::vector<std::uint64_t> bits;
+  for (std::size_t a = 0; a < tile.attr_names().size(); ++a) {
+    for (double v : tile.AttrData(a)) {
+      std::uint64_t b = 0;
+      std::memcpy(&b, &v, sizeof(b));
+      bits.push_back(b);
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+// For every encoding and base fidelity: Reassemble(base, refinement) is
+// bit-identical to Decode(Encode(tile)), Decode(base) alone is a usable
+// lossy tile within progressive_base_step / 2 of the exact payload, and
+// the base never costs more bytes than the all-or-nothing blob.
+TEST(CodecPropertyTest, ProgressivePairReassemblesBitIdentically) {
+  Rng rng(101);
+  std::vector<storage::TileCodecOptions> codecs;
+  for (auto encoding :
+       {storage::TileEncoding::kRawF64, storage::TileEncoding::kFloat32,
+        storage::TileEncoding::kDeltaVarint}) {
+    for (double base_step : {0.25, 4.0}) {
+      storage::TileCodecOptions options;
+      options.encoding = encoding;
+      options.quant_step = 1e-6;
+      options.progressive_base_step = base_step;
+      codecs.push_back(options);
+    }
+  }
+  for (const auto& options : codecs) {
+    storage::TileCodec codec(options);
+    for (int trial = 0; trial < 15; ++trial) {
+      auto w = static_cast<std::int64_t>(rng.UniformInt(1, 16));
+      auto h = static_cast<std::int64_t>(rng.UniformInt(1, 16));
+      std::size_t nattr = static_cast<std::size_t>(rng.UniformInt(1, 3));
+      std::vector<std::string> names;
+      for (std::size_t a = 0; a < nattr; ++a) {
+        names.push_back("attr" + std::to_string(a));
+      }
+      auto tile = tiles::Tile::Make(
+          tiles::TileKey{rng.UniformInt(0, 8), rng.UniformInt(0, 100),
+                         rng.UniformInt(0, 100)},
+          w, h, names);
+      ASSERT_TRUE(tile.ok());
+      for (std::size_t a = 0; a < nattr; ++a) {
+        for (auto& v : tile->MutableAttrData(a)) v = rng.Gaussian(0, 50);
+      }
+
+      auto full = codec.Encode(*tile);
+      auto exact = storage::TileCodec::Decode(full);
+      ASSERT_TRUE(exact.ok());
+
+      auto pair = codec.EncodeProgressive(*tile);
+      // The usable chunk never costs more than the all-or-nothing blob
+      // (the stream scheduler's first-usable guarantee leans on this).
+      EXPECT_LE(pair.base.size(), full.size());
+
+      // Base alone: a self-describing lossy tile within its fidelity bound.
+      auto coarse = storage::TileCodec::Decode(pair.base);
+      ASSERT_TRUE(coarse.ok()) << coarse.status();
+      EXPECT_EQ(coarse->key(), tile->key());
+      EXPECT_EQ(coarse->attr_names(), tile->attr_names());
+      const double bound =
+          options.progressive_base_step / 2.0 * (1.0 + 1e-9) + 1e-12;
+      for (std::size_t a = 0; a < nattr; ++a) {
+        const auto& exact_vals = exact->AttrData(a);
+        const auto& coarse_vals = coarse->AttrData(a);
+        ASSERT_EQ(coarse_vals.size(), exact_vals.size());
+        for (std::size_t i = 0; i < exact_vals.size(); ++i) {
+          EXPECT_NEAR(coarse_vals[i], exact_vals[i], bound);
+        }
+      }
+
+      // Reassembly: bit-identical to the all-or-nothing decode.
+      auto rebuilt = storage::TileCodec::Reassemble(pair.base, pair.refinement);
+      ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+      EXPECT_EQ(rebuilt->key(), exact->key());
+      EXPECT_EQ(rebuilt->attr_names(), exact->attr_names());
+      EXPECT_EQ(CellBits(*rebuilt), CellBits(*exact));
+    }
+  }
+}
+
+// Non-finite payloads survive the bit-domain residuals exactly: NaN, Inf,
+// and huge values reassemble to the same bit pattern the all-or-nothing
+// decode produces for each encoding.
+TEST(CodecPropertyTest, ProgressiveNonFinitePayloadsReassembleExactly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (auto encoding :
+       {storage::TileEncoding::kRawF64, storage::TileEncoding::kFloat32,
+        storage::TileEncoding::kDeltaVarint}) {
+    auto tile = tiles::Tile::Make({1, 2, 3}, 2, 2, {"v"});
+    ASSERT_TRUE(tile.ok());
+    tile->Set(0, 0, 0, nan);
+    tile->Set(0, 1, 0, inf);
+    tile->Set(0, 0, 1, -1e300);
+    tile->Set(0, 1, 1, 2.75);
+    storage::TileCodec codec({encoding, 1e-4, 1.0});
+    auto exact = storage::TileCodec::Decode(codec.Encode(*tile));
+    ASSERT_TRUE(exact.ok());
+    auto pair = codec.EncodeProgressive(*tile);
+    auto rebuilt = storage::TileCodec::Reassemble(pair.base, pair.refinement);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+    EXPECT_EQ(CellBits(*rebuilt), CellBits(*exact))
+        << storage::TileEncodingName(encoding);
+  }
+}
+
+// Each chunk rejects corruption independently: a flipped byte anywhere in
+// the base fails both the base-only decode and the reassembly; a flipped
+// byte anywhere in the refinement fails the reassembly while the intact
+// base still decodes fine. A refinement bound to a different tile's base
+// fails the pair checksum.
+TEST(CodecPropertyTest, ProgressiveChunksRejectCorruptionIndependently) {
+  Rng rng(103);
+  for (auto encoding :
+       {storage::TileEncoding::kRawF64, storage::TileEncoding::kFloat32,
+        storage::TileEncoding::kDeltaVarint}) {
+    storage::TileCodec codec({encoding, 1e-4, 0.5});
+    auto tile = tiles::Tile::Make({2, 4, 6}, 6, 5, {"a", "b"});
+    ASSERT_TRUE(tile.ok());
+    for (std::size_t a = 0; a < 2; ++a) {
+      for (auto& v : tile->MutableAttrData(a)) v = rng.Gaussian(0, 3);
+    }
+    auto pair = codec.EncodeProgressive(*tile);
+    ASSERT_FALSE(pair.refinement.empty());
+    ASSERT_TRUE(storage::TileCodec::Reassemble(pair.base, pair.refinement).ok());
+
+    for (int trial = 0; trial < 40; ++trial) {
+      auto corrupted = pair.base;
+      std::size_t pos =
+          rng.UniformUint32(static_cast<std::uint32_t>(corrupted.size()));
+      corrupted[pos] =
+          static_cast<char>(corrupted[pos] ^ (1 + rng.UniformUint32(255)));
+      EXPECT_TRUE(storage::TileCodec::Decode(corrupted).status().IsCorruption())
+          << storage::TileEncodingName(encoding) << " base byte " << pos;
+      EXPECT_TRUE(storage::TileCodec::Reassemble(corrupted, pair.refinement)
+                      .status()
+                      .IsCorruption())
+          << storage::TileEncodingName(encoding) << " base byte " << pos;
+    }
+    for (int trial = 0; trial < 40; ++trial) {
+      auto corrupted = pair.refinement;
+      std::size_t pos =
+          rng.UniformUint32(static_cast<std::uint32_t>(corrupted.size()));
+      corrupted[pos] =
+          static_cast<char>(corrupted[pos] ^ (1 + rng.UniformUint32(255)));
+      EXPECT_TRUE(storage::TileCodec::Reassemble(pair.base, corrupted)
+                      .status()
+                      .IsCorruption())
+          << storage::TileEncodingName(encoding) << " refinement byte " << pos;
+      // The intact base is unaffected by refinement damage.
+      EXPECT_TRUE(storage::TileCodec::Decode(pair.base).ok());
+    }
+    // Truncated or padded refinements are rejected, not misapplied.
+    EXPECT_TRUE(storage::TileCodec::Reassemble(
+                    pair.base, pair.refinement.substr(0, pair.refinement.size() / 2))
+                    .status()
+                    .IsCorruption());
+    EXPECT_TRUE(storage::TileCodec::Reassemble(pair.base, pair.refinement + "x")
+                    .status()
+                    .IsCorruption());
+
+    // A refinement for a DIFFERENT tile's base: the bound checksum catches
+    // the mismatched pair even though both chunks are individually intact.
+    auto other = tiles::Tile::Make({2, 4, 7}, 6, 5, {"a", "b"});
+    ASSERT_TRUE(other.ok());
+    for (std::size_t a = 0; a < 2; ++a) {
+      for (auto& v : other->MutableAttrData(a)) v = rng.Gaussian(0, 3);
+    }
+    auto other_pair = codec.EncodeProgressive(*other);
+    ASSERT_FALSE(other_pair.refinement.empty());
+    EXPECT_TRUE(storage::TileCodec::Reassemble(pair.base, other_pair.refinement)
+                    .status()
+                    .IsCorruption())
+        << storage::TileEncodingName(encoding);
+  }
+}
+
+// Degenerate tiles whose coarse base would not undercut the exact blob
+// ship the exact blob AS the base: one chunk, empty refinement, and
+// Reassemble accepts the pair as-is.
+TEST(CodecPropertyTest, ProgressiveDegenerateTileShipsOneChunk) {
+  // A 1x1 raw-f64 tile: header dwarfs payload, so the quantized base
+  // cannot beat the full blob.
+  auto tile = tiles::Tile::Make({0, 0, 0}, 1, 1, {"v"});
+  ASSERT_TRUE(tile.ok());
+  tile->Set(0, 0, 0, 3.25);
+  storage::TileCodec codec({storage::TileEncoding::kRawF64, 1e-4, 1.0});
+  auto pair = codec.EncodeProgressive(*tile);
+  EXPECT_TRUE(pair.refinement.empty());
+  EXPECT_EQ(pair.base, codec.Encode(*tile));
+  auto rebuilt = storage::TileCodec::Reassemble(pair.base, pair.refinement);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->At(0, 0, 0), 3.25);
 }
 
 // ---------------------------------------------------------------------------
