@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/metrics.h"
 #include "core/ab_recommender.h"
 #include "core/allocation.h"
 #include "core/phase_classifier.h"
@@ -37,6 +38,11 @@ struct RunResult {
   std::uint64_t dbms_fetches = 0;
   std::uint64_t total_requests = 0;
   core::SharedTileCacheStats shared_stats;  ///< Zeroed when no shared cache.
+  /// Per-request latency percentiles from the shared fc.request.latency_us
+  /// histogram (common/metrics.h) — the same instrument production scrapes.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
 };
 
 struct TrainedComponents {
@@ -71,6 +77,11 @@ RunResult RunSessions(const sim::Study& study, const TrainedComponents& trained,
       64 * study.dataset.pyramid->NominalTileBytes();
   options.shared_cache.num_shards = 16;
   options.single_flight = true;
+  // Latency percentiles come from the production telemetry path, not a
+  // bench-side log: every server records into fc.request.latency_us.
+  // Declared before the manager so the registry outlives its sources.
+  telemetry::MetricsRegistry registry;
+  options.metrics = &registry;
   server::SessionManager manager(&store, &clock, shared, options);
 
   // Cycle the study traces to fill the requested session count; duplicated
@@ -123,6 +134,12 @@ RunResult RunSessions(const sim::Study& study, const TrainedComponents& trained,
     result.shared_cache_hit_rate = result.shared_stats.HitRate();
   }
   result.dbms_fetches = store.fetch_count();
+  const telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+  if (const auto* latency = snapshot.FindHistogram("fc.request.latency_us")) {
+    result.p50_us = latency->Quantile(0.50);
+    result.p99_us = latency->Quantile(0.99);
+    result.p999_us = latency->Quantile(0.999);
+  }
   return result;
 }
 
@@ -150,7 +167,8 @@ int main() {
   }
 
   eval::TablePrinter table({"Sessions", "Cache", "Requests", "Req/sec",
-                            "Agg hit rate", "Shared-cache hits", "DBMS fetches"});
+                            "Agg hit rate", "p50 us", "p99 us",
+                            "Shared-cache hits", "DBMS fetches"});
   auto results = JsonValue::Array();
   bool shared_wins_everywhere = true;
   for (std::size_t sessions : {1u, 4u, 16u}) {
@@ -161,12 +179,16 @@ int main() {
     table.AddRow({std::to_string(sessions), "private",
                   std::to_string(private_only.total_requests),
                   eval::TablePrinter::Num(private_only.requests_per_sec, 0),
-                  bench::Pct(private_only.aggregate_hit_rate), "-",
+                  bench::Pct(private_only.aggregate_hit_rate),
+                  eval::TablePrinter::Num(private_only.p50_us, 0),
+                  eval::TablePrinter::Num(private_only.p99_us, 0), "-",
                   std::to_string(private_only.dbms_fetches)});
     table.AddRow({std::to_string(sessions), "shared",
                   std::to_string(with_shared.total_requests),
                   eval::TablePrinter::Num(with_shared.requests_per_sec, 0),
                   bench::Pct(with_shared.aggregate_hit_rate),
+                  eval::TablePrinter::Num(with_shared.p50_us, 0),
+                  eval::TablePrinter::Num(with_shared.p99_us, 0),
                   bench::Pct(with_shared.shared_cache_hit_rate),
                   std::to_string(with_shared.dbms_fetches)});
     if (sessions > 1 &&
@@ -180,6 +202,9 @@ int main() {
       row.Set("total_requests", run->total_requests);
       row.Set("requests_per_sec", run->requests_per_sec);
       row.Set("aggregate_hit_rate", run->aggregate_hit_rate);
+      row.Set("p50_us", run->p50_us);
+      row.Set("p99_us", run->p99_us);
+      row.Set("p999_us", run->p999_us);
       row.Set("dbms_fetches", run->dbms_fetches);
       if (run == &with_shared) {
         const auto& stats = run->shared_stats;

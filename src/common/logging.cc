@@ -1,11 +1,23 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstring>
 
 namespace fc {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Seeded from FC_LOG_LEVEL once, in this translation unit's dynamic
+/// initializer — before main, so even startup-path messages respect it.
+int InitialLogLevel() {
+  return static_cast<int>(
+      ParseLogLevel(std::getenv("FC_LOG_LEVEL"), LogLevel::kInfo));
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
+std::atomic<std::uint64_t> g_warning_count{0};
+std::atomic<std::uint64_t> g_error_count{0};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -16,10 +28,46 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel ParseLogLevel(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  if (EqualsIgnoreCase(value, "debug") || std::strcmp(value, "0") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (EqualsIgnoreCase(value, "info") || std::strcmp(value, "1") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (EqualsIgnoreCase(value, "warning") || EqualsIgnoreCase(value, "warn") ||
+      std::strcmp(value, "2") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (EqualsIgnoreCase(value, "error") || std::strcmp(value, "3") == 0) {
+    return LogLevel::kError;
+  }
+  return fallback;
+}
+
+LogEventCounts GetLogEventCounts() {
+  LogEventCounts counts;
+  counts.warnings = g_warning_count.load(std::memory_order_relaxed);
+  counts.errors = g_error_count.load(std::memory_order_relaxed);
+  return counts;
+}
 
 namespace internal {
 
@@ -32,6 +80,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
+  if (level_ == LogLevel::kWarning) {
+    g_warning_count.fetch_add(1, std::memory_order_relaxed);
+  } else if (level_ == LogLevel::kError) {
+    g_error_count.fetch_add(1, std::memory_order_relaxed);
+  }
   if (static_cast<int>(level_) >= g_log_level.load()) {
     std::cerr << stream_.str() << std::endl;
   }

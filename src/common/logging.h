@@ -3,6 +3,7 @@
 #ifndef FORECACHE_COMMON_LOGGING_H_
 #define FORECACHE_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -12,9 +13,24 @@ namespace fc {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level; messages below it are discarded. Default: kInfo.
+/// Global minimum level; messages below it are discarded. Default: kInfo,
+/// overridable at process start via the FC_LOG_LEVEL environment variable
+/// ("debug"/"info"/"warning"/"error", case-insensitive, or 0-3).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses an FC_LOG_LEVEL-style value; `fallback` for null/unrecognized.
+LogLevel ParseLogLevel(const char* value, LogLevel fallback);
+
+/// Cumulative WARNING/ERROR messages emitted since process start. Counted
+/// even while suppressed by the level filter (a suppressed error is still
+/// an error) — telemetry folds these into the metrics snapshot so error
+/// rates show up next to throughput (telemetry::RegisterLogEventMetrics).
+struct LogEventCounts {
+  std::uint64_t warnings = 0;
+  std::uint64_t errors = 0;
+};
+LogEventCounts GetLogEventCounts();
 
 namespace internal {
 

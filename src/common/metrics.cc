@@ -1,0 +1,274 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace fc::telemetry {
+
+namespace {
+
+/// Stable small index for the calling thread, computed once per thread.
+/// Distinct threads may share an index (it is a hash); correctness never
+/// depends on uniqueness, only contention does.
+std::size_t ThreadSlot() {
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return slot;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names map onto underscores.
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+/// Formats a double the way the JSON writer does not need to: Prometheus
+/// accepts plain decimal; trim to a stable short form for goldens.
+std::string FormatDouble(double value) {
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::size_t Counter::CellIndex() { return ThreadSlot() % kCells; }
+
+std::size_t Histogram::ShardIndex() { return ThreadSlot() % kShards; }
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value == 0) return 0;
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(width, kBuckets - 1);
+}
+
+std::uint64_t HistogramSnapshot::BucketUpperBound(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << i) - 1;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; ceil so p0 -> rank 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] < rank) {
+      cumulative += buckets[i];
+      continue;
+    }
+    // Interpolate linearly within [lower, upper] of this bucket. The last
+    // bucket is open-ended; report its lower bound (no width to spread
+    // over without inventing a max).
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+    if (i == 0) return 0.0;
+    if (i >= kBuckets - 1) return lower;
+    const double upper = static_cast<double>(BucketUpperBound(i));
+    const double into =
+        static_cast<double>(rank - cumulative - 1) /
+        static_cast<double>(buckets[i]);
+    return lower + into * (upper - lower);
+  }
+  return 0.0;  // unreachable while count matches the buckets
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t n = shard.buckets[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void SnapshotSink::AddCounter(const std::string& name, std::uint64_t value) {
+  (*counters_)[name] = value;
+}
+
+void SnapshotSink::AddGauge(const std::string& name, double value) {
+  (*gauges_)[name] = value;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::uint64_t MetricsRegistry::AddSource(Source source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_source_id_++;
+  sources_.emplace_back(id, std::move(source));
+  return id;
+}
+
+void MetricsRegistry::RemoveSource(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+    if (it->first == id) {
+      sources_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h = histogram->Snapshot();
+    h.name = name;
+    snap.histograms.push_back(std::move(h));
+  }
+  // Sources run under the registry mutex (they may take component locks;
+  // nothing on the recording path takes this mutex, so no inversion).
+  SnapshotSink sink;
+  sink.counters_ = &snap.counters;
+  sink.gauges_ = &snap.gauges;
+  for (const auto& [id, source] : sources_) source(sink);
+  return snap;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::CounterOr(const std::string& name,
+                                         std::uint64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue counters_obj = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counters_obj.Set(name, JsonValue(value));
+  }
+  root.Set("counters", std::move(counters_obj));
+  JsonValue gauges_obj = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauges_obj.Set(name, JsonValue(value));
+  }
+  root.Set("gauges", std::move(gauges_obj));
+  JsonValue histograms_obj = JsonValue::Object();
+  for (const HistogramSnapshot& h : histograms) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", JsonValue(h.count));
+    entry.Set("sum", JsonValue(h.sum));
+    entry.Set("mean", JsonValue(h.Mean()));
+    entry.Set("p50", JsonValue(h.Quantile(0.50)));
+    entry.Set("p99", JsonValue(h.Quantile(0.99)));
+    entry.Set("p999", JsonValue(h.Quantile(0.999)));
+    JsonValue buckets = JsonValue::Array();
+    for (std::uint64_t b : h.buckets) {
+      buckets.Push(JsonValue(b));
+    }
+    entry.Set("buckets", std::move(buckets));
+    histograms_obj.Set(h.name, std::move(entry));
+  }
+  root.Set("histograms", std::move(histograms_obj));
+  return root;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = SanitizePrometheusName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = SanitizePrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << FormatDouble(value) << "\n";
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string prom = SanitizePrometheusName(h.name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      cumulative += h.buckets[i];
+      // Skip interior empty buckets to keep the exposition compact, but
+      // always emit a bucket whose cumulative count changed plus the
+      // first (le="0") so scrapers see the floor.
+      if (i > 0 && h.buckets[i] == 0 &&
+          i != HistogramSnapshot::kBuckets - 1) {
+        continue;
+      }
+      out << prom << "_bucket{le=\"";
+      if (i == HistogramSnapshot::kBuckets - 1) {
+        out << "+Inf";
+      } else {
+        out << HistogramSnapshot::BucketUpperBound(i);
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_sum " << h.sum << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::uint64_t RegisterLogEventMetrics(MetricsRegistry* registry) {
+  return registry->AddSource([](SnapshotSink& sink) {
+    const LogEventCounts counts = GetLogEventCounts();
+    sink.AddCounter("fc.log.warnings", counts.warnings);
+    sink.AddCounter("fc.log.errors", counts.errors);
+  });
+}
+
+}  // namespace fc::telemetry

@@ -1,0 +1,250 @@
+// fc::telemetry — the process-wide metrics registry.
+//
+// Every serving layer so far grew its own Stats() struct, and latency
+// percentiles lived inside individual bench binaries. This registry gives
+// the process ONE observable surface: named counters, gauges, and
+// fixed-bucket log2 latency histograms, snapshotted together with every
+// component's existing Stats() struct (registered as a pull-mode source)
+// and exported as JSON or Prometheus text.
+//
+// Hot-path cost model — the design constraint that shapes everything here:
+//
+//  * Counter::Add and Histogram::Record are a single relaxed atomic
+//    fetch_add on a cache-line-padded cell chosen by thread identity
+//    (plus one more for the histogram's sum). No locks, no branches on
+//    the recording path beyond the bucket computation.
+//  * Sharded cells trade snapshot-time work for hot-path contention:
+//    threads hash onto kCells independent lines, and Snapshot() merges
+//    them. A snapshot taken while recorders run is a consistent-enough
+//    point-in-time read (each cell is read atomically; the merge may
+//    straddle concurrent increments, as any monitoring scrape does).
+//  * Instrument pointers returned by the registry are STABLE for the
+//    registry's lifetime, so components resolve them once at construction
+//    and never touch the registry mutex again.
+//
+// Histogram buckets are powers of two: bucket 0 holds exactly the value
+// 0, bucket i (1 <= i < 31) holds [2^(i-1), 2^i - 1], and the last bucket
+// is open-ended. 32 buckets cover [0, 2^30) exactly — microsecond
+// recordings up to ~18 minutes — which is why every latency histogram in
+// the codebase records MICROseconds. Quantiles interpolate linearly
+// within a bucket, so they are estimates with relative error bounded by
+// the bucket width (a factor of 2), like every fixed-bucket histogram.
+//
+// Thread-safety: all instrument methods are lock-free and thread-safe.
+// Registry methods (GetCounter/GetGauge/GetHistogram/AddSource/
+// RemoveSource/Snapshot) serialize on one mutex — they are setup- and
+// scrape-path only. Sources run under that mutex during Snapshot(); they
+// may take component locks (registry mutex -> component lock is the
+// process-wide lock order; no component calls back into the registry
+// while holding its own lock — instrument recording never takes the
+// registry mutex).
+
+#ifndef FORECACHE_COMMON_METRICS_H_
+#define FORECACHE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace fc::telemetry {
+
+/// Monotonic event count, sharded across cache-line-padded cells so
+/// concurrent recorders from different threads do not contend.
+class Counter {
+ public:
+  static constexpr std::size_t kCells = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Single relaxed fetch_add on this thread's cell.
+  void Add(std::uint64_t n = 1) {
+    cells_[CellIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merged value across cells. Concurrent Adds may or may not be seen —
+  /// the usual scrape semantics.
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Stable per-thread cell choice, cached per thread after first use.
+  static std::size_t CellIndex();
+
+  Cell cells_[kCells];
+};
+
+/// Last-written instantaneous value (bytes resident, queue depth, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time histogram state, as merged by MetricsSnapshot.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 32;
+
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  /// Inclusive upper bound of bucket i (0, then 2^i - 1; the last bucket
+  /// reports the largest uint64 — rendered as +Inf by the Prometheus
+  /// exporter).
+  static std::uint64_t BucketUpperBound(std::size_t i);
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within the
+  /// bucket holding the target rank. 0 when empty.
+  double Quantile(double q) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket log2 latency histogram. Record() is two relaxed atomic
+/// adds (bucket + sum) plus a count add on the recording thread's shard.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+  static constexpr std::size_t kShards = 8;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Bucket index of `value`: 0 for 0, else min(bit_width(value), 31) —
+  /// bucket i holds [2^(i-1), 2^i - 1].
+  static std::size_t BucketIndex(std::uint64_t value);
+
+  void Record(std::uint64_t value) {
+    Shard& shard = shards_[ShardIndex()];
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Merged point-in-time state (name left empty; the registry fills it).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> buckets[kBuckets] = {};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  static std::size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+/// Receives one pull-mode source's values during Snapshot(). Values land
+/// next to the registry's own instruments under the same names rules
+/// (sorted on export; later writes to a repeated name win).
+class SnapshotSink {
+ public:
+  void AddCounter(const std::string& name, std::uint64_t value);
+  void AddGauge(const std::string& name, double value);
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, std::uint64_t>* counters_ = nullptr;
+  std::map<std::string, double>* gauges_ = nullptr;
+};
+
+/// One consistent scrape of the whole registry: every instrument plus
+/// every pull-mode source, name-sorted.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::vector<HistogramSnapshot> histograms;  ///< Name-sorted.
+
+  /// The named histogram, or nullptr.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  /// The named counter's value, or `fallback`.
+  std::uint64_t CounterOr(const std::string& name,
+                          std::uint64_t fallback = 0) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, mean, p50, p99, p999, buckets: [32 counts]}}} — keys sorted, so
+  /// the output is deterministic for golden tests.
+  JsonValue ToJson() const;
+
+  /// Prometheus text exposition format. Metric names are sanitized
+  /// (dots/dashes -> underscores); histograms render cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+  std::string ToPrometheusText() const;
+};
+
+/// The process-wide instrument directory. Components resolve stable
+/// instrument pointers at construction time; monitoring scrapes one
+/// Snapshot() covering instruments and registered Stats() sources alike.
+/// The registry must outlive every component holding its instruments, and
+/// sources must be removed before the component they read dies.
+class MetricsRegistry {
+ public:
+  using Source = std::function<void(SnapshotSink&)>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named instrument, creating it on first use. The pointer
+  /// is stable for the registry's lifetime. One name maps to one
+  /// instrument kind — Get'ing the same name as a different kind returns
+  /// a distinct instrument exported under the same name (don't).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Registers a pull-mode source invoked on every Snapshot() — the
+  /// adapter hook that folds existing component Stats() structs into the
+  /// scrape. Returns an id for RemoveSource.
+  std::uint64_t AddSource(Source source);
+  void RemoveSource(std::uint64_t id);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<std::uint64_t, Source>> sources_;
+  std::uint64_t next_source_id_ = 1;
+};
+
+/// Folds the process-wide logging event counters (common/logging.h) into
+/// `registry` as fc.log.warnings / fc.log.errors, so a snapshot shows
+/// error rates next to throughput. Returns the source id.
+std::uint64_t RegisterLogEventMetrics(MetricsRegistry* registry);
+
+}  // namespace fc::telemetry
+
+#endif  // FORECACHE_COMMON_METRICS_H_

@@ -1,0 +1,80 @@
+#include "common/trace.h"
+
+#include <algorithm>
+
+namespace fc::telemetry {
+
+TraceSink::TraceSink(TraceSinkOptions options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.sample_every == 0) options_.sample_every = 1;
+  ring_.resize(options_.capacity);
+}
+
+TraceContext TraceSink::StartTrace(std::uint64_t session_id) {
+  const std::uint64_t id =
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.session_id = session_id;
+  // Head sampling on the minted id: ids 1, 1+N, 1+2N, ... are sampled, so
+  // the very first request of a deterministic replay always traces.
+  if ((id - 1) % options_.sample_every == 0) ctx.trace_id = id;
+  return ctx;
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == ring_.size()) {
+    ++dropped_;  // overwriting the oldest buffered event
+  } else {
+    ++size_;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest first: the ring's write position is one past the newest event.
+  const std::size_t start = (next_ + ring_.size() - size_) % ring_.size();
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceSink::recorded_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceSink::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t TraceSink::started_traces() const {
+  return next_trace_id_.load(std::memory_order_relaxed) - 1;
+}
+
+JsonValue TraceSink::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonValue root = JsonValue::Object();
+  root.Set("dropped_events", JsonValue(dropped_events()));
+  JsonValue array = JsonValue::Array();
+  for (const TraceEvent& event : events) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("trace", JsonValue(event.trace_id));
+    entry.Set("session", JsonValue(event.session_id));
+    entry.Set("name", JsonValue(event.name));
+    entry.Set("start_ms", JsonValue(event.start_ms));
+    entry.Set("end_ms", JsonValue(event.end_ms));
+    array.Push(std::move(entry));
+  }
+  root.Set("events", std::move(array));
+  return root;
+}
+
+}  // namespace fc::telemetry

@@ -1,0 +1,162 @@
+// fc::telemetry request-path tracing: where did a slow request spend its
+// time?
+//
+// A trace is born at the serving edge (ForeCacheServer::HandleRequest
+// calls TraceSink::StartTrace) and its id rides the request through the
+// stack — cache lookup, prediction publish, the cross-session scheduler's
+// batched fetch, the push channel's chunk pushes. Each instrumented
+// section opens an RAII Span; closing it records one TraceEvent
+// {trace_id, session_id, name, start_ms, end_ms} into the sink.
+//
+// Span taxonomy (docs/observability.md has the full table):
+//   request.handle     whole HandleRequest, session thread
+//   cache.lookup       region/shared-cache lookup incl. demand miss fetch
+//   prefetch.publish   BeginPrefetch + scheduler Publish
+//   prefetch.fetch     one drain round's backend fetch (scheduler thread)
+//   stream.push        one chunk handed to the session's sink
+//
+// Cost model: sampling is decided ONCE per request at StartTrace (1-in-N
+// head sampling). An unsampled request carries trace_id 0, and every Span
+// built from it is fully inert — no clock reads, no sink calls, no
+// allocation. Propagating the id downstream is a uint64 copy. So the
+// hot-path overhead of tracing is one atomic increment per request plus
+// an integer modulo, regardless of instrumentation density.
+//
+// Stamps ride the same fc::Clock the component already schedules on —
+// virtual SimClock time in the replay harness (deterministic goldens),
+// monotonic wall time in deployments. Events from one thread are
+// monotone; cross-thread ordering is whatever the clock says.
+//
+// The sink is a bounded ring buffer: recording overwrites the oldest
+// event past capacity (dropped_events counts them) — tracing must never
+// be the memory leak it was built to find.
+//
+// Thread-safety: all TraceSink methods are thread-safe (one mutex; the
+// sampling decision is an atomic). Span is confined to the thread (or
+// the handoff) that owns it, like any RAII guard.
+
+#ifndef FORECACHE_COMMON_TRACE_H_
+#define FORECACHE_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/json_writer.h"
+
+namespace fc::telemetry {
+
+/// The identity a request carries through the stack. trace_id 0 means
+/// unsampled: spans built from it are inert. Copyable by value — that IS
+/// the propagation mechanism.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t session_id = 0;
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// One closed span.
+struct TraceEvent {
+  std::uint64_t trace_id = 0;
+  std::uint64_t session_id = 0;
+  const char* name = "";  ///< Static string (span taxonomy above).
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+struct TraceSinkOptions {
+  /// Ring capacity in events; recording past it overwrites the oldest
+  /// (counted in dropped_events). Clamped to >= 1.
+  std::size_t capacity = 4096;
+  /// Head sampling: trace 1 of every N requests (1 = every request).
+  std::uint64_t sample_every = 1;
+  /// Stamp source. Null records every stamp as 0 — spans still order by
+  /// ring position, but a real sink should always have a clock.
+  const Clock* clock = nullptr;
+};
+
+/// Bounded ring-buffer trace store, shared by every instrumented
+/// component of a serving stack.
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions options = {});
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Mints the context for a new request: monotone trace ids, the first
+  /// and every sample_every-th sampled. Unsampled requests get trace_id 0
+  /// (their downstream spans are inert).
+  TraceContext StartTrace(std::uint64_t session_id);
+
+  /// Appends one event (oldest overwritten past capacity). Callers guard
+  /// on ctx.sampled() — Span does this for you.
+  void Record(const TraceEvent& event);
+
+  double NowMillis() const {
+    return options_.clock == nullptr ? 0.0 : options_.clock->NowMillis();
+  }
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  std::uint64_t recorded_events() const;
+  std::uint64_t dropped_events() const;
+  std::uint64_t started_traces() const;
+
+  /// {"dropped_events": n, "events": [{trace, session, name, start_ms,
+  /// end_ms}...]} oldest first — the dump format docs/observability.md
+  /// documents.
+  JsonValue ToJson() const;
+
+ private:
+  TraceSinkOptions options_;
+  std::atomic<std::uint64_t> next_trace_id_{1};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  ///< Ring write position.
+  std::size_t size_ = 0;  ///< Valid events in the ring.
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: stamps start at construction, records the event at End()
+/// or destruction. Inert (no clock reads, no recording) when the sink is
+/// null or the context unsampled, so instrumented code never branches on
+/// "is tracing on" itself.
+class Span {
+ public:
+  Span() = default;
+
+  Span(TraceSink* sink, const char* name, const TraceContext& ctx)
+      : sink_(ctx.sampled() ? sink : nullptr), name_(name), ctx_(ctx) {
+    if (sink_ != nullptr) start_ms_ = sink_->NowMillis();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { End(); }
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (sink_ == nullptr) return;
+    sink_->Record(TraceEvent{ctx_.trace_id, ctx_.session_id, name_, start_ms_,
+                             sink_->NowMillis()});
+    sink_ = nullptr;
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;  ///< Null once closed or when inert.
+  const char* name_ = "";
+  TraceContext ctx_;
+  double start_ms_ = 0.0;
+};
+
+}  // namespace fc::telemetry
+
+#endif  // FORECACHE_COMMON_TRACE_H_

@@ -40,6 +40,12 @@ PrefetchScheduler::PrefetchScheduler(storage::TileStore* store,
   FC_CHECK_MSG(store_ != nullptr, "PrefetchScheduler requires a tile store");
   if (options_.max_in_flight == 0) options_.max_in_flight = 1;
   options_.fairness_share = std::clamp(options_.fairness_share, 0.0, 1.0);
+  if (options_.metrics != nullptr) {
+    batch_size_hist_ = options_.metrics->GetHistogram("fc.prefetch.batch_size");
+    queue_wait_us_ = options_.metrics->GetHistogram("fc.prefetch.queue_wait_us");
+    fill_latency_us_ =
+        options_.metrics->GetHistogram("fc.prefetch.fill_latency_us");
+  }
 }
 
 PrefetchScheduler::~PrefetchScheduler() { Shutdown(); }
@@ -175,7 +181,8 @@ std::size_t PrefetchScheduler::PopDeadlinesLocked(
     if (have_top && eit->second.priority < top_priority) {
       ++stats_.deadline_promotions;
     }
-    batch.push_back(PoppedEntry{nodes[i].key, std::move(eit->second.subs)});
+    batch.push_back(PoppedEntry{nodes[i].key, std::move(eit->second.subs),
+                                eit->second.enqueue_ms});
     pending_.erase(eit);
     ++popped;
   }
@@ -303,7 +310,8 @@ void PrefetchScheduler::PopFairnessLocked(std::size_t budget,
     for (const auto& sub : best_entry->subs) {
       charged[sub.session_id] += 1.0;
     }
-    batch.push_back(PoppedEntry{*best_key, std::move(best_entry->subs)});
+    batch.push_back(PoppedEntry{*best_key, std::move(best_entry->subs),
+                                best_entry->enqueue_ms});
     pending_.erase(*best_key);  // its heap nodes are skipped by stamp at pop
     fairness_credit_ -= 1.0;
     --slots;
@@ -374,7 +382,7 @@ void PrefetchScheduler::WorkerLoop() {
 void PrefetchScheduler::Publish(std::uint64_t session_id,
                                 std::uint64_t generation,
                                 std::vector<PrefetchCandidate> candidates,
-                                double think_ms) {
+                                double think_ms, std::uint64_t trace_id) {
   // Residency probe BEFORE the scheduler lock: one shard-locked Lookup per
   // candidate, on the publishing session's own thread. The Lookup both
   // captures already-resident tiles for immediate delivery (no second
@@ -447,7 +455,8 @@ void PrefetchScheduler::Publish(std::uint64_t session_id,
         continue;
       }
       entry.subs.push_back(Subscription{session_id, generation,
-                                        candidate.confidence, sub_deadline});
+                                        candidate.confidence, sub_deadline,
+                                        trace_id});
       if (!fresh) ++stats_.merged_predictions;
       state->pending_keys.push_back(candidate.key);
       RescoreLocked(candidate.key, entry);
@@ -568,7 +577,8 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
           continue;
         }
         auto eit = pending_.find(nodes[i].key);
-        batch.push_back(PoppedEntry{nodes[i].key, std::move(eit->second.subs)});
+        batch.push_back(PoppedEntry{nodes[i].key, std::move(eit->second.subs),
+                                    eit->second.enqueue_ms});
         pending_.erase(eit);
       }
     }
@@ -584,7 +594,8 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
       if (eit == pending_.end() || eit->second.stamp != node.stamp) {
         continue;  // superseded score or retired entry: lazy invalidation
       }
-      batch.push_back(PoppedEntry{node.key, std::move(eit->second.subs)});
+      batch.push_back(PoppedEntry{node.key, std::move(eit->second.subs),
+                                  eit->second.enqueue_ms});
       pending_.erase(eit);
     }
     if (batch.empty()) return DrainVerdict::kEmpty;
@@ -607,6 +618,14 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
       }
     }
     in_flight_fills_ += batch.size();
+    if (batch_size_hist_ != nullptr) batch_size_hist_->Record(batch.size());
+    if (queue_wait_us_ != nullptr && options_.clock != nullptr) {
+      for (const auto& popped : batch) {
+        if (popped.enqueue_ms < 0.0) continue;  // published clockless
+        queue_wait_us_->Record(static_cast<std::uint64_t>(std::llround(
+            std::max(now_ms - popped.enqueue_ms, 0.0) * 1000.0)));
+      }
+    }
   }
 
   // The fetch runs outside the scheduler lock: a slow DBMS query must not
@@ -617,6 +636,13 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
     bool fetched = false;
     bool ok = true;
   };
+  // Fill latency is timed per ROUND TRIP (the thing the backend charges
+  // for), on the scheduler's clock; trace stamps ride the sink's clock so
+  // they compose with the request-side spans.
+  const double fetch_start_ms =
+      options_.clock != nullptr ? options_.clock->NowMillis() : 0.0;
+  const double trace_start_ms =
+      options_.trace != nullptr ? options_.trace->NowMillis() : 0.0;
   std::vector<KeyOutcome> outcomes(batch.size());
   if (shared_ != nullptr) {
     std::vector<SharedTileCache::SharedBatchItem> items;
@@ -650,6 +676,26 @@ PrefetchScheduler::DrainVerdict PrefetchScheduler::DrainBatch() {
         outcomes[i].fetched = true;
       } else {
         outcomes[i].ok = false;
+      }
+    }
+  }
+  if (fill_latency_us_ != nullptr && options_.clock != nullptr) {
+    fill_latency_us_->Record(static_cast<std::uint64_t>(std::llround(
+        std::max(options_.clock->NowMillis() - fetch_start_ms, 0.0) *
+        1000.0)));
+  }
+  if (options_.trace != nullptr) {
+    // One prefetch.fetch span per batch entry a sampled request is
+    // subscribed to, attributed to that request's trace. Entries no
+    // sampled request cares about record nothing.
+    const double trace_end_ms = options_.trace->NowMillis();
+    for (const auto& popped : batch) {
+      for (const auto& sub : popped.subs) {
+        if (sub.trace_id == 0) continue;
+        options_.trace->Record(telemetry::TraceEvent{
+            sub.trace_id, sub.session_id, "prefetch.fetch", trace_start_ms,
+            trace_end_ms});
+        break;  // one span per entry: the first sampled subscriber owns it
       }
     }
   }
@@ -795,6 +841,34 @@ std::vector<PrefetchQueueEntry> PrefetchScheduler::SnapshotQueue() const {
               return a.priority > b.priority;
             });
   return snapshot;
+}
+
+std::uint64_t RegisterPrefetchSchedulerMetrics(
+    telemetry::MetricsRegistry* registry, const PrefetchScheduler* scheduler) {
+  return registry->AddSource([scheduler](telemetry::SnapshotSink& sink) {
+    const PrefetchSchedulerStats s = scheduler->Stats();
+    sink.AddCounter("fc.prefetch.predictions_published",
+                    s.predictions_published);
+    sink.AddCounter("fc.prefetch.merged_predictions", s.merged_predictions);
+    sink.AddCounter("fc.prefetch.already_resident", s.already_resident);
+    sink.AddCounter("fc.prefetch.fills_issued", s.fills_issued);
+    sink.AddCounter("fc.prefetch.fill_failures", s.fill_failures);
+    sink.AddCounter("fc.prefetch.dedup_saved_fetches", s.dedup_saved_fetches);
+    sink.AddCounter("fc.prefetch.stale_drops", s.stale_drops);
+    sink.AddCounter("fc.prefetch.deliveries", s.deliveries);
+    sink.AddCounter("fc.prefetch.fetch_batches", s.fetch_batches);
+    sink.AddCounter("fc.prefetch.batched_fills", s.batched_fills);
+    sink.AddCounter("fc.prefetch.batch_deferrals", s.batch_deferrals);
+    sink.AddCounter("fc.prefetch.adjacency_reorders", s.adjacency_reorders);
+    sink.AddCounter("fc.prefetch.deadline_promotions", s.deadline_promotions);
+    sink.AddCounter("fc.prefetch.deadline_misses", s.deadline_misses);
+    sink.AddCounter("fc.prefetch.fairness_picks", s.fairness_picks);
+    sink.AddCounter("fc.prefetch.fairness_promotions", s.fairness_promotions);
+    sink.AddGauge("fc.prefetch.max_queue_depth",
+                  static_cast<double>(s.max_queue_depth));
+    sink.AddGauge("fc.prefetch.pending",
+                  static_cast<double>(scheduler->pending()));
+  });
 }
 
 }  // namespace fc::core

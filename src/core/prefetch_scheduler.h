@@ -81,7 +81,9 @@
 
 #include "common/clock.h"
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "common/sim_clock.h"
+#include "common/trace.h"
 #include "core/shared_tile_cache.h"
 #include "storage/batch_fetch.h"
 #include "storage/tile_store.h"
@@ -159,6 +161,15 @@ struct PrefetchSchedulerOptions {
   /// batch size. EDF urgency still runs first: a round whose budget the
   /// deadline pass consumed carries its reservation over to the next.
   double fairness_share = 0.0;
+
+  /// Telemetry (optional, zero hot-path cost when null). With `metrics`,
+  /// each drain round records fc.prefetch.batch_size / queue_wait_us /
+  /// fill_latency_us histograms (queue wait needs `clock`). With `trace`,
+  /// a drain round whose batch carries a sampled subscription records one
+  /// prefetch.fetch span per such entry, stamped on `clock`'s time base
+  /// via the sink. Both must outlive the scheduler.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceSink* trace = nullptr;
 };
 
 /// Point-in-time counters. Every published prediction retires exactly once:
@@ -307,9 +318,14 @@ class PrefetchScheduler {
   /// now + think_ms. <= 0 means "no estimate" (options_.default_think_ms
   /// applies, else the subscriptions are deadline-free). Ignored — at zero
   /// cost — when deadline scheduling is off.
+  ///
+  /// `trace_id` (0 = unsampled) tags every subscription of this
+  /// publication with the publishing request's trace, so the drain that
+  /// eventually fills it can record a prefetch.fetch span against it.
+  /// Free when no TraceSink is wired.
   void Publish(std::uint64_t session_id, std::uint64_t generation,
                std::vector<PrefetchCandidate> candidates,
-               double think_ms = 0.0);
+               double think_ms = 0.0, std::uint64_t trace_id = 0);
 
   /// Drops the session's pending subscriptions and waits for its in-flight
   /// deliveries to settle, without unregistering it (session reset).
@@ -357,6 +373,9 @@ class PrefetchScheduler {
     /// Virtual time by which this session statistically needs the tile
     /// (publish time + its think estimate); kNoDeadline when none.
     double deadline_ms = kNoDeadline;
+    /// The publishing request's trace id (0 = unsampled); a drain round
+    /// records a prefetch.fetch span for each sampled subscription.
+    std::uint64_t trace_id = 0;
   };
 
   /// The single pending entry for a tile key.
@@ -432,6 +451,9 @@ class PrefetchScheduler {
   struct PoppedEntry {
     tiles::TileKey key;
     std::vector<Subscription> subs;
+    /// The entry's enqueue stamp at pop time, for the queue-wait
+    /// histogram (kNoEnqueueStamp when published clockless).
+    double enqueue_ms = kNoEnqueueStamp;
   };
 
   /// The batched drain round behind DrainOne and WorkerLoop: plans a pop
@@ -518,7 +540,20 @@ class PrefetchScheduler {
   std::size_t in_flight_fills_ = 0;  ///< Entries popped, fill not finished.
   bool shutdown_ = false;
   PrefetchSchedulerStats stats_;
+
+  /// Telemetry instruments, resolved once at construction (null when
+  /// options_.metrics is null).
+  telemetry::Histogram* batch_size_hist_ = nullptr;
+  telemetry::Histogram* queue_wait_us_ = nullptr;
+  telemetry::Histogram* fill_latency_us_ = nullptr;
 };
+
+/// Folds the scheduler's Stats() into `registry` as fc.prefetch.* counters
+/// (plus a fc.prefetch.pending gauge), refreshed on every registry
+/// snapshot. Returns the source id; RemoveSource it before `scheduler`
+/// dies.
+std::uint64_t RegisterPrefetchSchedulerMetrics(
+    telemetry::MetricsRegistry* registry, const PrefetchScheduler* scheduler);
 
 }  // namespace fc::core
 

@@ -646,4 +646,38 @@ SharedTileCacheStats SharedTileCache::Stats() const {
   return stats;
 }
 
+std::uint64_t RegisterSharedTileCacheMetrics(
+    telemetry::MetricsRegistry* registry, const SharedTileCache* cache) {
+  return registry->AddSource([cache](telemetry::SnapshotSink& sink) {
+    const SharedTileCacheStats s = cache->Stats();
+    sink.AddCounter("fc.cache.hits", s.hits);
+    sink.AddCounter("fc.cache.misses", s.misses);
+    sink.AddCounter("fc.cache.insertions", s.insertions);
+    sink.AddCounter("fc.cache.evictions", s.evictions);
+    sink.AddCounter("fc.cache.l1_hits", s.l1_hits);
+    sink.AddCounter("fc.cache.l2_hits", s.l2_hits);
+    sink.AddCounter("fc.cache.demotions", s.demotions);
+    sink.AddCounter("fc.cache.promotions", s.promotions);
+    sink.AddCounter("fc.cache.encode_ns", s.encode_ns);
+    sink.AddCounter("fc.cache.decode_ns", s.decode_ns);
+    sink.AddCounter("fc.cache.admission_attempts", s.admission_attempts);
+    sink.AddCounter("fc.cache.admission_rejects", s.admission_rejects);
+    sink.AddCounter("fc.cache.priority_admits", s.priority_admits);
+    sink.AddCounter("fc.cache.quota_evictions", s.quota_evictions);
+    sink.AddCounter("fc.cache.merged_predictions", s.merged_predictions);
+    sink.AddCounter("fc.cache.dedup_saved_fetches", s.dedup_saved_fetches);
+    sink.AddCounter("fc.cache.stale_drops", s.stale_drops);
+    sink.AddCounter("fc.cache.batches_issued", s.batches_issued);
+    sink.AddCounter("fc.cache.batched_tiles", s.batched_tiles);
+    sink.AddCounter("fc.cache.fetch_rounds_saved", s.fetch_rounds_saved);
+    sink.AddGauge("fc.cache.l1_bytes_resident",
+                  static_cast<double>(s.l1_bytes_resident));
+    sink.AddGauge("fc.cache.l2_bytes_resident",
+                  static_cast<double>(s.l2_bytes_resident));
+    sink.AddGauge("fc.cache.bytes_resident",
+                  static_cast<double>(s.bytes_resident));
+    sink.AddGauge("fc.cache.hit_rate", s.HitRate());
+  });
+}
+
 }  // namespace fc::core

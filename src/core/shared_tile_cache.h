@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/admission.h"
 #include "storage/tile_codec.h"
@@ -409,6 +410,15 @@ class SharedTileCache {
   std::size_t shard_quota_bytes_;  ///< 0 when quotas are disabled.
   std::vector<std::unique_ptr<Shard>> shards_;
 };
+
+/// Registers a pull-mode source exporting `cache`'s Stats() into `registry`
+/// under fc.cache.* (counters for the monotone fields, gauges for resident
+/// bytes). The cache must outlive the source; remove it with
+/// MetricsRegistry::RemoveSource using the returned id before destroying the
+/// cache. Snapshot() takes the registry mutex first, then the shard locks —
+/// the recording paths never take the registry mutex, so no cycle.
+std::uint64_t RegisterSharedTileCacheMetrics(telemetry::MetricsRegistry* registry,
+                                             const SharedTileCache* cache);
 
 }  // namespace fc::core
 

@@ -1,6 +1,7 @@
 #include "core/stream_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace fc::core {
@@ -26,6 +27,9 @@ StreamScheduler::StreamScheduler(Executor* executor,
   options_.fairness_share =
       std::clamp(options_.fairness_share, 0.0, 1.0);
   total_tokens_ = static_cast<double>(options_.total_burst_bytes);
+  if (options_.metrics != nullptr) {
+    ttfu_us_ = options_.metrics->GetHistogram("fc.stream.ttfu_us");
+  }
 }
 
 StreamScheduler::~StreamScheduler() { Shutdown(); }
@@ -99,7 +103,7 @@ void StreamScheduler::SubmitTile(std::uint64_t session_id,
                                  const tiles::TileKey& key,
                                  const tiles::TilePtr& tile,
                                  std::uint64_t generation, double confidence,
-                                 double deadline_ms) {
+                                 double deadline_ms, std::uint64_t trace_id) {
   if (tile == nullptr) return;
 
   // Encode before the lock: splitting the tile is the CPU-heavy part.
@@ -169,6 +173,7 @@ void StreamScheduler::SubmitTile(std::uint64_t session_id,
   base.enqueue_ms = now;
   base.deadline_ms = deadline_ms;
   base.seq = ++seq_counter_;
+  base.trace_id = trace_id;
   base.payload = usable_payload;
   jobs_.push_back(std::move(base));
   ++stats_.chunks_enqueued;
@@ -188,6 +193,7 @@ void StreamScheduler::SubmitTile(std::uint64_t session_id,
     refine.enqueue_ms = now;
     refine.deadline_ms = deadline_ms;
     refine.seq = ++seq_counter_;
+    refine.trace_id = trace_id;
     refine.payload = exact_payload;
     jobs_.push_back(std::move(refine));
     ++stats_.chunks_enqueued;
@@ -409,11 +415,30 @@ std::size_t StreamScheduler::Pump() {
       } else {
         ++stats_.base_chunks_pushed;
       }
-      if (it->usable) ++stats_.first_usable_pushes;
+      if (it->usable) {
+        ++stats_.first_usable_pushes;
+        // Submit-to-usable-push wait, on the scheduler's clock. Chunks
+        // submitted clockless carry the sentinel stamp and are skipped.
+        if (ttfu_us_ != nullptr && now >= 0.0 && it->enqueue_ms >= 0.0) {
+          ttfu_us_->Record(static_cast<std::uint64_t>(std::llround(
+              std::max(now - it->enqueue_ms, 0.0) * 1000.0)));
+        }
+      }
       ++state->in_flight;
       ++in_flight_pushes_;
-      ready.push_back(
-          {state, it->key, it->payload, it->exact, it->generation});
+      ReadyChunk chunk;
+      chunk.session = state;
+      chunk.key = it->key;
+      chunk.payload = it->payload;
+      chunk.exact = it->exact;
+      chunk.generation = it->generation;
+      chunk.session_id = it->session_id;
+      chunk.trace_id = it->trace_id;
+      chunk.push_start_ms =
+          options_.trace != nullptr && it->trace_id != 0
+              ? options_.trace->NowMillis()
+              : 0.0;
+      ready.push_back(std::move(chunk));
       jobs_.erase(it);
     }
     if (had_work && ready.empty() && !jobs_.empty()) ++stats_.budget_stalls;
@@ -422,6 +447,14 @@ std::size_t StreamScheduler::Pump() {
   for (const ReadyChunk& chunk : ready) {
     chunk.session->sink(chunk.key, chunk.payload, chunk.exact,
                         chunk.generation);
+    if (options_.trace != nullptr && chunk.trace_id != 0) {
+      // The span covers selection through the sink handing the chunk to
+      // the session — the push itself, attributed to the publishing
+      // request's trace.
+      options_.trace->Record(telemetry::TraceEvent{
+          chunk.trace_id, chunk.session_id, "stream.push",
+          chunk.push_start_ms, options_.trace->NowMillis()});
+    }
   }
 
   if (!ready.empty()) {
@@ -497,6 +530,30 @@ std::vector<StreamChunkInfo> StreamScheduler::SnapshotQueue() const {
     out.push_back(info);
   }
   return out;
+}
+
+std::uint64_t RegisterStreamSchedulerMetrics(
+    telemetry::MetricsRegistry* registry, const StreamScheduler* scheduler) {
+  return registry->AddSource([scheduler](telemetry::SnapshotSink& sink) {
+    const StreamSchedulerStats s = scheduler->Stats();
+    sink.AddCounter("fc.stream.tiles_submitted", s.tiles_submitted);
+    sink.AddCounter("fc.stream.chunks_enqueued", s.chunks_enqueued);
+    sink.AddCounter("fc.stream.chunks_pushed", s.chunks_pushed);
+    sink.AddCounter("fc.stream.base_chunks_pushed", s.base_chunks_pushed);
+    sink.AddCounter("fc.stream.exact_chunks_pushed", s.exact_chunks_pushed);
+    sink.AddCounter("fc.stream.bytes_pushed", s.bytes_pushed);
+    sink.AddCounter("fc.stream.first_usable_pushes", s.first_usable_pushes);
+    sink.AddCounter("fc.stream.stale_chunks_dropped", s.stale_chunks_dropped);
+    sink.AddCounter("fc.stream.expired_chunks_dropped",
+                    s.expired_chunks_dropped);
+    sink.AddCounter("fc.stream.budget_stalls", s.budget_stalls);
+    sink.AddCounter("fc.stream.deadline_picks", s.deadline_picks);
+    sink.AddCounter("fc.stream.deadline_promotions", s.deadline_promotions);
+    sink.AddCounter("fc.stream.deadline_misses", s.deadline_misses);
+    sink.AddCounter("fc.stream.fairness_picks", s.fairness_picks);
+    sink.AddCounter("fc.stream.fairness_promotions", s.fairness_promotions);
+    sink.AddGauge("fc.stream.queued", static_cast<double>(scheduler->queued()));
+  });
 }
 
 }  // namespace fc::core

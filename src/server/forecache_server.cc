@@ -1,5 +1,7 @@
 #include "server/forecache_server.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
@@ -35,6 +37,11 @@ ForeCacheServer::ForeCacheServer(storage::TileStore* store,
                "prefetching requires a prediction engine");
   FC_CHECK_MSG(time_ != nullptr,
                "ForeCacheServer requires a SimClock or options.wall_clock");
+  if (options_.metrics != nullptr) {
+    request_latency_us_ = options_.metrics->GetHistogram("fc.request.latency_us");
+    requests_total_ = options_.metrics->GetCounter("fc.requests.total");
+    cache_hits_total_ = options_.metrics->GetCounter("fc.requests.cache_hits");
+  }
   if (stream_scheduler_ != nullptr) {
     // Streaming path: completed fills detour through the push channel,
     // which re-delivers them chunk by chunk under the byte budget. Built
@@ -156,6 +163,14 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
     const core::TileRequest& request) {
   ServedRequest served;
 
+  // One trace decision per request; unsampled requests carry trace_id 0
+  // and every span below (and downstream of Publish) is inert.
+  telemetry::TraceContext trace_ctx;
+  if (options_.trace != nullptr) {
+    trace_ctx = options_.trace->StartTrace(options_.cache.session_id);
+  }
+  telemetry::Span handle_span(options_.trace, "request.handle", trace_ctx);
+
   // Supersede any fill still running for the previous request: the region
   // is about to be re-planned around this newer position anyway.
   prefetch_generation_.fetch_add(1, std::memory_order_release);
@@ -176,6 +191,7 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
   // service time — feeds the think-time EWMA before any service charge for
   // THIS request lands on the clock.
   think_time_.Observe(t0_ms);
+  telemetry::Span lookup_span(options_.trace, "cache.lookup", trace_ctx);
   FC_ASSIGN_OR_RETURN(auto outcome, cache_manager_.Request(request.tile));
   served.tile = outcome.tile;
   served.cache_hit = outcome.cache_hit;
@@ -188,7 +204,18 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
         sim ? static_cast<double>(clock_->NowMicros() - t0) / 1000.0
             : time_->NowMillis() - t0_ms;
   }
+  // Closed after the service charge so the span covers the full serve step
+  // on the same time base the latency log uses.
+  lookup_span.End();
   latency_log_.push_back(served.latency_ms);
+  if (requests_total_ != nullptr) requests_total_->Add(1);
+  if (cache_hits_total_ != nullptr && served.cache_hit) {
+    cache_hits_total_->Add(1);
+  }
+  if (request_latency_us_ != nullptr) {
+    request_latency_us_->Record(static_cast<std::uint64_t>(
+        std::llround(std::max(served.latency_ms, 0.0) * 1000.0)));
+  }
 
   // Steps 2-3: predict, then prefetch during the user's think time (not
   // charged to this request's latency). With an executor the fill runs in
@@ -202,6 +229,8 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
       // immediately is never rejected as early.
       const std::uint64_t generation =
           prefetch_generation_.load(std::memory_order_acquire);
+      telemetry::Span publish_span(options_.trace, "prefetch.publish",
+                                   trace_ctx);
       auto plan = cache_manager_.BeginPrefetch(
           served.prediction.tiles, served.prediction.confidences, generation);
       // The think estimate rides along with every publication; the
@@ -212,14 +241,16 @@ Result<ServedRequest> ForeCacheServer::HandleRequest(
       if (stream_ != nullptr) {
         // Arm the push channel for this generation before the fills it
         // will carry can possibly complete, shedding the previous
-        // generation's queued chunks.
+        // generation's queued chunks. The trace id rides along so sampled
+        // requests' chunk pushes record stream.push spans downstream.
         stream_->BeginGeneration(
             generation, plan,
             think_ms > 0.0 ? time_->NowMillis() + think_ms
-                           : core::StreamScheduler::kNoDeadline);
+                           : core::StreamScheduler::kNoDeadline,
+            trace_ctx.trace_id);
       }
       scheduler_->Publish(scheduler_session_, generation, std::move(plan),
-                          think_ms);
+                          think_ms, trace_ctx.trace_id);
     } else if (executor_ != nullptr) {
       SchedulePrefetch(served.prediction.tiles, served.prediction.confidences);
     } else {

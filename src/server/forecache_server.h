@@ -34,7 +34,9 @@
 
 #include "array/cost_model.h"
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "common/sim_clock.h"
+#include "common/trace.h"
 #include "core/cache_manager.h"
 #include "core/prediction_engine.h"
 #include "core/prefetch_scheduler.h"
@@ -70,6 +72,17 @@ struct ServerOptions {
   /// null (the default), the server runs in simulation mode and the
   /// SimClock is required. Must outlive the server.
   const Clock* wall_clock = nullptr;
+
+  /// Telemetry (common/metrics.h, common/trace.h), both optional and both
+  /// off by default at zero hot-path cost. With `metrics`, every request
+  /// records fc.request.latency_us / fc.requests.total / fc.requests.
+  /// cache_hits (instruments resolved once at construction). With
+  /// `trace`, each request starts a trace and the sampled ones record
+  /// request.handle / cache.lookup / prefetch.publish spans, with the
+  /// trace id propagated into the scheduler and stream paths. Both must
+  /// outlive the server. SessionManagerOptions wires these process-wide.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceSink* trace = nullptr;
 };
 
 /// One served request, with its simulated response latency.
@@ -171,6 +184,12 @@ class ForeCacheServer {
   core::CacheManager cache_manager_;
   std::vector<double> latency_log_;
   ThinkTimeEstimator think_time_;
+
+  /// Telemetry instruments, resolved once at construction (null when
+  /// options_.metrics is null — recording sites branch on the pointer).
+  telemetry::Histogram* request_latency_us_ = nullptr;
+  telemetry::Counter* requests_total_ = nullptr;
+  telemetry::Counter* cache_hits_total_ = nullptr;
 
   /// Monotonic id of the latest request; a background fill aborts once a
   /// newer request has superseded it.

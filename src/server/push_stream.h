@@ -68,9 +68,12 @@ class PushStream {
   /// confidences (the utility input) and the session's think deadline
   /// (absolute virtual ms; kNoDeadline = none), and sheds queued chunks
   /// from older generations.
+  /// `trace_id` (0 = unsampled) tags this generation's chunk submissions so
+  /// the stream scheduler records stream.push spans for sampled requests.
   void BeginGeneration(std::uint64_t generation,
                        const std::vector<core::PrefetchCandidate>& plan,
-                       double deadline_ms = core::StreamScheduler::kNoDeadline);
+                       double deadline_ms = core::StreamScheduler::kNoDeadline,
+                       std::uint64_t trace_id = 0);
 
   /// Submits one completed fill for streaming. Fills from generations
   /// other than the current one are dropped (counted) — the region they
@@ -101,6 +104,7 @@ class PushStream {
   mutable std::mutex mu_;  ///< Guards the plan below.
   std::uint64_t generation_ = 0;
   double deadline_ms_ = core::StreamScheduler::kNoDeadline;
+  std::uint64_t trace_id_ = 0;
   std::unordered_map<tiles::TileKey, double, tiles::TileKeyHash> confidences_;
 
   std::atomic<std::uint64_t> accepted_{0};

@@ -59,6 +59,24 @@ SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
                                SharedPredictionComponents shared,
                                SessionManagerOptions options)
     : store_(store), clock_(clock), shared_(shared), options_(options) {
+  // Propagate the process-wide telemetry hooks into every layer's options
+  // BEFORE any component is built below (the scheduler constructors copy
+  // their options), honoring anything the caller wired explicitly.
+  if (options_.metrics != nullptr) {
+    if (options_.server.metrics == nullptr)
+      options_.server.metrics = options_.metrics;
+    if (options_.prefetch_scheduler.metrics == nullptr)
+      options_.prefetch_scheduler.metrics = options_.metrics;
+    if (options_.stream_scheduler.metrics == nullptr)
+      options_.stream_scheduler.metrics = options_.metrics;
+  }
+  if (options_.trace != nullptr) {
+    if (options_.server.trace == nullptr) options_.server.trace = options_.trace;
+    if (options_.prefetch_scheduler.trace == nullptr)
+      options_.prefetch_scheduler.trace = options_.trace;
+    if (options_.stream_scheduler.trace == nullptr)
+      options_.stream_scheduler.trace = options_.trace;
+  }
   if (options_.executor_threads > 0) {
     executor_ = std::make_unique<Executor>(options_.executor_threads);
   }
@@ -103,9 +121,40 @@ SessionManager::SessionManager(storage::TileStore* store, SimClock* clock,
     stream_scheduler_ = std::make_unique<core::StreamScheduler>(
         executor_.get(), stream_options);
   }
+  // One registry snapshot should cover the whole serving stack: register a
+  // pull-mode source per live component (request-path instruments were
+  // already resolved eagerly through the options above).
+  if (options_.metrics != nullptr) {
+    metric_sources_.push_back(telemetry::RegisterLogEventMetrics(options_.metrics));
+    metric_sources_.push_back(
+        storage::RegisterTileStoreMetrics(options_.metrics, "fc.store", store_));
+    if (single_flight_ != nullptr) {
+      // store_ is the single-flight wrapper; the backend underneath shows
+      // the round trips that actually left the process.
+      metric_sources_.push_back(storage::RegisterTileStoreMetrics(
+          options_.metrics, "fc.store.backend", store));
+    }
+    if (shared_cache_ != nullptr) {
+      metric_sources_.push_back(core::RegisterSharedTileCacheMetrics(
+          options_.metrics, shared_cache_.get()));
+    }
+    if (prefetch_scheduler_ != nullptr) {
+      metric_sources_.push_back(core::RegisterPrefetchSchedulerMetrics(
+          options_.metrics, prefetch_scheduler_.get()));
+    }
+    if (stream_scheduler_ != nullptr) {
+      metric_sources_.push_back(core::RegisterStreamSchedulerMetrics(
+          options_.metrics, stream_scheduler_.get()));
+    }
+  }
 }
 
 SessionManager::~SessionManager() {
+  // Detach the snapshot sources FIRST: a concurrent scrape after this
+  // point sees a smaller snapshot, never a dead component.
+  if (options_.metrics != nullptr) {
+    for (std::uint64_t id : metric_sources_) options_.metrics->RemoveSource(id);
+  }
   // Drain/cancel the shared queue BEFORE any session dies. Per-session
   // teardown (each server unregistering itself) is individually safe, but
   // while early sessions die the queue would keep fetching for later ones

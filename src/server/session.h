@@ -135,6 +135,21 @@ struct SessionManagerOptions {
   /// regions whole — bit-identical to the streaming-less serving core.
   bool use_push_streaming = false;
   core::StreamSchedulerOptions stream_scheduler;
+
+  /// Process-wide telemetry (common/metrics.h, common/trace.h), both
+  /// optional and null by default (no telemetry, zero overhead). When set,
+  /// the manager propagates them into every layer's options — unless the
+  /// caller already wired that layer explicitly — and registers pull-mode
+  /// snapshot sources for the shared cache (fc.cache.*), the prefetch
+  /// scheduler (fc.prefetch.*), the stream scheduler (fc.stream.*), the
+  /// store sessions fetch through (fc.store.*; when single-flight wraps the
+  /// backend, fc.store.backend.* covers the real round trips underneath),
+  /// and the logging event counters (fc.log.*) — so ONE
+  /// MetricsRegistry::Snapshot() covers the whole serving stack. The
+  /// registry and sink must outlive the manager; its destructor removes
+  /// every source it registered before tearing the components down.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceSink* trace = nullptr;
 };
 
 /// Hosts concurrent per-user sessions over one backing store. Each session
@@ -233,6 +248,11 @@ class SessionManager {
   /// before sessions_ so per-session PushStreams can still unregister
   /// during session destruction.
   std::unique_ptr<core::StreamScheduler> stream_scheduler_;
+
+  /// Snapshot-source ids this manager registered with options_.metrics;
+  /// removed (in the destructor, before any component dies) so a scrape
+  /// can never reach a dead component.
+  std::vector<std::uint64_t> metric_sources_;
 
   mutable std::mutex mu_;  ///< Guards sessions_ and next_session_number_.
   std::map<std::string, SessionState> sessions_;

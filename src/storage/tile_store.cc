@@ -685,4 +685,26 @@ bool SingleFlightTileStore::Contains(const tiles::TileKey& key) const {
   return inner_->Contains(key);
 }
 
+std::uint64_t RegisterTileStoreMetrics(telemetry::MetricsRegistry* registry,
+                                       const std::string& prefix,
+                                       const TileStore* store) {
+  return registry->AddSource([prefix, store](telemetry::SnapshotSink& sink) {
+    sink.AddCounter(prefix + ".fetches", store->fetch_count());
+    sink.AddCounter(prefix + ".queries", store->query_count());
+    if (const auto* sf = dynamic_cast<const SingleFlightTileStore*>(store)) {
+      sink.AddCounter(prefix + ".deduped", sf->deduped_count());
+    }
+    if (const auto* sim = dynamic_cast<const SimulatedDbmsStore*>(store)) {
+      sink.AddCounter(prefix + ".chunk_scans", sim->chunk_scan_count());
+      sink.AddCounter(prefix + ".runs", sim->run_count());
+      sink.AddCounter(prefix + ".waste_cells", sim->waste_cell_count());
+    }
+    if (const auto* disk = dynamic_cast<const DiskTileStore*>(store)) {
+      sink.AddCounter(prefix + ".syscalls", disk->syscall_count());
+      sink.AddCounter(prefix + ".bytes_read", disk->bytes_read());
+      sink.AddCounter(prefix + ".vectored_runs", disk->vectored_run_count());
+    }
+  });
+}
+
 }  // namespace fc::storage

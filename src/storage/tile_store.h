@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "array/cost_model.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "storage/range_plan.h"
@@ -374,6 +375,16 @@ class SingleFlightTileStore : public TileStore {
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> deduped_{0};
 };
+
+/// Registers a pull-mode source exporting `store`'s counters into `registry`
+/// under `<prefix>.*` (e.g. "fc.store" -> fc.store.fetches / fc.store.queries,
+/// plus backend-specific extras: single-flight dedup, simulated chunk scans,
+/// disk syscalls/bytes). The store must outlive the source; remove it with
+/// MetricsRegistry::RemoveSource using the returned id before destroying the
+/// store.
+std::uint64_t RegisterTileStoreMetrics(telemetry::MetricsRegistry* registry,
+                                       const std::string& prefix,
+                                       const TileStore* store);
 
 }  // namespace fc::storage
 
